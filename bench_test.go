@@ -1,0 +1,186 @@
+package delta
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §5). Each benchmark regenerates the
+// experiment at a reduced scale per iteration, so `go test -bench=. -benchmem`
+// exercises every reproduction path; `cmd/delta-bench` runs the full-scale
+// versions that EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"delta/internal/central"
+	"delta/internal/chip"
+	"delta/internal/experiments"
+	"delta/internal/workloads"
+)
+
+// benchScale trims windows so a single benchmark iteration stays in the
+// seconds range.
+func benchScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.Warmup = 60_000
+	sc.Budget = 40_000
+	return sc
+}
+
+// benchMixes is the subset swept by the per-figure benchmarks (the full 15
+// mixes are the domain of cmd/delta-bench).
+var benchMixes = []string{"w2", "w6", "w13"}
+
+func runPolicyBench(b *testing.B, policy string, cores int) {
+	sc := benchScale()
+	if cores > 16 {
+		sc = sc.For64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range benchMixes {
+			sc.RunMix(policy, workloads.MixByName(m), cores)
+		}
+	}
+}
+
+// BenchmarkFig5Snuca16 measures the S-NUCA baseline runs behind Fig. 5.
+func BenchmarkFig5Snuca16(b *testing.B) { runPolicyBench(b, "snuca", 16) }
+
+// BenchmarkFig5Private16 measures the private baseline runs behind Fig. 5.
+func BenchmarkFig5Private16(b *testing.B) { runPolicyBench(b, "private", 16) }
+
+// BenchmarkFig5Delta16 measures the DELTA runs behind Fig. 5.
+func BenchmarkFig5Delta16(b *testing.B) { runPolicyBench(b, "delta", 16) }
+
+// BenchmarkFig5Ideal16 measures the ideal-centralized runs behind Fig. 5.
+func BenchmarkFig5Ideal16(b *testing.B) { runPolicyBench(b, "ideal", 16) }
+
+// BenchmarkFig6Fairness computes the ANTT/STP comparison of Fig. 6 on one
+// mix (delta + ideal + private runs plus metric computation).
+func BenchmarkFig6Fairness(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := experiments.NewSuite(sc, 16)
+		st.Run("private", "w2")
+		st.Run("delta", "w2")
+		st.Run("ideal", "w2")
+	}
+}
+
+// BenchmarkFig7PerApp regenerates the per-application normalization of
+// Fig. 7 (w2 on 16 cores).
+func BenchmarkFig7PerApp(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := experiments.NewSuite(sc, 16)
+		experiments.PerApp(st, "w2")
+	}
+}
+
+// BenchmarkFig8PerApp regenerates Fig. 8 (w3 on 16 cores).
+func BenchmarkFig8PerApp(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := experiments.NewSuite(sc, 16)
+		experiments.PerApp(st, "w3")
+	}
+}
+
+// BenchmarkFig9Delta64 measures the 64-core DELTA runs behind Fig. 9.
+func BenchmarkFig9Delta64(b *testing.B) { runPolicyBench(b, "delta", 64) }
+
+// BenchmarkFig10PerApp64 regenerates Fig. 10 (w2 on 64 cores).
+func BenchmarkFig10PerApp64(b *testing.B) {
+	sc := benchScale().For64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := experiments.NewSuite(sc, 64)
+		experiments.PerApp(st, "w2")
+	}
+}
+
+// BenchmarkFig11PerApp64 regenerates Fig. 11 (w13 on 64 cores), the
+// farsighted-over-allocation study.
+func BenchmarkFig11PerApp64(b *testing.B) {
+	sc := benchScale().For64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := experiments.NewSuite(sc, 64)
+		experiments.PerApp(st, "w13")
+	}
+}
+
+// BenchmarkFig12Multithreaded runs one SPLASH2 profile through the
+// multithreaded three-policy comparison of Fig. 12.
+func BenchmarkFig12Multithreaded(b *testing.B) {
+	sc := benchScale()
+	app := workloads.Splash2ByName("fft")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = app.SharedApp(16, sc.Seed).PrivateRatios(5000)
+		cfg := sc.ChipConfig(16)
+		cfg.Multithreaded = true
+		// One policy run (S-NUCA) exercises the multithreaded path.
+		c := chip.New(cfg, sc.NewPolicy("snuca"))
+		gens := app.ThreadGenerators(16, sc.Seed)
+		for t, g := range gens {
+			c.SetWorkload(t, g, false)
+		}
+		c.Run(sc.Warmup, sc.Budget)
+	}
+}
+
+// BenchmarkFig13Frequency runs the fast-vs-slow reallocation comparison of
+// Fig. 13 on one mix.
+func BenchmarkFig13Frequency(b *testing.B) {
+	sc := benchScale()
+	m := workloads.MixByName("w5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.RunMix("ideal", m, 16)
+		sc.RunMix("ideal-slow", m, 16)
+	}
+}
+
+// BenchmarkTableVILookahead times the Lookahead allocator at 16 cores — the
+// paper's Table VI datum (5.32 ms in their setup).
+func BenchmarkTableVILookahead(b *testing.B) {
+	curves := central.SyntheticCurves(16, 256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		central.Lookahead(curves, 256, 1, 256)
+	}
+}
+
+// BenchmarkTableVIPeekahead times the Peekahead allocator at 16 cores.
+func BenchmarkTableVIPeekahead(b *testing.B) {
+	curves := central.SyntheticCurves(16, 256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		central.Peekahead(curves, 256, 1, 256)
+	}
+}
+
+// BenchmarkTableVILookahead64 shows the growth to 64 cores (1230 ms in the
+// paper's setup, three orders slower than DELTA's distributed computation).
+func BenchmarkTableVILookahead64(b *testing.B) {
+	curves := central.SyntheticCurves(64, 1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		central.Lookahead(curves, 1024, 1, 1024)
+	}
+}
+
+// BenchmarkOverheadsControlTraffic measures the run behind the Section
+// IV-E2 message-overhead analysis.
+func BenchmarkOverheadsControlTraffic(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.Overheads(sc, "w6")
+	}
+}

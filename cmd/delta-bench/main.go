@@ -1,0 +1,76 @@
+// Command delta-bench regenerates the paper's tables and figures (see
+// DESIGN.md §5 for the experiment index). Each experiment prints a text
+// table with the same rows/series as the paper; EXPERIMENTS.md records the
+// measured outputs next to the paper's numbers.
+//
+// Usage:
+//
+//	delta-bench                  # run everything
+//	delta-bench -exp fig5        # one experiment
+//	delta-bench -exp fig9 -quick # compressed scale for smoke runs
+//
+// Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6
+// overheads ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"delta/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, all)")
+	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	sc.Seed = *seed
+
+	suite16 := experiments.NewSuite(sc, 16)
+	suite64 := experiments.NewSuite(sc, 64)
+
+	run := func(name string, fn func()) {
+		want := *exp
+		if want != "all" && want != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Second))
+	}
+
+	run("fig5", func() { fmt.Println(experiments.Fig5(suite16).Table()) })
+	run("fig6", func() { fmt.Println(experiments.Fig6(suite16).Table()) })
+	run("fig7", func() { fmt.Println(experiments.PerApp(suite16, "w2").Table()) })
+	run("fig8", func() { fmt.Println(experiments.PerApp(suite16, "w3").Table()) })
+	run("fig9", func() { fmt.Println(experiments.Fig5(suite64).Table()) })
+	run("fig10", func() { fmt.Println(experiments.PerApp(suite64, "w2").Table()) })
+	run("fig11", func() { fmt.Println(experiments.PerApp(suite64, "w13").Table()) })
+	run("fig12", func() { fmt.Println(experiments.Fig12(sc).Table()) })
+	run("fig13", func() { fmt.Println(experiments.Fig13(sc).Table()) })
+	run("table6", func() { fmt.Println(experiments.TableVI(64, sc.Seed).Table()) })
+	run("overheads", func() {
+		for _, m := range []string{"w2", "w6"} {
+			fmt.Println(experiments.Overheads(sc, m).Table())
+		}
+	})
+	run("ablations", func() {
+		for _, m := range []string{"w2", "w6"} {
+			fmt.Println(experiments.AblationTable(experiments.Ablations(sc, m), m))
+		}
+	})
+
+	if !strings.Contains("fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6 overheads ablations all", *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

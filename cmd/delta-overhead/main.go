@@ -1,0 +1,23 @@
+// Command delta-overhead reproduces Table VI: the per-invocation cost of the
+// centralized allocation algorithms (UCP Lookahead and the convex-hull
+// Peekahead) as core count grows, with 16 ways per core. The absolute
+// numbers depend on the host machine; the shape — Lookahead's steep
+// polynomial growth versus Peekahead's gentle one — is the paper's argument
+// for why centralized allocation cannot sustain a 1 ms reconfiguration
+// interval at large core counts, and why DELTA's O(1) distributed
+// computation can.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"delta/internal/experiments"
+)
+
+func main() {
+	max := flag.Int("max-cores", 64, "largest core count to time (doubling from 2)")
+	seed := flag.Uint64("seed", 1, "synthetic curve seed")
+	flag.Parse()
+	fmt.Println(experiments.TableVI(*max, *seed).Table())
+}

@@ -1,0 +1,70 @@
+// Command delta-sim runs a single simulation: one policy, one workload mix
+// (or a single application on every core), one chip size — and prints
+// per-core and aggregate results. It is the quickest way to poke at the
+// simulator.
+//
+// Examples:
+//
+//	delta-sim -policy delta -mix w2
+//	delta-sim -policy snuca -app mcf -cores 16
+//	delta-sim -policy ideal -mix w13 -cores 64 -budget 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delta"
+	"delta/internal/metrics"
+)
+
+func main() {
+	policy := flag.String("policy", "delta", "snuca | private | delta | ideal")
+	mix := flag.String("mix", "", "Table IV mix name (w1..w15)")
+	app := flag.String("app", "", "run this SPEC model on every core instead of a mix")
+	cores := flag.Int("cores", 16, "core count (perfect square, multiple of 16 for mixes)")
+	warm := flag.Uint64("warmup", 400_000, "warm-up instructions per core")
+	budget := flag.Uint64("budget", 250_000, "measured instructions per core")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
+	flag.Parse()
+
+	if (*mix == "") == (*app == "") {
+		fmt.Fprintln(os.Stderr, "exactly one of -mix or -app is required")
+		os.Exit(2)
+	}
+
+	sim := delta.NewSimulator(delta.Config{
+		Cores:              *cores,
+		Policy:             delta.PolicyKind(*policy),
+		WarmupInstructions: *warm,
+		BudgetInstructions: *budget,
+		Seed:               *seed,
+		TimeCompression:    *compress,
+	})
+	if *mix != "" {
+		sim.LoadMix(*mix)
+	} else {
+		for i := 0; i < *cores; i++ {
+			sim.SetWorkload(i, delta.Workload{App: *app})
+		}
+	}
+	res := sim.Run()
+
+	t := metrics.NewTable(fmt.Sprintf("%s on %d cores", *policy, *cores),
+		"core", "ipc", "llc-mpki", "mem-mpki", "local-hit%", "mlp")
+	for _, c := range res.Cores {
+		t.AddRowf(fmt.Sprint(c.Core), c.IPC, c.MPKI, c.MemMPKI, c.LocalHitFrac*100, c.MLP)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("geomean IPC: %.4f\n", res.GeoMeanIPC())
+	fmt.Printf("control traffic: %.3f%% of NoC messages\n", res.ControlMessageFraction*100)
+	fmt.Printf("invalidated lines: %d\n", res.InvalidatedLines)
+	if d := sim.Delta(); d != nil {
+		fmt.Printf("delta stats: %+v\n", d.Stats)
+		for _, c := range res.Cores {
+			fmt.Printf("core %2d allocation: %d ways\n", c.Core, d.TotalWays(c.Core))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command delta-trace runs one mix under every policy and prints a compact
+// comparison plus DELTA's reconfiguration event trace — the tool used while
+// developing and debugging the allocation dynamics (who expands where, who
+// retreats, how much churn each decision causes).
+//
+//	delta-trace -mix w2
+//	delta-trace -mix w13 -events 40
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"delta/internal/chip"
+	"delta/internal/experiments"
+	"delta/internal/metrics"
+	"delta/internal/workloads"
+)
+
+func main() {
+	mixName := flag.String("mix", "w2", "Table IV mix")
+	cores := flag.Int("cores", 16, "core count")
+	events := flag.Int("events", 20, "max reconfiguration events to print")
+	util := flag.Bool("util", false, "print the per-bank utilization map")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *cores > 16 {
+		sc = sc.For64()
+	}
+	mix := workloads.MixByName(*mixName)
+
+	t := metrics.NewTable(fmt.Sprintf("%s on %d cores", *mixName, *cores),
+		"policy", "geomean IPC", "vs s-nuca", "ctrl msg %", "inval lines")
+	base := 0.0
+	var deltaRun experiments.MixRun
+	for _, pol := range experiments.PolicyNames {
+		run := sc.RunMix(pol, mix, *cores)
+		geo := metrics.GeoMean(run.IPCs())
+		if pol == "snuca" {
+			base = geo
+		}
+		if pol == "delta" {
+			deltaRun = run
+		}
+		t.AddRow(pol,
+			fmt.Sprintf("%.4f", geo),
+			fmt.Sprintf("%+.1f%%", (geo/base-1)*100),
+			fmt.Sprintf("%.3f", run.Net.ControlFraction()*100),
+			fmt.Sprint(run.Chip.InvalLines))
+	}
+	fmt.Println(t.String())
+
+	d := deltaRun.Delta
+	fmt.Printf("DELTA: %+v\n\n", d.Stats)
+	slots := mix.Slots(*cores)
+	fmt.Println("final allocations:")
+	for i := 0; i < *cores; i++ {
+		if w := d.TotalWays(i); w != 16 {
+			fmt.Printf("  core %2d (%-10s) %3d ways\n", i, slots[i].Name, w)
+		}
+	}
+	if *util {
+		c := chip.New(sc.ChipConfig(*cores), sc.NewPolicy("delta"))
+		for i, g := range mix.Generators(*cores, sc.Seed) {
+			c.SetWorkload(i, g, true)
+		}
+		c.Run(sc.Warmup, sc.Budget)
+		fmt.Println(c.UtilizationString())
+		tr := c.Traffic()
+		fmt.Printf("traffic: %d LLC accesses, %d memory fetches, %.1f%% local hits, avg MCU queue %.1f cy\n\n",
+			tr.LLCAccesses, tr.MemFetches,
+			100*float64(tr.LocalHits)/float64(tr.LocalHits+tr.RemoteHits), tr.AvgQueueDelay)
+	}
+	fmt.Printf("\nfirst %d reconfiguration events:\n", *events)
+	for i, ev := range d.Events() {
+		if i >= *events {
+			break
+		}
+		fmt.Printf("  @%-9d %-13s core %2d (%-10s) bank %2d ways %d\n",
+			ev.Cycle, ev.Kind, ev.Core, slots[ev.Core].Name, ev.Bank, ev.Ways)
+	}
+}

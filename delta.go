@@ -1,0 +1,273 @@
+// Package delta is the public API of the DELTA reproduction: a simulator of
+// tile-based chip multiprocessors with distributed, locality-aware last-level
+// cache partitioning, after Holtryd et al., "DELTA: Distributed
+// Locality-Aware Cache Partitioning for Tile-based Chip Multiprocessors"
+// (IPPS 2020).
+//
+// The package wraps the internal simulator behind a small facade:
+//
+//	sim := delta.NewSimulator(delta.Config{Cores: 16, Policy: delta.PolicyDelta})
+//	sim.SetWorkload(0, delta.Workload{App: "omnetpp"})
+//	...
+//	res := sim.Run()
+//	fmt.Println(res.GeoMeanIPC())
+//
+// Four partitioning policies are available: the unpartitioned shared S-NUCA
+// baseline, static private partitioning, DELTA's distributed challenge-based
+// scheme, and the zero-overhead ideal centralized scheme (UCP Lookahead plus
+// locality-aware placement). Workloads come from the built-in SPEC CPU2006
+// models, the Table IV mixes, the SPLASH2 sharing profiles, or custom access
+// generators.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results; the examples/ directory contains runnable programs.
+package delta
+
+import (
+	"fmt"
+
+	"delta/internal/central"
+	"delta/internal/chip"
+	"delta/internal/core"
+	"delta/internal/metrics"
+	"delta/internal/trace"
+	"delta/internal/workloads"
+)
+
+// PolicyKind selects the cache-partitioning scheme.
+type PolicyKind string
+
+// Available policies.
+const (
+	PolicySnuca   PolicyKind = "snuca"
+	PolicyPrivate PolicyKind = "private"
+	PolicyDelta   PolicyKind = "delta"
+	PolicyIdeal   PolicyKind = "ideal"
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Cores is the tile count; must be a perfect square (16 and 64 in the
+	// paper).
+	Cores int
+	// Policy selects the partitioning scheme (default PolicyDelta).
+	Policy PolicyKind
+	// TimeCompression divides the paper's reconfiguration intervals and is
+	// matched by correspondingly smaller instruction budgets (DESIGN.md §3).
+	// 0 uses the experiment default (50).
+	TimeCompression uint64
+	// WarmupInstructions and BudgetInstructions set the per-core
+	// fast-forward and measured windows; 0 uses the experiment defaults.
+	WarmupInstructions, BudgetInstructions uint64
+	// Multithreaded enables R-NUCA-style shared-page handling.
+	Multithreaded bool
+	// Seed drives workload randomness.
+	Seed uint64
+
+	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
+	// nil uses Table II defaults scaled by TimeCompression.
+	DeltaParams *core.Params
+	// IdealConfig overrides the centralized policy's knobs when Policy ==
+	// PolicyIdeal; nil uses defaults scaled by TimeCompression.
+	IdealConfig *central.IdealConfig
+}
+
+// Workload assigns an application to a core. Exactly one of App or Generator
+// must be set.
+type Workload struct {
+	// App names a built-in SPEC CPU2006 model (full name or short code).
+	App string
+	// Generator supplies a custom access stream.
+	Generator trace.Generator
+	// SharedAddressSpace marks multithreaded workloads whose generators
+	// emit into one global address space.
+	SharedAddressSpace bool
+}
+
+// Simulator is a configured chip ready to run.
+type Simulator struct {
+	cfg    Config
+	chip   *chip.Chip
+	delta  *core.Delta
+	ideal  *central.Ideal
+	loaded int
+	ran    bool
+}
+
+// NewSimulator builds a simulator. It panics on invalid configuration, like
+// the rest of the library: configuration errors are programming errors.
+func NewSimulator(cfg Config) *Simulator {
+	if cfg.Cores == 0 {
+		cfg.Cores = 16
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyDelta
+	}
+	if cfg.TimeCompression == 0 {
+		cfg.TimeCompression = 50
+	}
+	if cfg.WarmupInstructions == 0 {
+		cfg.WarmupInstructions = 400_000
+	}
+	if cfg.BudgetInstructions == 0 {
+		cfg.BudgetInstructions = 250_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ccfg := chip.DefaultConfig(cfg.Cores)
+	ccfg.Multithreaded = cfg.Multithreaded
+	ccfg.Seed = cfg.Seed
+	ccfg.UmonSampleEvery = 4
+	s := &Simulator{cfg: cfg}
+	var pol chip.Policy
+	switch cfg.Policy {
+	case PolicySnuca:
+		pol = chip.NewSnuca()
+	case PolicyPrivate:
+		pol = chip.NewPrivate()
+	case PolicyDelta:
+		params := core.DefaultParams().Scale(cfg.TimeCompression)
+		if cfg.DeltaParams != nil {
+			params = *cfg.DeltaParams
+		}
+		s.delta = core.New(params)
+		pol = s.delta
+	case PolicyIdeal:
+		icfg := central.DefaultIdealConfig()
+		icfg.Interval /= cfg.TimeCompression
+		if icfg.Interval == 0 {
+			icfg.Interval = 1
+		}
+		if cfg.IdealConfig != nil {
+			icfg = *cfg.IdealConfig
+		}
+		s.ideal = central.NewIdeal(icfg)
+		pol = s.ideal
+	default:
+		panic(fmt.Sprintf("delta: unknown policy %q", cfg.Policy))
+	}
+	s.chip = chip.New(ccfg, pol)
+	return s
+}
+
+// SetWorkload assigns a workload to a core.
+func (s *Simulator) SetWorkload(coreID int, w Workload) {
+	if s.ran {
+		panic("delta: SetWorkload after Run")
+	}
+	gen := w.Generator
+	if gen == nil {
+		if w.App == "" {
+			panic("delta: workload needs App or Generator")
+		}
+		app, err := LookupApp(w.App)
+		if err != nil {
+			panic(err)
+		}
+		gen = app.Spec.Build(s.cfg.Seed*1000003 + uint64(coreID)*7919 + 17)
+	}
+	s.chip.SetWorkload(coreID, gen, !w.SharedAddressSpace)
+	s.loaded++
+}
+
+// LoadMix assigns one of the paper's Table IV mixes (w1..w15) to all cores.
+func (s *Simulator) LoadMix(name string) {
+	m := workloads.MixByName(name)
+	for i, g := range m.Generators(s.cfg.Cores, s.cfg.Seed) {
+		s.chip.SetWorkload(i, g, true)
+		s.loaded++
+	}
+}
+
+// SetProcessGroup marks cores as threads of one process (multithreaded mode;
+// DELTA then refuses challenges between them).
+func (s *Simulator) SetProcessGroup(cores []int, pid int) {
+	if s.delta == nil {
+		return
+	}
+	for _, c := range cores {
+		s.delta.SetProcess(c, pid)
+	}
+}
+
+// CoreResult re-exports the chip's per-core measurement.
+type CoreResult = chip.CoreResult
+
+// Result summarizes a run.
+type Result struct {
+	Policy PolicyKind
+	Cores  []CoreResult
+
+	ControlMessageFraction float64
+	InvalidatedLines       uint64
+}
+
+// Run executes the simulation (warmup then measured window) and returns the
+// results. Run can only be called once.
+func (s *Simulator) Run() Result {
+	if s.ran {
+		panic("delta: Run called twice")
+	}
+	if s.loaded == 0 {
+		panic("delta: no workloads assigned")
+	}
+	s.ran = true
+	s.chip.Run(s.cfg.WarmupInstructions, s.cfg.BudgetInstructions)
+	return Result{
+		Policy:                 s.cfg.Policy,
+		Cores:                  s.chip.Results(),
+		ControlMessageFraction: s.chip.Net.Stats.ControlFraction(),
+		InvalidatedLines:       s.chip.Stats.InvalLines,
+	}
+}
+
+// Delta exposes the DELTA policy instance (nil for other policies) for
+// allocation introspection.
+func (s *Simulator) Delta() *core.Delta { return s.delta }
+
+// Ideal exposes the centralized policy instance (nil otherwise).
+func (s *Simulator) Ideal() *central.Ideal { return s.ideal }
+
+// GeoMeanIPC is the paper's per-workload performance metric.
+func (r Result) GeoMeanIPC() float64 {
+	ipcs := make([]float64, len(r.Cores))
+	for i, c := range r.Cores {
+		ipcs[i] = c.IPC
+	}
+	return metrics.GeoMean(ipcs)
+}
+
+// IPCs returns the per-core IPC vector.
+func (r Result) IPCs() []float64 {
+	out := make([]float64, len(r.Cores))
+	for i, c := range r.Cores {
+		out[i] = c.IPC
+	}
+	return out
+}
+
+// App re-exports the workload model type.
+type App = workloads.App
+
+// LookupApp resolves a SPEC CPU2006 model by name or short code.
+func LookupApp(name string) (App, error) {
+	for _, a := range workloads.Apps() {
+		if a.Name == name || a.Short == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("delta: unknown application %q", name)
+}
+
+// Apps lists the built-in SPEC CPU2006 models.
+func Apps() []App { return workloads.Apps() }
+
+// MixNames lists the built-in Table IV mixes.
+func MixNames() []string {
+	out := make([]string, 0, 15)
+	for _, m := range workloads.Mixes() {
+		out = append(out, m.Name)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package delta
+
+import "testing"
+
+func TestFacadeQuickRun(t *testing.T) {
+	sim := NewSimulator(Config{
+		Cores:              16,
+		Policy:             PolicyDelta,
+		WarmupInstructions: 60_000,
+		BudgetInstructions: 50_000,
+	})
+	sim.LoadMix("w5")
+	res := sim.Run()
+	if len(res.Cores) != 16 {
+		t.Fatalf("results for %d cores", len(res.Cores))
+	}
+	if g := res.GeoMeanIPC(); g <= 0 || g > 4.1 {
+		t.Fatalf("geomean IPC %v", g)
+	}
+	if sim.Delta() == nil {
+		t.Fatal("delta policy not exposed")
+	}
+}
+
+func TestFacadePoliciesConstruct(t *testing.T) {
+	for _, p := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+		sim := NewSimulator(Config{Cores: 16, Policy: p,
+			WarmupInstructions: 10_000, BudgetInstructions: 10_000})
+		sim.SetWorkload(0, Workload{App: "omnetpp"})
+		res := sim.Run()
+		if res.Policy != p {
+			t.Fatalf("policy %v reported %v", p, res.Policy)
+		}
+	}
+}
+
+func TestFacadeCustomWorkloadByShortCode(t *testing.T) {
+	sim := NewSimulator(Config{Cores: 16,
+		WarmupInstructions: 10_000, BudgetInstructions: 10_000})
+	sim.SetWorkload(3, Workload{App: "xa"})
+	res := sim.Run()
+	if len(res.Cores) != 1 || res.Cores[0].Core != 3 {
+		t.Fatalf("unexpected results %+v", res.Cores)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := LookupApp("nosuchapp"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unknown policy", func() {
+		NewSimulator(Config{Cores: 16, Policy: "bogus"})
+	})
+	mustPanic("run without workloads", func() {
+		NewSimulator(Config{Cores: 16}).Run()
+	})
+	mustPanic("double run", func() {
+		s := NewSimulator(Config{Cores: 16,
+			WarmupInstructions: 5_000, BudgetInstructions: 5_000})
+		s.SetWorkload(0, Workload{App: "povray"})
+		s.Run()
+		s.Run()
+	})
+	mustPanic("empty workload", func() {
+		NewSimulator(Config{Cores: 16}).SetWorkload(0, Workload{})
+	})
+}
+
+func TestFacadeInventory(t *testing.T) {
+	if len(Apps()) != 29 {
+		t.Fatalf("%d apps", len(Apps()))
+	}
+	if len(MixNames()) != 15 {
+		t.Fatalf("%d mixes", len(MixNames()))
+	}
+}
+
+func TestFacade64Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core run is slow")
+	}
+	sim := NewSimulator(Config{
+		Cores:              64,
+		Policy:             PolicyDelta,
+		WarmupInstructions: 40_000,
+		BudgetInstructions: 30_000,
+	})
+	sim.LoadMix("w3")
+	res := sim.Run()
+	if len(res.Cores) != 64 {
+		t.Fatalf("results for %d cores", len(res.Cores))
+	}
+	if g := res.GeoMeanIPC(); g <= 0 {
+		t.Fatalf("geomean %v", g)
+	}
+}
+
+func TestFacadeRejectsNonPow2Cores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 36 cores")
+		}
+	}()
+	NewSimulator(Config{Cores: 36})
+}

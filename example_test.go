@@ -1,0 +1,47 @@
+package delta_test
+
+import (
+	"fmt"
+	"sort"
+
+	"delta"
+)
+
+// ExampleNewSimulator runs a tiny DELTA simulation on one of the paper's
+// workload mixes and prints stable facts about the outcome.
+func ExampleNewSimulator() {
+	sim := delta.NewSimulator(delta.Config{
+		Cores:              16,
+		Policy:             delta.PolicyDelta,
+		WarmupInstructions: 20_000,
+		BudgetInstructions: 20_000,
+	})
+	sim.LoadMix("w1")
+	res := sim.Run()
+	fmt.Println("cores:", len(res.Cores))
+	fmt.Println("policy:", res.Policy)
+	// Output:
+	// cores: 16
+	// policy: delta
+}
+
+// ExampleLookupApp resolves built-in SPEC CPU2006 models by name or short
+// code.
+func ExampleLookupApp() {
+	a, _ := delta.LookupApp("xa")
+	fmt.Println(a.Name, a.Class)
+	b, _ := delta.LookupApp("libquantum")
+	fmt.Println(b.Short, b.Class)
+	// Output:
+	// xalancbmk LM
+	// li T
+}
+
+// ExampleMixNames lists the Table IV workload mixes.
+func ExampleMixNames() {
+	names := delta.MixNames()
+	sort.Strings(names)
+	fmt.Println(len(names), names[0])
+	// Output:
+	// 15 w1
+}

@@ -1,0 +1,3 @@
+module delta
+
+go 1.22

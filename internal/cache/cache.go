@@ -1,0 +1,345 @@
+// Package cache implements the set-associative cache model used at every
+// level of the simulated hierarchy: private L1s and L2s, and the distributed
+// LLC banks. It supports true-LRU replacement, way-partitioned insertion
+// (the intra-bank half of DELTA's enforcement mechanism), an in-cache
+// directory (owner + sharer bits, as in the paper's MESIF configuration),
+// inclusive back-invalidation hooks and the bulk range-invalidation walk that
+// DELTA's remapping relies on.
+//
+// Throughout the simulator addresses are *line addresses*: the byte address
+// shifted right by 6 (64-byte lines, Table II).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineBytes is the cache line size in bytes across the whole hierarchy.
+const LineBytes = 64
+
+// NoOwner marks a line not attributed to any partition (used by caches that
+// are private and do not track partitions).
+const NoOwner = -1
+
+// Line is one cache line's metadata. Sharers is only maintained for caches
+// acting as LLC banks with an in-cache directory.
+type Line struct {
+	Addr    uint64 // line address; meaningful only when Valid
+	Valid   bool
+	Dirty   bool
+	Owner   int16  // partition (core) that inserted the line, or NoOwner
+	Sharers uint64 // bitmask of cores with a private copy (directory)
+	used    uint64 // recency stamp for LRU
+}
+
+// Stats counts cache events. Counters are cumulative; callers snapshot and
+// diff per interval where needed.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+	Invals      uint64 // lines removed by explicit invalidation
+	BulkWalks   uint64 // bulk-invalidation tag walks performed
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// EvictFn observes a line leaving the cache (capacity eviction or
+// invalidation). Inclusive hierarchies use it to back-invalidate upper
+// levels; the LLC uses it to notify the directory.
+type EvictFn func(line Line)
+
+// Cache is a single set-associative array. Not safe for concurrent use; the
+// chip model serializes accesses within a quantum.
+type Cache struct {
+	Sets, Ways int
+
+	lines   []Line
+	setMask uint64
+	clk     uint64
+
+	// occupancy[owner] counts valid lines per partition; only maintained when
+	// trackOwners is set (LLC banks).
+	occupancy   []uint64
+	trackOwners bool
+
+	OnEvict EvictFn
+
+	Stats Stats
+}
+
+// Config describes a cache geometry in conventional units.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	// TrackOwners enables per-partition occupancy accounting and directory
+	// bits; enable for LLC banks only.
+	TrackOwners bool
+	// Partitions sizes the occupancy table (number of cores) when
+	// TrackOwners is set.
+	Partitions int
+}
+
+// New builds a cache. Geometry must be a power-of-two number of sets.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	lines := cfg.SizeBytes / LineBytes
+	sets := lines / cfg.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two (size %d, ways %d)",
+			sets, cfg.SizeBytes, cfg.Ways))
+	}
+	c := &Cache{
+		Sets:    sets,
+		Ways:    cfg.Ways,
+		lines:   make([]Line, sets*cfg.Ways),
+		setMask: uint64(sets - 1),
+	}
+	if cfg.TrackOwners {
+		if cfg.Partitions <= 0 {
+			panic("cache: TrackOwners requires Partitions > 0")
+		}
+		c.trackOwners = true
+		c.occupancy = make([]uint64, cfg.Partitions)
+	}
+	return c
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return c.Sets * c.Ways * LineBytes }
+
+// SetIndex returns the set an address maps to under the natural (low-bits)
+// indexing used by private caches.
+func (c *Cache) SetIndex(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+
+// SetIndexShifted indexes with the address pre-shifted by k bits: the layout
+// of a line-interleaved NUCA, where the bank-selection bits sit below the
+// set index. Lines placed with a shifted index must be looked up, probed and
+// invalidated with the same shift.
+func (c *Cache) SetIndexShifted(lineAddr uint64, k int) int {
+	return int((lineAddr >> uint(k)) & c.setMask)
+}
+
+func (c *Cache) set(idx int) []Line { return c.lines[idx*c.Ways : (idx+1)*c.Ways] }
+
+// Lookup searches for the line and, on a hit, refreshes its recency and
+// returns a pointer into the array (valid until the next mutation). Counters
+// are updated. The write flag marks the line dirty on hit.
+func (c *Cache) Lookup(lineAddr uint64, write bool) (*Line, bool) {
+	return c.LookupIdx(c.SetIndex(lineAddr), lineAddr, write)
+}
+
+// LookupIdx is Lookup with an explicit set index (NUCA-interleaved layouts).
+func (c *Cache) LookupIdx(setIdx int, lineAddr uint64, write bool) (*Line, bool) {
+	c.Stats.Accesses++
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == lineAddr {
+			c.clk++
+			set[i].used = c.clk
+			if write {
+				set[i].Dirty = true
+			}
+			c.Stats.Hits++
+			return &set[i], true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false
+}
+
+// Probe reports whether the line is present without touching LRU state or
+// counters. UMON-style monitors and the test suite use it.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	return c.ProbeIdx(c.SetIndex(lineAddr), lineAddr)
+}
+
+// ProbeIdx is Probe with an explicit set index.
+func (c *Cache) ProbeIdx(setIdx int, lineAddr uint64) bool {
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the line's metadata pointer without LRU update, or nil.
+func (c *Cache) Get(lineAddr uint64) *Line {
+	return c.GetIdx(c.SetIndex(lineAddr), lineAddr)
+}
+
+// GetIdx is Get with an explicit set index.
+func (c *Cache) GetIdx(setIdx int, lineAddr uint64) *Line {
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// AllMask allows insertion into every way.
+func (c *Cache) AllMask() uint64 {
+	if c.Ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << c.Ways) - 1
+}
+
+// Insert places a line, choosing a victim only among ways enabled in mask
+// (way-partitioned insertion). It returns the evicted line if a valid one was
+// displaced. The line is inserted owned by owner and clean unless write.
+// Insert panics if mask selects no way; the enforcement layer guarantees a
+// partition never inserts without owning capacity.
+func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (Line, bool) {
+	return c.InsertIdx(c.SetIndex(lineAddr), lineAddr, owner, write, mask)
+}
+
+// InsertIdx is Insert with an explicit set index.
+func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (Line, bool) {
+	mask &= c.AllMask()
+	if mask == 0 {
+		panic("cache: insertion with empty way mask")
+	}
+	set := c.set(setIdx)
+	// Prefer an invalid allowed way.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if !set[w].Valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if set[w].used < oldest {
+			oldest = set[w].used
+			victim = w
+		}
+	}
+	var evicted Line
+	hadVictim := false
+	if set[victim].Valid {
+		evicted = set[victim]
+		hadVictim = true
+		c.Stats.Evictions++
+		if evicted.Dirty {
+			c.Stats.DirtyEvicts++
+		}
+		c.noteRemoval(evicted)
+		if c.OnEvict != nil {
+			c.OnEvict(evicted)
+		}
+	}
+	c.clk++
+	set[victim] = Line{Addr: lineAddr, Valid: true, Dirty: write, Owner: int16(owner), used: c.clk}
+	c.noteInsert(owner)
+	return evicted, hadVictim
+}
+
+// InvalidateLine removes a specific line if present, returning its metadata.
+// The OnEvict hook fires so inclusive upper levels are cleaned.
+func (c *Cache) InvalidateLine(lineAddr uint64) (Line, bool) {
+	return c.InvalidateLineIdx(c.SetIndex(lineAddr), lineAddr)
+}
+
+// InvalidateLineIdx is InvalidateLine with an explicit set index.
+func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == lineAddr {
+			ln := set[i]
+			set[i] = Line{}
+			c.Stats.Invals++
+			c.noteRemoval(ln)
+			if c.OnEvict != nil {
+				c.OnEvict(ln)
+			}
+			return ln, true
+		}
+	}
+	return Line{}, false
+}
+
+// InvalidateMatching is the bulk-invalidation unit (Section II-C3): it walks
+// every tag and invalidates lines for which pred returns true, firing OnEvict
+// for each. It returns the number of lines invalidated. The walk itself
+// models the hardware range-invalidation engine; callers charge its latency.
+func (c *Cache) InvalidateMatching(pred func(line Line) bool) int {
+	c.Stats.BulkWalks++
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid && pred(c.lines[i]) {
+			ln := c.lines[i]
+			c.lines[i] = Line{}
+			n++
+			c.Stats.Invals++
+			c.noteRemoval(ln)
+			if c.OnEvict != nil {
+				c.OnEvict(ln)
+			}
+		}
+	}
+	return n
+}
+
+// InvalidateAll drops every line (used when re-purposing a bank).
+func (c *Cache) InvalidateAll() int {
+	return c.InvalidateMatching(func(Line) bool { return true })
+}
+
+// Occupancy returns the number of valid lines owned by the partition. Only
+// meaningful when the cache tracks owners.
+func (c *Cache) Occupancy(owner int) uint64 {
+	if !c.trackOwners || owner < 0 || owner >= len(c.occupancy) {
+		return 0
+	}
+	return c.occupancy[owner]
+}
+
+// ValidLines returns the total number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachLine visits every valid line; mutation through the pointer is
+// allowed for directory updates but resizing operations are not.
+func (c *Cache) ForEachLine(fn func(ln *Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+func (c *Cache) noteInsert(owner int) {
+	if c.trackOwners && owner >= 0 && owner < len(c.occupancy) {
+		c.occupancy[owner]++
+	}
+}
+
+func (c *Cache) noteRemoval(ln Line) {
+	if c.trackOwners && ln.Owner >= 0 && int(ln.Owner) < len(c.occupancy) {
+		c.occupancy[ln.Owner]--
+	}
+}

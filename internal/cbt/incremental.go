@@ -1,0 +1,144 @@
+package cbt
+
+// BuildIncremental apportions the bucket space like Build, but instead of
+// laying out fresh contiguous ranges it preserves as much of prev's
+// bucket->bank assignment as possible: only buckets in over-quota banks move,
+// and they move directly to under-quota banks. Every moved bucket costs a
+// bulk invalidation of its cached lines, so minimizing moves is the
+// difference between an expansion invalidating ~share of the footprint and
+// the contiguous-range "slide" effect invalidating up to twice that.
+//
+// The result is generally not expressible as one contiguous range per bank;
+// Ranges() then reports one entry per maximal run. DESIGN.md documents this
+// as an enforcement optimization over the paper's contiguous range table
+// (the hardware equivalent is a 256-entry bucket map, NumBuckets*log2(N)
+// bits per core).
+func BuildIncremental(prev *Table, shares []Share) *Table {
+	if prev == nil {
+		return Build(shares)
+	}
+	quotas := apportion(shares)
+	t := &Table{}
+	t.dense = prev.dense
+
+	// Banks absent from shares have quota zero.
+	quota := map[int]int{}
+	order := make([]int, 0, len(quotas))
+	for _, q := range quotas {
+		quota[q.bank] = q.count
+		order = append(order, q.bank)
+	}
+	// Count current holdings.
+	have := map[int]int{}
+	for b := 0; b < NumBuckets; b++ {
+		have[int(t.dense[b])]++
+	}
+	// Collect surplus buckets (including buckets of banks with no share).
+	var surplus []int
+	for b := 0; b < NumBuckets; b++ {
+		bank := int(t.dense[b])
+		if have[bank] > quota[bank] {
+			surplus = append(surplus, b)
+			have[bank]--
+		}
+	}
+	// Hand surplus buckets to under-quota banks in share order.
+	idx := 0
+	for _, bank := range order {
+		for have[bank] < quota[bank] {
+			if idx >= len(surplus) {
+				panic("cbt: apportionment mismatch")
+			}
+			t.dense[surplus[idx]] = int16(bank)
+			idx++
+			have[bank]++
+		}
+	}
+	if idx != len(surplus) {
+		panic("cbt: surplus buckets left unassigned")
+	}
+	t.rebuildRanges()
+	return t
+}
+
+type quota struct {
+	bank  int
+	count int
+}
+
+// apportion computes largest-remainder bucket quotas for the shares, the
+// same arithmetic Build uses.
+func apportion(shares []Share) []quota {
+	total := 0
+	for _, s := range shares {
+		if s.Ways < 0 {
+			panic("cbt: negative ways")
+		}
+		total += s.Ways
+	}
+	if total == 0 {
+		panic("cbt: cannot apportion zero total ways")
+	}
+	type entry struct {
+		bank  int
+		base  int
+		remFr float64
+	}
+	var entries []entry
+	assigned := 0
+	for _, s := range shares {
+		if s.Ways == 0 {
+			continue
+		}
+		exact := float64(s.Ways) * NumBuckets / float64(total)
+		base := int(exact)
+		entries = append(entries, entry{s.Bank, base, exact - float64(base)})
+		assigned += base
+	}
+	left := NumBuckets - assigned
+	orderIdx := make([]int, len(entries))
+	for i := range orderIdx {
+		orderIdx[i] = i
+	}
+	// Stable sort by remainder, descending.
+	for i := 1; i < len(orderIdx); i++ {
+		for j := i; j > 0 && entries[orderIdx[j-1]].remFr < entries[orderIdx[j]].remFr; j-- {
+			orderIdx[j-1], orderIdx[j] = orderIdx[j], orderIdx[j-1]
+		}
+	}
+	for i := 0; i < left; i++ {
+		entries[orderIdx[i%len(orderIdx)]].base++
+	}
+	for i := range entries {
+		if entries[i].base == 0 {
+			big := 0
+			for j := range entries {
+				if entries[j].base > entries[big].base {
+					big = j
+				}
+			}
+			if entries[big].base <= 1 {
+				panic("cbt: more shares than buckets")
+			}
+			entries[big].base--
+			entries[i].base++
+		}
+	}
+	out := make([]quota, len(entries))
+	for i, e := range entries {
+		out[i] = quota{bank: e.bank, count: e.base}
+	}
+	return out
+}
+
+// rebuildRanges recomputes the run-length view from the dense map.
+func (t *Table) rebuildRanges() {
+	t.ranges = t.ranges[:0]
+	start := 0
+	for b := 1; b <= NumBuckets; b++ {
+		if b == NumBuckets || t.dense[b] != t.dense[start] {
+			t.ranges = append(t.ranges, Range{Start: start, End: b, Bank: int(t.dense[start])})
+			start = b
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package cbt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delta/internal/sim"
+)
+
+func TestBuildIncrementalFromNil(t *testing.T) {
+	tb := BuildIncremental(nil, []Share{{Bank: 3, Ways: 8}})
+	for b := 0; b < NumBuckets; b++ {
+		if tb.Bank(b) != 3 {
+			t.Fatalf("bucket %d -> %d", b, tb.Bank(b))
+		}
+	}
+}
+
+func TestBuildIncrementalQuotasMatchBuild(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRng(seed)
+		n := 1 + r.Intn(5)
+		shares := make([]Share, n)
+		for i := range shares {
+			shares[i] = Share{Bank: i, Ways: 1 + r.Intn(16)}
+		}
+		fresh := Build(shares)
+		incr := BuildIncremental(Uniform(0), shares)
+		for _, s := range shares {
+			if fresh.BucketCount(s.Bank) != incr.BucketCount(s.Bank) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildIncrementalMinimalMoves(t *testing.T) {
+	// Expanding A(16) by C(4) should move exactly C's quota, nothing else.
+	prev := Build([]Share{{Bank: 0, Ways: 16}})
+	next := BuildIncremental(prev, []Share{{Bank: 0, Ways: 16}, {Bank: 2, Ways: 4}})
+	moves := Diff(prev, next)
+	if len(moves) != next.BucketCount(2) {
+		t.Fatalf("%d moves for a %d-bucket grant", len(moves), next.BucketCount(2))
+	}
+	for _, m := range moves {
+		if m.From != 0 || m.To != 2 {
+			t.Fatalf("collateral move %+v", m)
+		}
+	}
+}
+
+func TestBuildIncrementalBeatsContiguousOnThirdBank(t *testing.T) {
+	shares2 := []Share{{Bank: 0, Ways: 16}, {Bank: 1, Ways: 4}}
+	shares3 := []Share{{Bank: 0, Ways: 16}, {Bank: 1, Ways: 4}, {Bank: 2, Ways: 4}}
+	cont2, cont3 := Build(shares2), Build(shares3)
+	contMoves := len(Diff(cont2, cont3))
+	incr2 := Build(shares2)
+	incr3 := BuildIncremental(incr2, shares3)
+	incrMoves := len(Diff(incr2, incr3))
+	if incrMoves >= contMoves {
+		t.Fatalf("incremental moved %d buckets, contiguous %d", incrMoves, contMoves)
+	}
+	// Incremental should move only (roughly) the new bank's quota.
+	if incrMoves > incr3.BucketCount(2)+2 {
+		t.Fatalf("incremental moved %d for a %d-bucket grant",
+			incrMoves, incr3.BucketCount(2))
+	}
+}
+
+func TestBuildIncrementalStability(t *testing.T) {
+	// Rebuilding with identical shares must move nothing.
+	shares := []Share{{Bank: 0, Ways: 12}, {Bank: 5, Ways: 4}, {Bank: 9, Ways: 8}}
+	a := BuildIncremental(Uniform(0), shares)
+	b := BuildIncremental(a, shares)
+	if len(Diff(a, b)) != 0 {
+		t.Fatal("identity rebuild moved buckets")
+	}
+}
+
+func TestBuildIncrementalRangesConsistent(t *testing.T) {
+	// The run-length Ranges view must cover the space and agree with dense.
+	tb := BuildIncremental(Uniform(7), []Share{{Bank: 7, Ways: 10}, {Bank: 2, Ways: 6}})
+	covered := 0
+	for _, r := range tb.Ranges() {
+		if r.End <= r.Start {
+			t.Fatalf("degenerate range %+v", r)
+		}
+		for b := r.Start; b < r.End; b++ {
+			if tb.Bank(b) != r.Bank {
+				t.Fatalf("range %+v disagrees with dense at %d", r, b)
+			}
+		}
+		covered += r.End - r.Start
+	}
+	if covered != NumBuckets {
+		t.Fatalf("ranges cover %d buckets", covered)
+	}
+}
+
+// Property: a random walk of share vectors keeps coverage exact and moves
+// bounded by the quota churn.
+func TestBuildIncrementalWalkProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRng(seed)
+		cur := Uniform(0)
+		shares := []Share{{Bank: 0, Ways: 16}}
+		for step := 0; step < 10; step++ {
+			// Mutate shares: add/remove/grow a bank.
+			switch r.Intn(3) {
+			case 0:
+				if len(shares) < 4 {
+					shares = append(shares, Share{Bank: len(shares), Ways: 4})
+				}
+			case 1:
+				if len(shares) > 1 {
+					shares = shares[:len(shares)-1]
+				}
+			case 2:
+				shares[r.Intn(len(shares))].Ways += 2
+			}
+			next := BuildIncremental(cur, shares)
+			count := 0
+			for _, s := range shares {
+				count += next.BucketCount(s.Bank)
+			}
+			if count != NumBuckets {
+				return false
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

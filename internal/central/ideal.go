@@ -1,0 +1,400 @@
+package central
+
+import (
+	"math"
+	"sort"
+
+	"delta/internal/cbt"
+	"delta/internal/chip"
+	"delta/internal/geom"
+	"delta/internal/sim"
+	"delta/internal/umon"
+)
+
+// Placement assigns allocations to banks: Assign[bank][app] is the number of
+// ways app owns in bank.
+type Placement struct {
+	Assign [][]int
+}
+
+// MinRemoteChunk is the smallest slice of a bank a remote application may
+// receive. A 1-2 way remote slice is a conflict trap: the CBT maps a
+// proportional share of the app's address space there, far more lines than
+// one or two ways per set can hold. DELTA sidesteps this by expanding in
+// interDeltaWays=4 steps; the ideal scheme, which shares DELTA's enforcement
+// mechanism, must quantize the same way.
+const MinRemoteChunk = 4
+
+// Place performs locality-aware placement of per-app allocations onto banks:
+// every app first claims capacity in its home bank, then the remaining
+// demands are satisfied greedily from the nearest banks with spare capacity
+// in chunks of at least MinRemoteChunk ways, larger demands first (they are
+// hardest to place close). Demand remnants below the chunk size return to
+// the home application of the bank holding the spare capacity. The
+// assignment is deterministic.
+func Place(alloc Alloc, topo *geom.Mesh, waysPerBank int) Placement {
+	n := len(alloc)
+	if n != topo.Tiles() {
+		panic("central: allocation length does not match the mesh")
+	}
+	assign := make([][]int, n)
+	capLeft := make([]int, n)
+	demand := make([]int, n)
+	for b := 0; b < n; b++ {
+		assign[b] = make([]int, n)
+		capLeft[b] = waysPerBank
+	}
+	// Pass 1: home-bank claims.
+	for i := 0; i < n; i++ {
+		h := alloc[i]
+		if h > waysPerBank {
+			h = waysPerBank
+		}
+		assign[i][i] = h
+		capLeft[i] -= h
+		demand[i] = alloc[i] - h
+	}
+	// Pass 2: remaining demand from nearest banks, largest demand first
+	// (ties: lower core ID, keeping the result deterministic).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return demand[order[a]] > demand[order[b]] })
+	for _, i := range order {
+		if demand[i] < MinRemoteChunk {
+			continue // too small to place remotely without a conflict trap
+		}
+		for _, b := range topo.NeighborsByDistance(i) {
+			if demand[i] < MinRemoteChunk {
+				break
+			}
+			if capLeft[b] < MinRemoteChunk {
+				continue
+			}
+			take := demand[i]
+			if take > capLeft[b] {
+				take = capLeft[b]
+			}
+			assign[b][i] += take
+			capLeft[b] -= take
+			demand[i] -= take
+		}
+	}
+	// Any capacity left over (caps bound total demand) returns to the home
+	// application so every way has an owner.
+	for b := 0; b < n; b++ {
+		assign[b][b] += capLeft[b]
+		capLeft[b] = 0
+	}
+	return Placement{Assign: assign}
+}
+
+// IdealConfig tunes the ideal centralized policy.
+type IdealConfig struct {
+	// Interval between reallocation epochs, in cycles (the paper studies
+	// 1 ms and 100 ms).
+	Interval uint64
+	// MinWays is the per-app floor (inclusion reserve), as in DELTA.
+	MinWays int
+	// MaxWays caps one app (0 = the chip's UMON limit).
+	MaxWays int
+	// UsePeekahead switches the allocator (identical allocations, used to
+	// validate and to time both).
+	UsePeekahead bool
+	// LocalityAware disables nearest-first placement when false (ablation:
+	// capacity is then placed round-robin irrespective of distance).
+	LocalityAware bool
+	// Smoothing blends each epoch's miss curve into an exponential moving
+	// average (weight of the new sample). Time-compressed runs have short,
+	// noisy UMON windows; smoothing restores the stability the paper's
+	// 1 ms windows have naturally. 0 defaults to 0.3; 1 disables smoothing.
+	Smoothing float64
+	// MinChange suppresses a chip-wide remap unless some application's
+	// allocation moved by at least this many ways (0 defaults to 2).
+	MinChange int
+	// BenefitGate suppresses a remap unless the new allocation's predicted
+	// chip-wide miss count improves on the current one by this fraction
+	// (0 defaults to 0.05). Without it, ties between symmetric applications
+	// rotate winners epoch after epoch, and each rotation is a chip-wide
+	// remap — pure invalidation churn with zero predicted benefit.
+	BenefitGate float64
+}
+
+// DefaultIdealConfig mirrors the paper's ideal centralized scheme at the
+// 1 ms interval (4 M cycles at 4 GHz).
+func DefaultIdealConfig() IdealConfig {
+	return IdealConfig{Interval: 4_000_000, MinWays: 4, LocalityAware: true}
+}
+
+// IdealStats counts the policy's activity.
+type IdealStats struct {
+	Epochs      uint64
+	Reallocs    uint64 // epochs where at least one app's allocation changed
+	InvalLines  uint64
+	CollectMsgs uint64 // monitor-collection + broadcast traffic (2N per epoch)
+}
+
+// Ideal is the zero-overhead centralized policy (chip.Policy). It reads all
+// UMON curves, runs Lookahead, places the result with locality awareness and
+// enforces it through the same CBT + way-mask machinery as DELTA — but the
+// allocation computation itself costs zero simulated time, making it the
+// upper bound a real Lookahead/Peekahead implementation cannot reach at
+// scale (Table VI).
+type Ideal struct {
+	cfg IdealConfig
+	c   *chip.Chip
+	n   int
+	w   int
+
+	tick    *sim.Ticker
+	alloc   Alloc
+	assign  [][]int // current placement
+	tables  []*cbt.Table
+	masks   [][]uint64 // [bank][app]
+	smooth  []MissCurve
+	history []allocStat
+
+	Stats IdealStats
+}
+
+type allocStat struct {
+	sum   float64
+	count uint64
+}
+
+// NewIdeal builds the policy.
+func NewIdeal(cfg IdealConfig) *Ideal {
+	if cfg.Interval == 0 {
+		panic("central: zero reallocation interval")
+	}
+	if cfg.MinWays < 1 {
+		panic("central: MinWays must be positive")
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = 0.3
+	}
+	if cfg.Smoothing < 0 || cfg.Smoothing > 1 {
+		panic("central: Smoothing out of (0,1]")
+	}
+	if cfg.MinChange == 0 {
+		cfg.MinChange = 2
+	}
+	if cfg.BenefitGate == 0 {
+		cfg.BenefitGate = 0.05
+	}
+	return &Ideal{cfg: cfg}
+}
+
+// Name implements chip.Policy.
+func (p *Ideal) Name() string { return "ideal-central" }
+
+// Attach implements chip.Policy with equal partitioning as the start state.
+func (p *Ideal) Attach(c *chip.Chip) {
+	p.c = c
+	p.n = c.Cores()
+	p.w = c.Ways()
+	if p.cfg.MaxWays == 0 {
+		p.cfg.MaxWays = c.Monitor(0).MaxWays()
+	}
+	p.tick = sim.NewTicker(p.cfg.Interval, p.cfg.Interval)
+	p.alloc = make(Alloc, p.n)
+	p.assign = make([][]int, p.n)
+	p.tables = make([]*cbt.Table, p.n)
+	p.masks = make([][]uint64, p.n)
+	p.history = make([]allocStat, p.n)
+	for i := 0; i < p.n; i++ {
+		p.alloc[i] = p.w
+		p.assign[i] = make([]int, p.n)
+		p.assign[i][i] = p.w
+		p.tables[i] = cbt.Uniform(i)
+		p.masks[i] = make([]uint64, p.n)
+	}
+	p.rebuildMasks()
+}
+
+// BankFor implements chip.Policy.
+func (p *Ideal) BankFor(core int, lineAddr uint64) int {
+	return p.tables[core].BankForLine(lineAddr, p.c.LLCSetBits())
+}
+
+// WayMask implements chip.Policy.
+func (p *Ideal) WayMask(core, bank int) uint64 { return p.masks[bank][core] }
+
+// Tick implements chip.Policy: a full chip-wide reallocation per interval.
+func (p *Ideal) Tick(now uint64) {
+	if p.tick.Due(now) == 0 {
+		return
+	}
+	p.Stats.Epochs++
+	// Collect miss curves chip-wide; a real implementation sends 2N
+	// messages (collect + broadcast), which we count as control traffic.
+	curves := make([]MissCurve, p.n)
+	if p.smooth == nil {
+		p.smooth = make([]MissCurve, p.n)
+	}
+	for i := 0; i < p.n; i++ {
+		c := p.c.Monitor(i).Epoch()
+		fresh := denseCurve(c, p.cfg.MaxWays)
+		if p.smooth[i] == nil {
+			p.smooth[i] = fresh
+		} else {
+			a := p.cfg.Smoothing
+			for w := range fresh {
+				p.smooth[i][w] = a*fresh[w] + (1-a)*p.smooth[i][w]
+			}
+		}
+		curves[i] = p.smooth[i]
+		p.c.SendControl(i, 0, func(uint64) {}) // stats -> center
+		p.c.SendControl(0, i, func(uint64) {}) // decision -> tile
+		p.Stats.CollectMsgs += 2
+		p.c.CoreInterval(i) // keep interval windows rolling
+	}
+	total := p.n * p.w
+	var next Alloc
+	if p.cfg.UsePeekahead {
+		next = Peekahead(curves, total, p.cfg.MinWays, p.cfg.MaxWays)
+	} else {
+		next = Lookahead(curves, total, p.cfg.MinWays, p.cfg.MaxWays)
+	}
+	maxDelta := 0
+	for i := range next {
+		d := next[i] - p.alloc[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+		p.history[i].sum += float64(next[i])
+		p.history[i].count++
+	}
+	if maxDelta < p.cfg.MinChange {
+		return
+	}
+	// Benefit gate: remapping must pay for itself in predicted misses.
+	curMiss, nextMiss := 0.0, 0.0
+	for i := range next {
+		curMiss += curves[i][clamp(p.alloc[i], len(curves[i])-1)]
+		nextMiss += curves[i][clamp(next[i], len(curves[i])-1)]
+	}
+	if curMiss > 0 && (curMiss-nextMiss)/curMiss < p.cfg.BenefitGate {
+		return
+	}
+	p.Stats.Reallocs++
+	p.alloc = next
+	var pl Placement
+	if p.cfg.LocalityAware {
+		pl = Place(next, p.c.Topo, p.w)
+	} else {
+		pl = placeRoundRobin(next, p.n, p.w)
+	}
+	p.applyPlacement(pl)
+}
+
+// applyPlacement installs a placement: way masks, CBTs and the bulk
+// invalidations for every bucket that changed banks.
+func (p *Ideal) applyPlacement(pl Placement) {
+	p.assign = pl.Assign
+	p.rebuildMasks()
+	for i := 0; i < p.n; i++ {
+		shares := make([]cbt.Share, 0, 4)
+		if pl.Assign[i][i] > 0 {
+			shares = append(shares, cbt.Share{Bank: i, Ways: pl.Assign[i][i]})
+		}
+		// Remaining banks nearest-first so the range layout is stable.
+		for _, b := range p.c.Topo.NeighborsByDistance(i) {
+			if pl.Assign[b][i] > 0 {
+				shares = append(shares, cbt.Share{Bank: b, Ways: pl.Assign[b][i]})
+			}
+		}
+		if len(shares) == 0 {
+			shares = append(shares, cbt.Share{Bank: i, Ways: 1})
+		}
+		next := cbt.BuildIncremental(p.tables[i], shares)
+		moves := cbt.Diff(p.tables[i], next)
+		p.tables[i] = next
+		for from, buckets := range cbt.MovedFrom(moves) {
+			set := make(map[int]bool, len(buckets))
+			for _, bk := range buckets {
+				set[bk] = true
+			}
+			p.Stats.InvalLines += uint64(p.c.InvalidateOwnerBuckets(i, from, set))
+		}
+	}
+}
+
+// rebuildMasks derives way bitmasks from the assignment matrix.
+func (p *Ideal) rebuildMasks() {
+	for b := 0; b < p.n; b++ {
+		way := 0
+		for app := 0; app < p.n; app++ {
+			p.masks[b][app] = 0
+		}
+		for app := 0; app < p.n; app++ {
+			for k := 0; k < p.assign[b][app] && way < p.w; k++ {
+				p.masks[b][app] |= 1 << uint(way)
+				way++
+			}
+		}
+	}
+}
+
+// AvgWays returns the mean allocation the policy granted core across epochs
+// (Fig. 11's over-allocation analysis).
+func (p *Ideal) AvgWays(core int) float64 {
+	h := p.history[core]
+	if h.count == 0 {
+		return float64(p.w)
+	}
+	return h.sum / float64(h.count)
+}
+
+// Alloc returns the current allocation vector (copy).
+func (p *Ideal) Alloc() Alloc {
+	out := make(Alloc, p.n)
+	copy(out, p.alloc)
+	return out
+}
+
+// denseCurve samples a umon curve into a dense MissCurve.
+func denseCurve(c umon.Curve, maxWays int) MissCurve {
+	out := make(MissCurve, maxWays+1)
+	prev := math.Inf(1)
+	for w := 0; w <= maxWays; w++ {
+		v := c.Misses(w)
+		if v > prev {
+			v = prev // enforce monotonicity against sampling noise
+		}
+		out[w] = v
+		prev = v
+	}
+	return out
+}
+
+// placeRoundRobin ignores locality: demands are satisfied scanning banks in
+// ID order. Used by the locality ablation.
+func placeRoundRobin(alloc Alloc, n, waysPerBank int) Placement {
+	assign := make([][]int, n)
+	capLeft := make([]int, n)
+	for b := 0; b < n; b++ {
+		assign[b] = make([]int, n)
+		capLeft[b] = waysPerBank
+	}
+	for i := 0; i < n; i++ {
+		need := alloc[i]
+		for b := 0; b < n && need > 0; b++ {
+			take := need
+			if take > capLeft[b] {
+				take = capLeft[b]
+			}
+			assign[b][i] += take
+			capLeft[b] -= take
+			need -= take
+		}
+	}
+	for b := 0; b < n; b++ {
+		assign[b][b] += capLeft[b]
+	}
+	return Placement{Assign: assign}
+}

@@ -1,0 +1,65 @@
+package central
+
+import (
+	"time"
+
+	"delta/internal/sim"
+)
+
+// SyntheticCurves fabricates n miss curves with the mixture of shapes the
+// allocators see in practice — working-set knees at varying positions,
+// streaming (linear) tails and flat insensitive curves — for the Table VI
+// timing experiment.
+func SyntheticCurves(n, maxWays int, seed uint64) []MissCurve {
+	r := sim.NewRng(seed)
+	curves := make([]MissCurve, n)
+	for i := range curves {
+		c := make(MissCurve, maxWays+1)
+		base := 1000 + r.Float64()*9000
+		knee := 1 + r.Intn(maxWays)
+		tail := r.Float64() * 0.3
+		for w := 0; w <= maxWays; w++ {
+			v := base * tail * float64(maxWays-w) / float64(maxWays)
+			if w < knee {
+				v += base * (1 - tail) * float64(knee-w) / float64(knee)
+			}
+			c[w] = v
+		}
+		curves[i] = c
+	}
+	return curves
+}
+
+// TimeResult is one allocator timing sample.
+type TimeResult struct {
+	Cores      int
+	PerCall    time.Duration
+	Iterations int
+}
+
+// TimeAllocator measures the wall-clock cost of one allocator invocation for
+// the given core count with waysPerCore ways per core, averaging over enough
+// iterations to be stable. The allocator is invoked exactly as the ideal
+// centralized policy would per reconfiguration.
+func TimeAllocator(fn func([]MissCurve, int, int, int) Alloc,
+	cores, waysPerCore int, seed uint64) TimeResult {
+	maxWays := cores * waysPerCore
+	curves := SyntheticCurves(cores, maxWays, seed)
+	total := cores * waysPerCore
+	// Warm up once, then time.
+	fn(curves, total, 1, maxWays)
+	iters := 1
+	var elapsed time.Duration
+	for {
+		start := time.Now()
+		for k := 0; k < iters; k++ {
+			fn(curves, total, 1, maxWays)
+		}
+		elapsed = time.Since(start)
+		if elapsed > 50*time.Millisecond || iters >= 1<<16 {
+			break
+		}
+		iters *= 2
+	}
+	return TimeResult{Cores: cores, PerCall: elapsed / time.Duration(iters), Iterations: iters}
+}

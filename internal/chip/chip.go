@@ -1,0 +1,642 @@
+// Package chip assembles the full tiled CMP: per-tile cores, private L1/L2
+// caches, distributed LLC banks, the mesh interconnect, memory controllers,
+// UMON monitors and the partitioning policy. It implements the loosely
+// synchronized quantum run loop (cores advance private clocks inside a global
+// quantum and exchange state at quantum boundaries, as in Sniper) and the
+// shared services policies rely on: control-message delivery over the NoC,
+// bulk invalidation of remapped buckets, idle detection, and per-core
+// statistics.
+package chip
+
+import (
+	"fmt"
+
+	"delta/internal/cache"
+	"delta/internal/cbt"
+	"delta/internal/coherence"
+	"delta/internal/cpu"
+	"delta/internal/geom"
+	"delta/internal/mem"
+	"delta/internal/noc"
+	"delta/internal/sim"
+	"delta/internal/trace"
+	"delta/internal/umon"
+)
+
+// Policy is a cache-partitioning scheme: it owns the mapping from (core,
+// address) to LLC bank and the per-bank insertion way masks, and it runs its
+// allocation algorithm from Tick, which the chip calls once per quantum.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Attach wires the policy to a chip before the run starts.
+	Attach(c *Chip)
+	// Tick runs periodic work; now is the global quantum boundary.
+	Tick(now uint64)
+	// BankFor maps a private-page line address from core to an LLC bank.
+	BankFor(core int, lineAddr uint64) int
+	// WayMask returns the insertion mask for core's partition in bank; 0
+	// means the core owns no capacity there (the chip falls back to the
+	// full mask and counts the event, which only happens in transients).
+	WayMask(core, bank int) uint64
+}
+
+// Latencies holds the fixed access latencies from Table II, in cycles.
+type Latencies struct {
+	L1Hit   uint64 // 1
+	L2Tag   uint64 // 2
+	L2Data  uint64 // 6
+	LLCTag  uint64 // 2
+	LLCData uint64 // 9
+}
+
+// DefaultLatencies matches Table II.
+func DefaultLatencies() Latencies {
+	return Latencies{L1Hit: 1, L2Tag: 2, L2Data: 6, LLCTag: 2, LLCData: 9}
+}
+
+// Config describes a chip.
+type Config struct {
+	Cores int
+
+	L1Bytes, L1Ways   int
+	L2Bytes, L2Ways   int
+	LLCBytes, LLCWays int // per bank
+
+	Lat Latencies
+	CPU cpu.Config
+	NoC noc.Config
+	Mem mem.Config
+
+	// Quantum is the global synchronization interval in cycles.
+	Quantum uint64
+	// UmonMaxWays caps the allocation size monitors evaluate; 0 derives the
+	// paper's defaults (192 ways / 6 MB at 16 cores, 768 / 24 MB at 64).
+	UmonMaxWays int
+	// UmonGranularity is the coarse-grained counter width (4 in the paper).
+	UmonGranularity int
+	// UmonSampleEvery is the dynamic set-sampling ratio (32 in the paper).
+	// Time-compressed runs use denser sampling (e.g. 4) so the shorter
+	// monitoring windows still see enough traffic; the hardware-overhead
+	// numbers in the docs always assume the paper's 32.
+	UmonSampleEvery int
+	// Seed drives all randomized behaviour.
+	Seed uint64
+	// Multithreaded enables the page classifier: shared pages revert to
+	// S-NUCA mapping (Section II-E).
+	Multithreaded bool
+}
+
+// DefaultConfig returns the paper's Table II configuration for the given
+// core count (16 or 64; any square count works).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:           cores,
+		L1Bytes:         32 * 1024,
+		L1Ways:          8,
+		L2Bytes:         128 * 1024,
+		L2Ways:          8,
+		LLCBytes:        512 * 1024,
+		LLCWays:         16,
+		Lat:             DefaultLatencies(),
+		CPU:             cpu.DefaultConfig(),
+		NoC:             noc.DefaultConfig(),
+		Mem:             mem.DefaultConfig(cores),
+		Quantum:         1000,
+		UmonGranularity: 4,
+		UmonSampleEvery: 32,
+		Seed:            1,
+	}
+}
+
+// Tile groups one tile's components.
+type Tile struct {
+	Core *cpu.Core
+	L1   *cache.Cache
+	L2   *cache.Cache
+	LLC  *cache.Cache
+	Mon  *umon.Monitor
+
+	gen  trace.Generator
+	base uint64
+
+	// Per-tile counters.
+	LLCAccesses   uint64
+	LLCRemoteHits uint64
+	LLCLocalHits  uint64
+	MemFetches    uint64
+
+	// Measurement window: the region-of-interest starts when the core
+	// finishes its warm-up instructions and ends when it retires the
+	// measured budget on top of that (Section III-C's fast-forward +
+	// detailed-window methodology).
+	warmed      bool
+	startCycle  uint64
+	startInstr  uint64
+	startLLCAcc uint64
+	startMemF   uint64
+	doneCycle   uint64
+	doneInstr   uint64
+	doneLLCAcc  uint64
+	doneMemF    uint64
+
+	lastLLCAccesses uint64
+	idleStreak      int
+}
+
+// Stats aggregates chip-level counters.
+type Stats struct {
+	InvalLines     uint64 // lines dropped by policy-driven bulk invalidation
+	InvalWalks     uint64
+	MaskFallbacks  uint64 // inserts that found an empty way mask
+	SharedInserts  uint64 // multithreaded: lines of shared pages inserted
+	PageReclassify uint64
+}
+
+// Chip is a complete simulated CMP.
+type Chip struct {
+	Cfg   Config
+	Topo  *geom.Mesh
+	Net   *noc.Mesh
+	Mem   *mem.System
+	Tiles []*Tile
+
+	policy      Policy
+	events      *sim.EventQueue
+	now         uint64
+	llcSetBits  int
+	bankBits    int // log2(cores), the S-NUCA interleave field width
+	interleaved bool
+	classifier  *coherence.Classifier
+
+	Stats Stats
+}
+
+// New assembles a chip with the given policy. The policy's Attach hook runs
+// before New returns.
+func New(cfg Config, p Policy) *Chip {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("chip: invalid core count %d", cfg.Cores))
+	}
+	if cfg.Cores&(cfg.Cores-1) != 0 {
+		// Line-interleaved S-NUCA needs a power-of-two bank count (1, 4,
+		// 16 and 64 are the square meshes that qualify).
+		panic(fmt.Sprintf("chip: core count %d is not a power of two", cfg.Cores))
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 1000
+	}
+	if cfg.UmonGranularity == 0 {
+		cfg.UmonGranularity = 4
+	}
+	if cfg.UmonSampleEvery == 0 {
+		cfg.UmonSampleEvery = 32
+	}
+	if cfg.UmonMaxWays == 0 {
+		// Paper: per-app allocations up to 6 MB (16 cores) / 24 MB (64).
+		waySize := cfg.LLCBytes / cfg.LLCWays
+		capBytes := 6 * 1024 * 1024
+		if cfg.Cores > 16 {
+			capBytes = 24 * 1024 * 1024
+		}
+		total := cfg.Cores * cfg.LLCWays
+		cfg.UmonMaxWays = capBytes / waySize
+		if cfg.UmonMaxWays > total {
+			cfg.UmonMaxWays = total
+		}
+	}
+	topo := geom.SquareMesh(cfg.Cores)
+	c := &Chip{
+		Cfg:    cfg,
+		Topo:   topo,
+		Net:    noc.New(topo, cfg.NoC),
+		Mem:    mem.New(topo, cfg.Mem),
+		events: sim.NewEventQueue(),
+	}
+	llcSets := cfg.LLCBytes / cache.LineBytes / cfg.LLCWays
+	c.llcSetBits = log2(llcSets)
+	c.bankBits = log2(cfg.Cores)
+	if cfg.Multithreaded {
+		c.classifier = coherence.NewClassifier()
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		t := &Tile{
+			Core: cpu.New(cfg.CPU),
+			L1:   cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways}),
+			L2:   cache.New(cache.Config{SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways}),
+			LLC: cache.New(cache.Config{
+				SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays,
+				TrackOwners: true, Partitions: cfg.Cores,
+			}),
+			Mon: umon.New(umon.Config{
+				MaxWays:     cfg.UmonMaxWays,
+				Granularity: cfg.UmonGranularity,
+				SetBits:     c.llcSetBits,
+				SampleEvery: cfg.UmonSampleEvery,
+			}),
+			base: uint64(i) << 40,
+		}
+		// Inclusive hierarchy: an LLC eviction back-invalidates every
+		// private copy; an L2 eviction back-invalidates the L1.
+		ti := t
+		bankIdx := i
+		t.LLC.OnEvict = func(ln cache.Line) { c.backInvalidate(bankIdx, ln) }
+		t.L2.OnEvict = func(ln cache.Line) { ti.L1.InvalidateLine(ln.Addr) }
+		c.Tiles = append(c.Tiles, t)
+	}
+	c.policy = p
+	p.Attach(c)
+	if ip, ok := p.(interleavedPolicy); ok {
+		c.interleaved = ip.LineInterleaved()
+	}
+	return c
+}
+
+// interleavedPolicy marks policies whose BankFor consumes the low line bits
+// (the S-NUCA baseline): the chip must then index bank sets above the bank
+// field, the classic line-interleaved NUCA layout.
+type interleavedPolicy interface {
+	LineInterleaved() bool
+}
+
+func log2(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	if 1<<n != v {
+		panic(fmt.Sprintf("chip: %d is not a power of two", v))
+	}
+	return n
+}
+
+// --- accessors used by policies -------------------------------------------
+
+// Cores returns the core/bank/tile count.
+func (c *Chip) Cores() int { return c.Cfg.Cores }
+
+// Ways returns the per-bank associativity.
+func (c *Chip) Ways() int { return c.Cfg.LLCWays }
+
+// LLCSetBits returns log2 of a bank's set count (the CBT bucket offset).
+func (c *Chip) LLCSetBits() int { return c.llcSetBits }
+
+// Now returns the global quantum clock.
+func (c *Chip) Now() uint64 { return c.now }
+
+// Policy returns the attached policy.
+func (c *Chip) Policy() Policy { return c.policy }
+
+// Monitor returns core's UMON.
+func (c *Chip) Monitor(core int) *umon.Monitor { return c.Tiles[core].Mon }
+
+// CoreInterval snapshots a core's interval counters (see cpu.TakeInterval).
+func (c *Chip) CoreInterval(core int) cpu.Interval {
+	return c.Tiles[core].Core.TakeInterval()
+}
+
+// SendControl delivers fn at the destination tile after the NoC latency for
+// a control message from src to dst, counting the message.
+func (c *Chip) SendControl(src, dst int, fn func(now uint64)) {
+	lat := c.Net.Latency(src, dst, noc.ClassControl)
+	c.events.Schedule(c.now+lat, fn)
+}
+
+// InvalidateOwnerBuckets removes, from the given bank, every line owned by
+// owner whose CBT bucket is in buckets, back-invalidating private copies.
+// It returns the number of LLC lines invalidated. This is the hardware bulk
+// invalidation unit of Section II-C3.
+func (c *Chip) InvalidateOwnerBuckets(owner, bank int, buckets map[int]bool) int {
+	if len(buckets) == 0 {
+		return 0
+	}
+	setBits := c.llcSetBits
+	n := c.Tiles[bank].LLC.InvalidateMatching(func(ln cache.Line) bool {
+		return int(ln.Owner) == owner && buckets[cbt.ExtractBucket(ln.Addr, setBits)]
+	})
+	c.Stats.InvalLines += uint64(n)
+	c.Stats.InvalWalks++
+	return n
+}
+
+// InvalidatePageEverywhere removes a page's lines from every LLC bank; used
+// when a page is reclassified shared (Section II-E).
+func (c *Chip) InvalidatePageEverywhere(page uint64) int {
+	total := 0
+	for _, t := range c.Tiles {
+		total += t.LLC.InvalidateMatching(func(ln cache.Line) bool {
+			return coherence.PageOf(ln.Addr) == page
+		})
+	}
+	c.Stats.InvalLines += uint64(total)
+	return total
+}
+
+// IdleCore reports whether the core issued no LLC traffic in the last
+// IdleWindow quanta; DELTA uses it to hand over whole banks immediately.
+func (c *Chip) IdleCore(core int) bool {
+	t := c.Tiles[core]
+	return t.gen == nil || t.idleStreak >= 4
+}
+
+// SnucaBank returns the static line-interleaved bank mapping used by the
+// S-NUCA baseline and by shared pages in multithreaded mode (Table II's
+// "line-interleaved LLC addresses"). Lines routed this way are indexed
+// inside the bank with the bits *above* the bank field (SnucaSetIdx), so the
+// footprint spreads deterministically evenly across every bank and set.
+func (c *Chip) SnucaBank(lineAddr uint64) int {
+	return int(lineAddr & uint64(c.Cfg.Cores-1))
+}
+
+// SnucaSetIdx computes the in-bank set index for a line-interleaved access.
+func (c *Chip) SnucaSetIdx(t *Tile, lineAddr uint64) int {
+	return t.LLC.SetIndexShifted(lineAddr, c.bankBits)
+}
+
+// --- workload wiring --------------------------------------------------------
+
+// SetWorkload assigns core its access generator. When private is true the
+// generator's addresses are offset into a per-core address space (the
+// multi-programmed setup); multithreaded workloads pass private=false and
+// share one address space.
+func (c *Chip) SetWorkload(core int, gen trace.Generator, private bool) {
+	t := c.Tiles[core]
+	t.gen = gen
+	if private {
+		// Per-core address spaces with a pseudo-random sub-offset: physical
+		// mappings are never power-of-two aligned across processes, and a
+		// perfectly aligned layout would pile every application onto the
+		// same sets under line-interleaved indexing.
+		r := sim.NewStream(c.Cfg.Seed, uint64(core)+0x51)
+		t.base = uint64(core+1)<<40 + r.Uint64n(1<<18)*64
+	} else {
+		t.base = 0
+	}
+}
+
+// --- run loop ----------------------------------------------------------------
+
+// Run advances the chip until every core with a workload has first retired
+// warmup instructions (caches and allocations settle; statistics excluded)
+// and then a measured budget on top, mirroring Section III-C's fast-forward
+// plus detailed-window methodology. Cores that finish early keep running so
+// pressure on shared resources stays realistic, but their measurement window
+// is latched at the crossing.
+func (c *Chip) Run(warmup, budget uint64) {
+	if budget == 0 {
+		panic("chip: zero instruction budget")
+	}
+	active := 0
+	for _, t := range c.Tiles {
+		if t.gen != nil {
+			active++
+		}
+	}
+	if active == 0 {
+		panic("chip: no workloads assigned")
+	}
+	for {
+		qEnd := c.now + c.Cfg.Quantum
+		remaining := 0
+		for i, t := range c.Tiles {
+			if t.gen == nil {
+				continue
+			}
+			c.advanceCore(i, qEnd, warmup, budget)
+			if t.doneCycle == 0 {
+				remaining++
+			}
+		}
+		c.now = qEnd
+		c.events.RunUntil(c.now)
+		c.policy.Tick(c.now)
+		c.quantumBookkeeping()
+		if remaining == 0 {
+			break
+		}
+	}
+	c.events.Drain()
+}
+
+// advanceCore issues accesses until the core's local clock passes qEnd.
+func (c *Chip) advanceCore(i int, qEnd, warmup, budget uint64) {
+	t := c.Tiles[i]
+	core := t.Core
+	for core.Cycle() < qEnd {
+		acc := t.gen.Next()
+		core.AdvanceNonMem(acc.Gap)
+		lat := c.access(i, t.base+acc.Line, acc.Write)
+		core.Memory(lat)
+		if !t.warmed && core.Instructions() >= warmup {
+			core.Drain()
+			t.warmed = true
+			t.startCycle = core.Cycle()
+			t.startInstr = core.Instructions()
+			t.startLLCAcc = t.LLCAccesses
+			t.startMemF = t.MemFetches
+		}
+		if t.warmed && t.doneCycle == 0 && core.Instructions() >= t.startInstr+budget {
+			core.Drain()
+			t.doneCycle = core.Cycle()
+			t.doneInstr = core.Instructions()
+			t.doneLLCAcc = t.LLCAccesses
+			t.doneMemF = t.MemFetches
+		}
+	}
+}
+
+// idle tracking: quanta in a row with no LLC traffic.
+func (c *Chip) quantumBookkeeping() {
+	for _, t := range c.Tiles {
+		if t.LLCAccesses == t.lastLLCAccesses {
+			t.idleStreak++
+		} else {
+			t.idleStreak = 0
+		}
+		t.lastLLCAccesses = t.LLCAccesses
+	}
+}
+
+// access performs one memory reference for core i and returns its latency.
+func (c *Chip) access(i int, line uint64, write bool) uint64 {
+	t := c.Tiles[i]
+	// L1.
+	if _, hit := t.L1.Lookup(line, write); hit {
+		return c.Cfg.Lat.L1Hit
+	}
+	// L2.
+	if _, hit := t.L2.Lookup(line, write); hit {
+		lat := c.Cfg.Lat.L1Hit + c.Cfg.Lat.L2Tag + c.Cfg.Lat.L2Data
+		t.L1.Insert(line, cache.NoOwner, write, t.L1.AllMask())
+		return lat
+	}
+	// L2 miss: the UMON observes the LLC-bound stream.
+	t.Mon.Access(line)
+	t.LLCAccesses++
+
+	// Bank selection: shared pages (multithreaded mode) use S-NUCA; private
+	// pages follow the policy's mapping. Line-interleaved routes index the
+	// bank with the bits above the bank field.
+	bank, sharedLine := c.routeLine(i, line)
+	bt := c.Tiles[bank]
+	setIdx := bt.LLC.SetIndex(line)
+	if sharedLine || c.interleaved {
+		setIdx = c.SnucaSetIdx(bt, line)
+	}
+
+	lat := c.Cfg.Lat.L1Hit + c.Cfg.Lat.L2Tag
+	lat += c.Net.RoundTrip(i, bank, noc.ClassData)
+
+	if _, hit := bt.LLC.LookupIdx(setIdx, line, write); hit {
+		lat += c.Cfg.Lat.LLCTag + c.Cfg.Lat.LLCData
+		if bank == i {
+			t.LLCLocalHits++
+		} else {
+			t.LLCRemoteHits++
+		}
+		c.fillPrivate(t, line, write)
+		c.markSharer(bt, setIdx, line, i)
+		return lat
+	}
+	// LLC miss: fetch from memory through the bank.
+	lat += c.Cfg.Lat.LLCTag
+	memLat, mcuTile := c.Mem.Access(line, t.Core.Cycle()+lat)
+	lat += c.Net.RoundTrip(bank, mcuTile, noc.ClassData)
+	lat += memLat
+	t.MemFetches++
+
+	mask := c.insertMask(i, bank, sharedLine)
+	owner := i
+	if sharedLine {
+		owner = cache.NoOwner
+		c.Stats.SharedInserts++
+	}
+	bt.LLC.InsertIdx(setIdx, line, owner, write, mask)
+	c.markSharer(bt, setIdx, line, i)
+	c.fillPrivate(t, line, write)
+	return lat
+}
+
+// routeLine picks the LLC bank for a line accessed by core i.
+func (c *Chip) routeLine(i int, line uint64) (bank int, shared bool) {
+	if c.classifier != nil {
+		cls, reclassified := c.classifier.Access(line, i)
+		if reclassified {
+			c.Stats.PageReclassify++
+			c.InvalidatePageEverywhere(coherence.PageOf(line))
+		}
+		if cls == coherence.ClassShared {
+			return c.SnucaBank(line), true
+		}
+	}
+	return c.policy.BankFor(i, line), false
+}
+
+// insertMask resolves the way mask for an insertion.
+func (c *Chip) insertMask(core, bank int, shared bool) uint64 {
+	all := c.Tiles[bank].LLC.AllMask()
+	if shared {
+		return all
+	}
+	mask := c.policy.WayMask(core, bank)
+	if mask == 0 {
+		c.Stats.MaskFallbacks++
+		return all
+	}
+	return mask & all
+}
+
+// fillPrivate installs the line into the requesting core's L2 and L1.
+func (c *Chip) fillPrivate(t *Tile, line uint64, write bool) {
+	t.L2.Insert(line, cache.NoOwner, write, t.L2.AllMask())
+	t.L1.Insert(line, cache.NoOwner, write, t.L1.AllMask())
+}
+
+// markSharer records core in the LLC line's directory bits.
+func (c *Chip) markSharer(bt *Tile, setIdx int, line uint64, core int) {
+	if ln := bt.LLC.GetIdx(setIdx, line); ln != nil && core < 64 {
+		ln.Sharers |= uint64(1) << uint(core)
+	}
+}
+
+// backInvalidate enforces inclusion: when an LLC line leaves bank, every
+// private copy recorded in the directory is dropped, with coherence messages
+// counted.
+func (c *Chip) backInvalidate(bank int, ln cache.Line) {
+	if ln.Sharers == 0 {
+		return
+	}
+	for s := ln.Sharers; s != 0; s &= s - 1 {
+		core := trailing(s)
+		if core >= len(c.Tiles) {
+			break
+		}
+		t := c.Tiles[core]
+		if _, ok := t.L2.InvalidateLine(ln.Addr); ok {
+			c.Net.Latency(bank, core, noc.ClassCoherence)
+		}
+		t.L1.InvalidateLine(ln.Addr)
+	}
+}
+
+func trailing(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// --- results -----------------------------------------------------------------
+
+// CoreResult is one core's measured performance.
+type CoreResult struct {
+	Core         int
+	Instructions uint64
+	Cycles       uint64 // cycles to retire the instruction budget
+	IPC          float64
+	MPKI         float64 // LLC-bound misses (L2 misses) per kilo-instruction
+	MemMPKI      float64 // memory fetches per kilo-instruction
+	LocalHitFrac float64 // fraction of LLC hits served by the home bank
+	MLP          float64
+}
+
+// Results returns per-core results after Run. Cores without workloads are
+// omitted.
+func (c *Chip) Results() []CoreResult {
+	var out []CoreResult
+	for i, t := range c.Tiles {
+		if t.gen == nil {
+			continue
+		}
+		endCycle, endInstr := t.doneCycle, t.doneInstr
+		endLLC, endMemF := t.doneLLCAcc, t.doneMemF
+		if endCycle == 0 {
+			endCycle = t.Core.Cycle()
+			endInstr = t.Core.Instructions()
+			endLLC = t.LLCAccesses
+			endMemF = t.MemFetches
+		}
+		instr := endInstr - t.startInstr
+		cycles := endCycle - t.startCycle
+		r := CoreResult{
+			Core:         i,
+			Instructions: instr,
+			Cycles:       cycles,
+			MLP:          t.Core.MLP(),
+		}
+		if cycles > 0 {
+			r.IPC = float64(instr) / float64(cycles)
+		}
+		if instr > 0 {
+			r.MPKI = float64(endLLC-t.startLLCAcc) / float64(instr) * 1000
+			r.MemMPKI = float64(endMemF-t.startMemF) / float64(instr) * 1000
+		}
+		if hits := t.LLCLocalHits + t.LLCRemoteHits; hits > 0 {
+			r.LocalHitFrac = float64(t.LLCLocalHits) / float64(hits)
+		}
+		out = append(out, r)
+	}
+	return out
+}

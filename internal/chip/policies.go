@@ -1,0 +1,56 @@
+package chip
+
+// Snuca is the unpartitioned static-NUCA baseline: line addresses interleave
+// across all banks and every core may insert into every way. It maximizes
+// effective capacity but exposes applications to interference and to the
+// full on-chip distance distribution.
+type Snuca struct {
+	c *Chip
+}
+
+// NewSnuca returns the baseline policy.
+func NewSnuca() *Snuca { return &Snuca{} }
+
+// Name implements Policy.
+func (p *Snuca) Name() string { return "snuca" }
+
+// Attach implements Policy.
+func (p *Snuca) Attach(c *Chip) { p.c = c }
+
+// Tick implements Policy (no periodic work).
+func (p *Snuca) Tick(uint64) {}
+
+// BankFor implements Policy with line interleaving.
+func (p *Snuca) BankFor(_ int, lineAddr uint64) int { return p.c.SnucaBank(lineAddr) }
+
+// WayMask implements Policy: unrestricted insertion.
+func (p *Snuca) WayMask(_, bank int) uint64 { return p.c.Tiles[bank].LLC.AllMask() }
+
+// LineInterleaved tells the chip to index bank sets above the bank field.
+func (p *Snuca) LineInterleaved() bool { return true }
+
+// Private is the equal-static-partitioning baseline: each core's data lives
+// only in its home bank (one bank = one private LLC slice). It gives perfect
+// isolation and locality but cannot give spare capacity to demanding
+// applications, which is why the paper reports it underperforming DELTA.
+type Private struct {
+	c *Chip
+}
+
+// NewPrivate returns the baseline policy.
+func NewPrivate() *Private { return &Private{} }
+
+// Name implements Policy.
+func (p *Private) Name() string { return "private" }
+
+// Attach implements Policy.
+func (p *Private) Attach(c *Chip) { p.c = c }
+
+// Tick implements Policy (no periodic work).
+func (p *Private) Tick(uint64) {}
+
+// BankFor implements Policy: always the home bank.
+func (p *Private) BankFor(core int, _ uint64) int { return core }
+
+// WayMask implements Policy: full ownership of the home bank.
+func (p *Private) WayMask(_, bank int) uint64 { return p.c.Tiles[bank].LLC.AllMask() }

@@ -1,0 +1,90 @@
+package chip
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BankReport summarizes one LLC bank's state at the end of a run.
+type BankReport struct {
+	Bank       int
+	ValidLines int
+	Capacity   int
+	// OwnerLines maps partition -> resident lines (partitions with zero
+	// lines omitted).
+	OwnerLines map[int]int
+	HitRate    float64
+	Evictions  uint64
+	Invals     uint64
+}
+
+// BankReports returns per-bank occupancy and activity, the data behind the
+// delta-trace utilization dump.
+func (c *Chip) BankReports() []BankReport {
+	out := make([]BankReport, 0, len(c.Tiles))
+	for b, t := range c.Tiles {
+		r := BankReport{
+			Bank:       b,
+			ValidLines: t.LLC.ValidLines(),
+			Capacity:   t.LLC.Sets * t.LLC.Ways,
+			OwnerLines: map[int]int{},
+			Evictions:  t.LLC.Stats.Evictions,
+			Invals:     t.LLC.Stats.Invals,
+		}
+		for owner := 0; owner < c.Cfg.Cores; owner++ {
+			if n := t.LLC.Occupancy(owner); n > 0 {
+				r.OwnerLines[owner] = int(n)
+			}
+		}
+		if t.LLC.Stats.Accesses > 0 {
+			r.HitRate = float64(t.LLC.Stats.Hits) / float64(t.LLC.Stats.Accesses)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// UtilizationString renders a compact occupancy map: one row per bank with
+// its fill ratio, hit rate, and the partitions resident in it.
+func (c *Chip) UtilizationString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LLC utilization (%d banks x %d KB):\n",
+		c.Cfg.Cores, c.Cfg.LLCBytes/1024)
+	for _, r := range c.BankReports() {
+		fill := float64(r.ValidLines) / float64(r.Capacity)
+		fmt.Fprintf(&b, "  bank %2d  fill %3.0f%%  hit %5.1f%%  owners:",
+			r.Bank, fill*100, r.HitRate*100)
+		// Owners in partition order for determinism.
+		for owner := 0; owner < c.Cfg.Cores; owner++ {
+			if n, ok := r.OwnerLines[owner]; ok {
+				fmt.Fprintf(&b, " %d:%d", owner, n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TrafficSummary aggregates end-to-end counters for reports.
+type TrafficSummary struct {
+	LLCAccesses   uint64
+	MemFetches    uint64
+	LocalHits     uint64
+	RemoteHits    uint64
+	AvgQueueDelay float64
+	ControlShare  float64
+}
+
+// Traffic returns the chip-wide traffic summary.
+func (c *Chip) Traffic() TrafficSummary {
+	var s TrafficSummary
+	for _, t := range c.Tiles {
+		s.LLCAccesses += t.LLCAccesses
+		s.MemFetches += t.MemFetches
+		s.LocalHits += t.LLCLocalHits
+		s.RemoteHits += t.LLCRemoteHits
+	}
+	s.AvgQueueDelay = c.Mem.AvgQueueDelay()
+	s.ControlShare = c.Net.Stats.ControlFraction()
+	return s
+}

@@ -1,0 +1,113 @@
+// Package coherence provides the page-granular private/shared classification
+// DELTA uses to support multithreaded workloads (Section II-E). The scheme
+// follows R-NUCA (Hardavellas et al., ISCA 2009): the first core to touch a
+// page becomes its owner and the page is classified private; the first access
+// from any other core (detected at TLB-miss time in hardware, here on every
+// access) reclassifies the page as shared — incrementally, lazily, and at
+// most once. Shared pages are never reverted.
+//
+// Lines of private pages follow the owner's CBT mapping; lines of shared
+// pages use the fixed S-NUCA mapping so that all sharers agree on the line's
+// home bank and coherence is preserved. Reclassification invalidates the
+// page's lines at their old location, which this package reports to the
+// caller as an invalidation obligation.
+package coherence
+
+import "delta/internal/cache"
+
+// PageLines is the number of cache lines per 4 KB page.
+const PageLines = 4096 / cache.LineBytes
+
+// PageOf returns the page number of a line address.
+func PageOf(lineAddr uint64) uint64 { return lineAddr / PageLines }
+
+// Class is a page's classification.
+type Class uint8
+
+const (
+	// ClassPrivate pages are mapped through the owner's CBT.
+	ClassPrivate Class = iota
+	// ClassShared pages use the fixed S-NUCA mapping.
+	ClassShared
+)
+
+func (c Class) String() string {
+	if c == ClassShared {
+		return "shared"
+	}
+	return "private"
+}
+
+// Stats counts classifier activity.
+type Stats struct {
+	PagesSeen         uint64
+	SharedPages       uint64
+	Reclassifications uint64 // == SharedPages; kept for clarity in reports
+}
+
+type pageInfo struct {
+	owner  int32
+	shared bool
+}
+
+// Classifier tracks page classifications for one application or one chip.
+// Not safe for concurrent use.
+type Classifier struct {
+	pages map[uint64]pageInfo
+	Stats Stats
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{pages: make(map[uint64]pageInfo)}
+}
+
+// Access classifies the page containing lineAddr for an access by core. It
+// returns the page's class after the access and reclassified=true exactly
+// when this access flipped the page from private to shared — the moment the
+// caller must invalidate the page's lines from their CBT-mapped location
+// (Section II-E: "when a page is first classified as shared all the lines
+// belonging to the page are invalidated").
+func (c *Classifier) Access(lineAddr uint64, core int) (cls Class, reclassified bool) {
+	page := PageOf(lineAddr)
+	info, ok := c.pages[page]
+	if !ok {
+		c.pages[page] = pageInfo{owner: int32(core)}
+		c.Stats.PagesSeen++
+		return ClassPrivate, false
+	}
+	if info.shared {
+		return ClassShared, false
+	}
+	if int(info.owner) == core {
+		return ClassPrivate, false
+	}
+	info.shared = true
+	c.pages[page] = info
+	c.Stats.SharedPages++
+	c.Stats.Reclassifications++
+	return ClassShared, true
+}
+
+// Owner returns the page owner core and whether the page is known; shared
+// pages report their original owner.
+func (c *Classifier) Owner(page uint64) (int, bool) {
+	info, ok := c.pages[page]
+	return int(info.owner), ok
+}
+
+// IsShared reports whether a page is currently classified shared.
+func (c *Classifier) IsShared(page uint64) bool {
+	return c.pages[page].shared
+}
+
+// PrivateFraction returns the fraction of seen pages still private.
+func (c *Classifier) PrivateFraction() float64 {
+	if c.Stats.PagesSeen == 0 {
+		return 1
+	}
+	return 1 - float64(c.Stats.SharedPages)/float64(c.Stats.PagesSeen)
+}
+
+// Pages returns the number of distinct pages observed.
+func (c *Classifier) Pages() int { return len(c.pages) }

@@ -1,0 +1,124 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstTouchPrivate(t *testing.T) {
+	c := NewClassifier()
+	cls, re := c.Access(0, 3)
+	if cls != ClassPrivate || re {
+		t.Fatalf("first touch: %v %v", cls, re)
+	}
+	if owner, ok := c.Owner(0); !ok || owner != 3 {
+		t.Fatalf("owner %d %v", owner, ok)
+	}
+}
+
+func TestSameOwnerStaysPrivate(t *testing.T) {
+	c := NewClassifier()
+	c.Access(5, 1)
+	for i := 0; i < 10; i++ {
+		cls, re := c.Access(5+uint64(i%PageLines/2), 1)
+		if cls != ClassPrivate || re {
+			t.Fatal("owner re-access flipped classification")
+		}
+	}
+}
+
+func TestForeignAccessReclassifiesOnce(t *testing.T) {
+	c := NewClassifier()
+	c.Access(0, 0)
+	cls, re := c.Access(1, 7) // same page, other core
+	if cls != ClassShared || !re {
+		t.Fatalf("foreign access: %v %v", cls, re)
+	}
+	cls, re = c.Access(2, 0) // back to owner: stays shared, no re-flip
+	if cls != ClassShared || re {
+		t.Fatalf("shared page revisit: %v %v", cls, re)
+	}
+	if c.Stats.Reclassifications != 1 {
+		t.Fatalf("reclassifications %d", c.Stats.Reclassifications)
+	}
+}
+
+func TestPageGranularity(t *testing.T) {
+	c := NewClassifier()
+	// Lines 0 and 63 share page 0; line 64 is page 1.
+	c.Access(0, 0)
+	if _, re := c.Access(63, 1); !re {
+		t.Fatal("same-page line not shared")
+	}
+	if cls, _ := c.Access(64, 1); cls != ClassPrivate {
+		t.Fatal("next page contaminated")
+	}
+}
+
+func TestPrivateFraction(t *testing.T) {
+	c := NewClassifier()
+	for p := uint64(0); p < 10; p++ {
+		c.Access(p*PageLines, 0)
+	}
+	// Share 3 of the 10 pages.
+	for p := uint64(0); p < 3; p++ {
+		c.Access(p*PageLines, 1)
+	}
+	if got := c.PrivateFraction(); got != 0.7 {
+		t.Fatalf("private fraction %v, want 0.7", got)
+	}
+	if c.Pages() != 10 {
+		t.Fatalf("pages %d", c.Pages())
+	}
+}
+
+func TestEmptyClassifier(t *testing.T) {
+	c := NewClassifier()
+	if c.PrivateFraction() != 1 {
+		t.Fatal("empty classifier not fully private")
+	}
+	if c.IsShared(42) {
+		t.Fatal("unknown page reported shared")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(63) != 0 || PageOf(64) != 1 || PageOf(129) != 2 {
+		t.Fatal("PageOf wrong")
+	}
+}
+
+// Property: classification is monotone — once shared, always shared — and
+// single-core streams never reclassify.
+func TestMonotoneClassificationProperty(t *testing.T) {
+	f := func(accesses []uint16, cores []uint8) bool {
+		if len(cores) == 0 {
+			return true
+		}
+		c := NewClassifier()
+		sharedAt := map[uint64]bool{}
+		for i, a := range accesses {
+			core := int(cores[i%len(cores)] % 4)
+			line := uint64(a)
+			cls, _ := c.Access(line, core)
+			page := PageOf(line)
+			if sharedAt[page] && cls != ClassShared {
+				return false
+			}
+			if cls == ClassShared {
+				sharedAt[page] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Single core: zero reclassification.
+	c := NewClassifier()
+	for a := uint64(0); a < 10000; a++ {
+		if _, re := c.Access(a%2048, 5); re {
+			t.Fatal("single-core stream reclassified")
+		}
+	}
+}

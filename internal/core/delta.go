@@ -1,0 +1,616 @@
+package core
+
+import (
+	"math"
+
+	"delta/internal/cbt"
+	"delta/internal/chip"
+	"delta/internal/sim"
+	"delta/internal/umon"
+)
+
+// Stats counts DELTA's activity for the overhead analysis (Section IV-E).
+type Stats struct {
+	ChallengesSent   uint64
+	ChallengesWon    uint64
+	ChallengesFailed uint64
+	GainUpdates      uint64
+	IntraMoves       uint64
+	Expansions       uint64
+	Retreats         uint64
+	IdleGrants       uint64
+	InvalLines       uint64
+}
+
+// Delta is the distributed partitioning policy. It implements chip.Policy.
+type Delta struct {
+	p Params
+	c *chip.Chip
+	n int // tiles (== cores == banks)
+	w int // ways per bank
+
+	// wayOwner[bank][way] is the partition with insertion rights to the
+	// way; this is the per-bank WP unit's state.
+	wayOwner [][]int16
+	// alloc[core][bank] counts ways core owns in bank (derived from
+	// wayOwner, maintained incrementally).
+	alloc [][]int
+	// bankOrder[core] lists the banks core occupies, home first, then in
+	// acquisition order; it fixes the CBT range layout so expansions and
+	// retreats move few buckets.
+	bankOrder [][]int
+	tables    []*cbt.Table
+
+	// Per-core monitoring state, refreshed each inter-bank epoch.
+	curve []umon.Curve // in MPKI units
+	mlp   []float64
+	pain  []float64
+	// bankGain[bank][core] is the last gain core communicated to bank
+	// (the paper's per-bank register arrays).
+	bankGain [][]float64
+
+	// Challenge sweep state: the set of tiles already challenged in the
+	// current round-robin pass.
+	challenged []map[int]bool
+
+	// pid guards the multithreaded rule: challenges between threads of the
+	// same process always fail (Section II-E).
+	pid []int
+
+	interTick []*sim.Ticker
+	intraTick []*sim.Ticker
+
+	// grantedAt[bank][core] is the cycle a guest last won ways in the bank
+	// (residency protection); cooldownUntil[core][bank] blocks re-challenges
+	// after a retreat.
+	grantedAt     [][]uint64
+	cooldownUntil [][]uint64
+	// gainDirty[b] marks that bank b's gain registers changed since the
+	// last intra-bank move. The intra loop runs 10x faster than the gain
+	// updates (i_intra vs i_inter); acting more than once on the same
+	// register contents just overshoots along a stale comparison, so moves
+	// are throttled to one per refresh.
+	gainDirty []bool
+
+	maxTotal int
+
+	Stats Stats
+	// Trace, when enabled via EnableTrace, records reconfiguration events
+	// for analysis and tests.
+	trace   []Event
+	traceOn bool
+}
+
+// Event is one recorded reconfiguration event.
+type Event struct {
+	Cycle uint64
+	Kind  string // "expand", "retreat", "intra"
+	Core  int
+	Bank  int
+	Ways  int
+	Inval int
+	// GainFrom/GainTo are the loser's and winner's gains for intra events;
+	// for expand events GainFrom is the defender's value and GainTo the
+	// challenger's gain.
+	GainFrom, GainTo float64
+}
+
+// EnableTrace turns on event recording.
+func (d *Delta) EnableTrace() { d.traceOn = true }
+
+// Events returns the recorded events.
+func (d *Delta) Events() []Event { return d.trace }
+
+func (d *Delta) record(ev Event) {
+	if d.traceOn {
+		d.trace = append(d.trace, ev)
+	}
+}
+
+// New builds a DELTA policy with the given parameters.
+func New(p Params) *Delta {
+	p.Validate()
+	return &Delta{p: p}
+}
+
+// Name implements chip.Policy.
+func (d *Delta) Name() string { return "delta" }
+
+// Params returns the active parameters.
+func (d *Delta) Params() Params { return d.p }
+
+// SetProcess assigns a process ID to a core (threads of one multithreaded
+// application share a pid). Call after Attach, before Run.
+func (d *Delta) SetProcess(core, pid int) { d.pid[core] = pid }
+
+// Attach implements chip.Policy: equal partitioning, every core owning its
+// home bank, with reconfiguration epochs staggered across tiles so the
+// algorithm stays asynchronous.
+func (d *Delta) Attach(c *chip.Chip) {
+	d.c = c
+	d.n = c.Cores()
+	d.w = c.Ways()
+	d.maxTotal = d.p.MaxTotalWays
+	if d.maxTotal == 0 {
+		d.maxTotal = c.Monitor(0).MaxWays()
+	}
+	d.wayOwner = make([][]int16, d.n)
+	d.alloc = make([][]int, d.n)
+	d.bankOrder = make([][]int, d.n)
+	d.tables = make([]*cbt.Table, d.n)
+	d.curve = make([]umon.Curve, d.n)
+	d.mlp = make([]float64, d.n)
+	d.pain = make([]float64, d.n)
+	d.bankGain = make([][]float64, d.n)
+	d.challenged = make([]map[int]bool, d.n)
+	d.pid = make([]int, d.n)
+	d.interTick = make([]*sim.Ticker, d.n)
+	d.intraTick = make([]*sim.Ticker, d.n)
+	for i := 0; i < d.n; i++ {
+		d.wayOwner[i] = make([]int16, d.w)
+		for w := range d.wayOwner[i] {
+			d.wayOwner[i][w] = int16(i)
+		}
+		d.alloc[i] = make([]int, d.n)
+		d.alloc[i][i] = d.w
+		d.bankOrder[i] = []int{i}
+		d.tables[i] = cbt.Uniform(i)
+		d.bankGain[i] = make([]float64, d.n)
+		d.challenged[i] = make(map[int]bool)
+		d.grantedAt = append(d.grantedAt, make([]uint64, d.n))
+		d.cooldownUntil = append(d.cooldownUntil, make([]uint64, d.n))
+		d.gainDirty = append(d.gainDirty, true)
+		d.mlp[i] = 1
+		// Until a tile's first epoch it must not be invadable: its pain is
+		// unknown, not zero.
+		d.pain[i] = math.Inf(1)
+		d.pid[i] = i
+		// Stagger epochs across tiles: DELTA is asynchronous by design.
+		d.interTick[i] = sim.NewTicker(d.p.InterInterval,
+			d.p.InterInterval*uint64(i+1)/uint64(d.n))
+		d.intraTick[i] = sim.NewTicker(d.p.IntraInterval,
+			d.p.IntraInterval*uint64(i+1)/uint64(d.n))
+	}
+}
+
+// BankFor implements chip.Policy via the core's CBT.
+func (d *Delta) BankFor(core int, lineAddr uint64) int {
+	return d.tables[core].BankForLine(lineAddr, d.c.LLCSetBits())
+}
+
+// WayMask implements chip.Policy from the bank's WP unit.
+func (d *Delta) WayMask(core, bank int) uint64 {
+	var mask uint64
+	owner := d.wayOwner[bank]
+	for w := 0; w < d.w; w++ {
+		if int(owner[w]) == core {
+			mask |= 1 << uint(w)
+		}
+	}
+	return mask
+}
+
+// Tick implements chip.Policy: fire due inter-bank (per tile) and intra-bank
+// (per bank) epochs.
+func (d *Delta) Tick(now uint64) {
+	for i := 0; i < d.n; i++ {
+		if d.interTick[i].Due(now) > 0 {
+			d.interEpoch(i, now)
+		}
+		if d.intraTick[i].Due(now) > 0 {
+			d.intraEpoch(i, now)
+		}
+	}
+}
+
+// --- metric helpers ----------------------------------------------------------
+
+// totalWays returns core's chip-wide allocation.
+func (d *Delta) totalWays(core int) int {
+	t := 0
+	for _, w := range d.alloc[core] {
+		t += w
+	}
+	return t
+}
+
+// remoteWays is the `k` term of Equation 1.
+func (d *Delta) remoteWays(core int) int {
+	return d.totalWays(core) - d.alloc[core][core]
+}
+
+// rawGain computes a_gainWays / ((k+1) * m): Equation 1 before the
+// hop-distance divisor.
+func (d *Delta) rawGain(core int) float64 {
+	a := d.curve[core].MissesAvoided(d.totalWays(core), d.p.GainWays)
+	k := float64(d.remoteWays(core))
+	return a / ((k + 1) * d.mlp[core])
+}
+
+// gainAt is the gain a core registers at a bank for the intra-bank
+// comparisons: a_gainWays / (m * (l+1)). Unlike the challenge gain it is NOT
+// damped by the remote footprint (k+1): the k-term exists to make *further
+// expansion* progressively harder (Eq. 1's fairness argument), while the
+// register arrays answer "how much does this partition still value the
+// capacity it already holds". Damping retention by k would strip every guest
+// right after its successful challenge and the system could never hold
+// remote capacity — an expand/retreat livelock.
+func (d *Delta) gainAt(core, bank int) float64 {
+	a := d.curve[core].MissesAvoided(d.totalWays(core), d.p.GainWays)
+	g := a / d.mlp[core]
+	if d.p.DistancePenalty {
+		g /= float64(d.c.Topo.Dist(core, bank) + 1)
+	}
+	return g
+}
+
+// computePain evaluates Equation 2: a_painWays / m, undamped so the home
+// application defends its allocation.
+func (d *Delta) computePain(core int) float64 {
+	a := d.curve[core].MissesIncurred(d.totalWays(core), d.p.PainWays)
+	return a / d.mlp[core]
+}
+
+// --- inter-bank epoch (Algorithm 1) -----------------------------------------
+
+func (d *Delta) interEpoch(i int, now uint64) {
+	// Refresh monitoring state: UMON window scaled to MPKI and blended
+	// into an EWMA, and MLP from the performance counters.
+	iv := d.c.CoreInterval(i)
+	raw := d.c.Monitor(i).Epoch()
+	var fresh umon.Curve
+	if iv.Instructions > 0 {
+		fresh = raw.Scale(1000 / float64(iv.Instructions))
+	} else {
+		fresh = raw.Scale(0)
+	}
+	a := d.p.Smoothing
+	if d.curve[i].CumHits == nil {
+		d.curve[i] = fresh
+	} else {
+		prev := d.curve[i]
+		blended := prev.Scale(1 - a)
+		add := fresh.Scale(a)
+		for w := range blended.CumHits {
+			blended.CumHits[w] += add.CumHits[w]
+		}
+		blended.Accesses += add.Accesses
+		d.curve[i] = blended
+	}
+	d.mlp[i] = a*iv.MLP + (1-a)*d.mlp[i]
+	d.pain[i] = d.computePain(i)
+
+	// Communicate per-bank gains to every occupied bank (the register
+	// arrays the intra-bank algorithm reads).
+	d.bankGain[i][i] = d.gainAt(i, i)
+	d.gainDirty[i] = true
+	for _, b := range d.bankOrder[i] {
+		if b == i {
+			continue
+		}
+		bank, core, g := b, i, d.gainAt(i, b)
+		d.Stats.GainUpdates++
+		d.c.SendControl(i, b, func(uint64) {
+			d.bankGain[bank][core] = g
+			d.gainDirty[bank] = true
+		})
+	}
+
+	// Challenge (Algorithm 1 lines 4-8).
+	rg := d.rawGain(i)
+	if rg <= d.p.GainThreshold || d.alloc[i][i] < d.p.MinWays ||
+		d.totalWays(i)+d.p.InterDeltaWays > d.maxTotal {
+		return
+	}
+	target := d.pickTarget(i, now)
+	if target < 0 {
+		return
+	}
+	gain := rg
+	if d.p.DistancePenalty {
+		gain /= float64(d.c.Topo.Dist(i, target) + 1)
+	}
+	d.challenged[i][target] = true
+	d.Stats.ChallengesSent++
+	challenger, ch := i, target
+	d.c.SendControl(i, target, func(at uint64) {
+		d.handleChallenge(ch, challenger, gain, at)
+	})
+}
+
+// pickTarget returns the closest tile not yet challenged in the current
+// sweep, skipping banks the challenger already fully owns. When every
+// candidate has been tried the sweep resets (Algorithm 1: a tile is only
+// re-challenged after all others were exhausted).
+func (d *Delta) pickTarget(i int, now uint64) int {
+	neighbors := d.c.Topo.NeighborsByDistance(i)
+	for pass := 0; pass < 2; pass++ {
+		for _, nb := range neighbors {
+			if d.challenged[i][nb] {
+				continue
+			}
+			if d.alloc[i][nb] >= d.w {
+				continue // nothing left to win there
+			}
+			if d.cooldownUntil[i][nb] > now {
+				continue // recently retreated from there
+			}
+			return nb
+		}
+		// Sweep exhausted: reset and retry once.
+		d.challenged[i] = make(map[int]bool)
+	}
+	return -1
+}
+
+// handleChallenge runs at the challenged tile j (Algorithm 1 lines 9-16).
+func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
+	if d.pid[j] == d.pid[challenger] && j != challenger {
+		// Threads of one process do not compete (Section II-E).
+		d.respond(j, challenger, false, 0)
+		return
+	}
+	// Idle home tile: hand over the whole bank (minus the inclusion
+	// reserve) immediately instead of gradually, bounded by the
+	// challenger's allocation cap.
+	if d.c.IdleCore(j) && d.alloc[j][j] > d.p.MinWays {
+		w := d.alloc[j][j] - d.p.MinWays
+		if room := d.maxTotal - d.totalWays(challenger); w > room {
+			w = room
+		}
+		if w > 0 {
+			d.transferWays(j, j, challenger, w, "chal")
+			d.grantedAt[j][challenger] = now
+			d.Stats.IdleGrants++
+			d.respond(j, challenger, true, w)
+			return
+		}
+	}
+	// Victim selection: the co-resident partition with the smallest
+	// defending value — pain for the home application, communicated gain
+	// for guests (partitionWithSmallestGainOrPainInChallenged). Guests
+	// inside their residency window are not considered.
+	residency := uint64(d.p.ResidencyIntraEpochs) * d.p.IntraInterval
+	victim, best := -1, math.Inf(1)
+	for p := 0; p < d.n; p++ {
+		if p == challenger || d.alloc[p][j] == 0 {
+			continue
+		}
+		floor := 0
+		if p == j {
+			floor = d.p.MinWays
+		}
+		if d.alloc[p][j] <= floor {
+			continue
+		}
+		if p != j && d.grantedAt[j][p]+residency > now {
+			continue
+		}
+		var v float64
+		if p == j && d.p.PainDefense {
+			v = d.pain[j]
+		} else {
+			v = d.bankGain[j][p]
+		}
+		if v < best {
+			best, victim = v, p
+		}
+	}
+	if victim < 0 || gain <= best*d.p.ChallengeMargin {
+		d.respond(j, challenger, false, 0)
+		return
+	}
+	floor := 0
+	if victim == j {
+		floor = d.p.MinWays
+	}
+	w := d.p.InterDeltaWays
+	if avail := d.alloc[victim][j] - floor; w > avail {
+		w = avail
+	}
+	d.transferWays(j, victim, challenger, w, "chal")
+	d.gainDirty[j] = true
+	d.grantedAt[j][challenger] = now
+	// The challenge message carried the challenger's gain: seed the bank's
+	// register array with it so the intra-bank loop does not strip the
+	// newcomer before its first periodic gain update arrives. The periodic
+	// updates overwrite it — a stale high value must not linger.
+	d.bankGain[j][challenger] = gain
+	d.respond(j, challenger, true, w)
+}
+
+// respond sends the challenge response back (Algorithm 1 lines 13/15).
+func (d *Delta) respond(j, challenger int, success bool, ways int) {
+	d.c.SendControl(j, challenger, func(uint64) {
+		d.handleResponse(challenger, j, success, ways)
+	})
+}
+
+// handleResponse runs at the challenger (Algorithm 1 lines 17-22).
+func (d *Delta) handleResponse(i, j int, success bool, ways int) {
+	if !success {
+		d.Stats.ChallengesFailed++
+		return
+	}
+	d.Stats.ChallengesWon++
+	d.Stats.Expansions++
+	d.record(Event{Cycle: d.c.Now(), Kind: "expand", Core: i, Bank: j, Ways: ways})
+	found := false
+	for _, b := range d.bankOrder[i] {
+		if b == j {
+			found = true
+			break
+		}
+	}
+	if !found {
+		d.bankOrder[i] = append(d.bankOrder[i], j)
+	}
+	d.rebuildCBT(i)
+}
+
+// --- intra-bank epoch (Algorithm 2) -----------------------------------------
+
+func (d *Delta) intraEpoch(b int, now uint64) {
+	if !d.gainDirty[b] {
+		return // no fresh information since the last move
+	}
+	// Partitions sharing the bank.
+	var present []int
+	for p := 0; p < d.n; p++ {
+		if d.alloc[p][b] > 0 {
+			present = append(present, p)
+		}
+	}
+	if len(present) < 2 {
+		return
+	}
+	residency := uint64(d.p.ResidencyIntraEpochs) * d.p.IntraInterval
+	largest, smallest := -1, -1
+	largestG, smallestG := math.Inf(-1), math.Inf(1)
+	for _, p := range present {
+		g := d.bankGain[b][p]
+		if g > largestG {
+			largestG, largest = g, p
+		}
+		floor := 0
+		if p == b {
+			floor = d.p.MinWays
+		}
+		if d.alloc[p][b] <= floor {
+			continue // cannot shrink further
+		}
+		if p != b && d.grantedAt[b][p]+residency > now {
+			continue // freshly expanded guest: residency protection
+		}
+		if g < smallestG {
+			smallestG, smallest = g, p
+		}
+	}
+	if largest < 0 || smallest < 0 || largest == smallest {
+		return
+	}
+	// Hysteresis: require a clear gain advantage before shuffling capacity.
+	if largestG <= smallestG*d.p.IntraMargin+1e-12 {
+		return
+	}
+	// Pain deterrent for the home partition (see Params.PainDefenseIntra).
+	if d.p.PainDefenseIntra && smallest == b &&
+		largestG <= d.pain[b]*d.p.IntraMargin {
+		return
+	}
+	if d.totalWays(largest)+d.p.IntraDeltaWays > d.maxTotal {
+		return
+	}
+	floor := 0
+	if smallest == b {
+		floor = d.p.MinWays
+	}
+	w := d.p.IntraDeltaWays
+	if avail := d.alloc[smallest][b] - floor; w > avail {
+		w = avail
+	}
+	d.transferWays(b, smallest, largest, w, "intra")
+	d.gainDirty[b] = false
+	d.Stats.IntraMoves++
+	d.record(Event{Cycle: now, Kind: "intra", Core: largest, Bank: b, Ways: w,
+		GainFrom: smallestG, GainTo: largestG})
+	// Feedback to the contending home tiles (Algorithm 2 line 6): the new
+	// allocation informs their next pain/gain computation.
+	if smallest != b {
+		d.c.SendControl(b, smallest, func(uint64) {})
+	}
+	if largest != b {
+		d.c.SendControl(b, largest, func(uint64) {})
+	}
+}
+
+// --- enforcement plumbing ----------------------------------------------------
+
+// transferWays flips w ways in bank from one partition to another and
+// handles a full retreat of the loser. Way moves alone require no
+// invalidation: existing lines stay until the new owner's insertions evict
+// them, exactly as in way-partitioned hardware.
+func (d *Delta) transferWays(bank, from, to, w int, cause string) {
+	if w <= 0 || from == to {
+		return
+	}
+	moved := 0
+	owner := d.wayOwner[bank]
+	for idx := 0; idx < d.w && moved < w; idx++ {
+		if int(owner[idx]) == from {
+			owner[idx] = int16(to)
+			moved++
+		}
+	}
+	d.alloc[from][bank] -= moved
+	d.alloc[to][bank] += moved
+	if d.alloc[from][bank] == 0 && from != bank {
+		// Retreat (Section II-D example 2): notify the owner so it remaps
+		// and invalidates, and back off from that bank for a while. The
+		// bank's gain register for the departed partition is cleared.
+		d.bankGain[bank][from] = 0
+		d.Stats.Retreats++
+		d.record(Event{Cycle: d.c.Now(), Kind: "retreat-" + cause, Core: from, Bank: bank})
+		loser, b := from, bank
+		d.cooldownUntil[loser][b] = d.c.Now() +
+			uint64(d.p.RetreatCooldownEpochs)*d.p.InterInterval
+		d.c.SendControl(bank, loser, func(uint64) { d.handleRetreat(loser) })
+	}
+}
+
+// handleRetreat rebuilds the loser's CBT after it lost its last way in some
+// bank; the rebuild's diff invalidates the ranges that moved home.
+func (d *Delta) handleRetreat(core int) {
+	kept := d.bankOrder[core][:0]
+	for _, b := range d.bankOrder[core] {
+		if d.alloc[core][b] > 0 || b == core {
+			kept = append(kept, b)
+		}
+	}
+	d.bankOrder[core] = kept
+	d.rebuildCBT(core)
+}
+
+// rebuildCBT recomputes core's bank table from its current allocation and
+// bulk-invalidates every bucket that changed banks (the lines will refetch
+// into their new home on next use).
+func (d *Delta) rebuildCBT(core int) {
+	shares := make([]cbt.Share, 0, len(d.bankOrder[core]))
+	for _, b := range d.bankOrder[core] {
+		ways := d.alloc[core][b]
+		if b == core && ways == 0 {
+			// The home bank always anchors the table; MinWays reserve
+			// should prevent this, but stay safe.
+			ways = 1
+		}
+		if ways > 0 {
+			shares = append(shares, cbt.Share{Bank: b, Ways: ways})
+		}
+	}
+	var next *cbt.Table
+	if d.p.ContiguousCBT {
+		next = cbt.Build(shares)
+	} else {
+		next = cbt.BuildIncremental(d.tables[core], shares)
+	}
+	moves := cbt.Diff(d.tables[core], next)
+	d.tables[core] = next
+	for from, buckets := range cbt.MovedFrom(moves) {
+		set := make(map[int]bool, len(buckets))
+		for _, b := range buckets {
+			set[b] = true
+		}
+		d.Stats.InvalLines += uint64(d.c.InvalidateOwnerBuckets(core, from, set))
+	}
+}
+
+// Alloc returns a copy of core's per-bank way allocation; used by tests and
+// the experiment reports (e.g. Fig. 11's way-allocation comparison).
+func (d *Delta) Alloc(core int) []int {
+	out := make([]int, d.n)
+	copy(out, d.alloc[core])
+	return out
+}
+
+// TotalWays exposes the chip-wide allocation for reports.
+func (d *Delta) TotalWays(core int) int { return d.totalWays(core) }

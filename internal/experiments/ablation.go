@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"delta/internal/chip"
+	"delta/internal/core"
+	"delta/internal/metrics"
+	"delta/internal/workloads"
+)
+
+// AblationVariant is one modified DELTA configuration isolating a design
+// choice that Section II motivates (plus the stabilization extensions this
+// reproduction documents in DESIGN.md §6).
+type AblationVariant struct {
+	Name   string
+	Why    string
+	Mutate func(*core.Params, *chip.Config)
+}
+
+// AblationVariants enumerates the studied design choices.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{
+			Name: "baseline",
+			Why:  "full DELTA as configured",
+			Mutate: func(*core.Params, *chip.Config) {
+			},
+		},
+		{
+			Name: "no-distance-penalty",
+			Why:  "drop the (l+1) divisor of Eq. 1: challenges ignore locality",
+			Mutate: func(p *core.Params, _ *chip.Config) {
+				p.DistancePenalty = false
+			},
+		},
+		{
+			Name: "no-pain-defense",
+			Why:  "challenged homes defend with gain instead of pain",
+			Mutate: func(p *core.Params, _ *chip.Config) {
+				p.PainDefense = false
+				p.PainDefenseIntra = false
+			},
+		},
+		{
+			Name: "no-hysteresis",
+			Why:  "strict Algorithm 1/2 comparisons: margins, residency and cooldown off",
+			Mutate: func(p *core.Params, _ *chip.Config) {
+				p.IntraMargin = 1
+				p.ChallengeMargin = 1
+				p.ResidencyIntraEpochs = 0
+				p.RetreatCooldownEpochs = 0
+			},
+		},
+		{
+			Name: "no-smoothing",
+			Why:  "raw per-epoch UMON windows instead of the EWMA",
+			Mutate: func(p *core.Params, _ *chip.Config) {
+				p.Smoothing = 1
+			},
+		},
+		{
+			Name: "contiguous-cbt",
+			Why:  "paper-literal contiguous range tables instead of minimal-move updates",
+			Mutate: func(p *core.Params, _ *chip.Config) {
+				p.ContiguousCBT = true
+			},
+		},
+		{
+			Name: "exact-umon",
+			Why:  "per-way UMON counters instead of the coarse 4-way granularity",
+			Mutate: func(_ *core.Params, c *chip.Config) {
+				c.UmonGranularity = 1
+			},
+		},
+	}
+}
+
+// AblationResult is one variant's outcome on one mix.
+type AblationResult struct {
+	Variant    string
+	GeoIPC     float64
+	VsBaseline float64
+	InvalLines uint64
+	Expansions uint64
+	Retreats   uint64
+}
+
+// Ablations runs every variant on the given mix and normalizes to the
+// baseline variant.
+func Ablations(sc Scale, mixName string) []AblationResult {
+	mix := workloads.MixByName(mixName)
+	var out []AblationResult
+	base := 0.0
+	for _, v := range AblationVariants() {
+		params := core.DefaultParams().Scale(sc.IntervalScale)
+		ccfg := sc.ChipConfig(16)
+		v.Mutate(&params, &ccfg)
+		d := core.New(params)
+		c := chip.New(ccfg, d)
+		for i, g := range mix.Generators(16, sc.Seed) {
+			c.SetWorkload(i, g, true)
+		}
+		c.Run(sc.Warmup, sc.Budget)
+		geo := metrics.GeoMean(MixRun{Results: c.Results()}.IPCs())
+		if v.Name == "baseline" {
+			base = geo
+		}
+		out = append(out, AblationResult{
+			Variant:    v.Name,
+			GeoIPC:     geo,
+			VsBaseline: geo / base,
+			InvalLines: d.Stats.InvalLines,
+			Expansions: d.Stats.Expansions,
+			Retreats:   d.Stats.Retreats,
+		})
+	}
+	return out
+}
+
+// AblationTable renders the study.
+func AblationTable(results []AblationResult, mixName string) string {
+	t := metrics.NewTable("Ablations: DELTA design choices on "+mixName+" (16 cores)",
+		"variant", "geomean IPC", "vs baseline", "inval lines", "expansions", "retreats")
+	for _, r := range results {
+		t.AddRowf(r.Variant, r.GeoIPC, r.VsBaseline,
+			int(r.InvalLines), int(r.Expansions), int(r.Retreats))
+	}
+	return t.String()
+}

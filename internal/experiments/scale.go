@@ -1,0 +1,187 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section IV). Each driver returns a structured result
+// plus a rendered text table, so the same code backs the delta-bench binary,
+// the root-level testing.B benchmarks and EXPERIMENTS.md.
+//
+// All drivers run time-compressed simulations (DESIGN.md §3): instruction
+// budgets and reconfiguration intervals are both scaled down from the
+// paper's 500 M-instruction windows and 1 ms epochs, preserving the ratio of
+// reconfiguration interval to workload phase length.
+package experiments
+
+import (
+	"fmt"
+
+	"delta/internal/central"
+	"delta/internal/chip"
+	"delta/internal/core"
+	"delta/internal/noc"
+	"delta/internal/workloads"
+)
+
+// Scale fixes the time compression of a simulation campaign.
+type Scale struct {
+	// Warmup and Budget are per-application instruction counts (the paper's
+	// 8 B fast-forward and 500 M detailed window, compressed).
+	Warmup, Budget uint64
+	// IntervalScale divides the paper's reconfiguration intervals (1 ms
+	// inter / 0.1 ms intra at 4 GHz).
+	IntervalScale uint64
+	// UmonSampleEvery densifies UMON sampling to compensate for the short
+	// windows (the paper's value is 32).
+	UmonSampleEvery int
+	// Quantum is the chip synchronization quantum in cycles.
+	Quantum uint64
+	// Seed drives workload generation.
+	Seed uint64
+}
+
+// DefaultScale is the compression used for EXPERIMENTS.md: runs stay within
+// minutes while every app sees tens of reconfiguration epochs.
+func DefaultScale() Scale {
+	return Scale{
+		Warmup:          400_000,
+		Budget:          250_000,
+		IntervalScale:   50, // i_inter = 80k cycles, i_intra = 8k cycles
+		UmonSampleEvery: 4,
+		Quantum:         1000,
+		Seed:            1,
+	}
+}
+
+// QuickScale is a further-compressed variant for smoke tests and CI.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.Warmup = 100_000
+	s.Budget = 80_000
+	return s
+}
+
+// For64 reduces the per-app window for 64-core runs, mirroring the paper's
+// 125 M (vs 500 M) instruction methodology.
+func (s Scale) For64() Scale {
+	s.Warmup /= 2
+	s.Budget /= 2
+	return s
+}
+
+// PolicyNames lists the four schemes of the evaluation.
+var PolicyNames = []string{"snuca", "private", "delta", "ideal"}
+
+// NewPolicy constructs a policy by name at this scale. The special name
+// "ideal-slow" is the 100 ms-equivalent centralized configuration used by
+// the Fig. 13 frequency study.
+func (s Scale) NewPolicy(name string) chip.Policy {
+	switch name {
+	case "snuca":
+		return chip.NewSnuca()
+	case "private":
+		return chip.NewPrivate()
+	case "delta":
+		return core.New(core.DefaultParams().Scale(s.IntervalScale))
+	case "ideal":
+		cfg := central.DefaultIdealConfig()
+		cfg.Interval /= s.IntervalScale
+		if cfg.Interval == 0 {
+			cfg.Interval = 1
+		}
+		return central.NewIdeal(cfg)
+	case "ideal-slow":
+		cfg := central.DefaultIdealConfig()
+		cfg.Interval = cfg.Interval * 100 / s.IntervalScale // 100 ms equivalent
+		return central.NewIdeal(cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown policy %q", name))
+	}
+}
+
+// ChipConfig builds the chip configuration for the core count at this scale.
+func (s Scale) ChipConfig(cores int) chip.Config {
+	cfg := chip.DefaultConfig(cores)
+	cfg.Quantum = s.Quantum
+	cfg.UmonSampleEvery = s.UmonSampleEvery
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// MixRun is the outcome of one (policy, mix, chip) simulation.
+type MixRun struct {
+	Policy  string
+	Mix     workloads.Mix
+	Cores   int
+	Results []chip.CoreResult
+	Net     noc.Stats
+	Chip    chip.Stats
+
+	// Policy-specific introspection, nil unless applicable.
+	Delta *core.Delta
+	Ideal *central.Ideal
+}
+
+// IPCs returns the per-core IPC vector.
+func (r MixRun) IPCs() []float64 {
+	out := make([]float64, len(r.Results))
+	for i, cr := range r.Results {
+		out[i] = cr.IPC
+	}
+	return out
+}
+
+// RunMix simulates one mix under one policy.
+func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
+	p := s.NewPolicy(policy)
+	if d, ok := p.(*core.Delta); ok {
+		d.EnableTrace()
+	}
+	c := chip.New(s.ChipConfig(cores), p)
+	gens := mix.Generators(cores, s.Seed)
+	for i, g := range gens {
+		c.SetWorkload(i, g, true)
+	}
+	c.Run(s.Warmup, s.Budget)
+	run := MixRun{
+		Policy:  policy,
+		Mix:     mix,
+		Cores:   cores,
+		Results: c.Results(),
+		Net:     c.Net.Stats,
+		Chip:    c.Stats,
+	}
+	if d, ok := p.(*core.Delta); ok {
+		run.Delta = d
+	}
+	if id, ok := p.(*central.Ideal); ok {
+		run.Ideal = id
+	}
+	return run
+}
+
+// Suite runs and caches (policy, mix) simulations for one chip size so that
+// Fig. 5/6/7/8 (and 9/10/11) share runs instead of recomputing them.
+type Suite struct {
+	Scale Scale
+	Cores int
+	cache map[string]map[string]MixRun // policy -> mix -> run
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(s Scale, cores int) *Suite {
+	return &Suite{Scale: s, Cores: cores, cache: map[string]map[string]MixRun{}}
+}
+
+// Run returns the cached run for (policy, mix), simulating on first use.
+func (st *Suite) Run(policy, mixName string) MixRun {
+	if st.cache[policy] == nil {
+		st.cache[policy] = map[string]MixRun{}
+	}
+	if r, ok := st.cache[policy][mixName]; ok {
+		return r
+	}
+	sc := st.Scale
+	if st.Cores > 16 {
+		sc = sc.For64()
+	}
+	r := sc.RunMix(policy, workloads.MixByName(mixName), st.Cores)
+	st.cache[policy][mixName] = r
+	return r
+}

@@ -1,0 +1,106 @@
+package mem
+
+import (
+	"testing"
+
+	"delta/internal/geom"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	if c := DefaultConfig(16); c.Controllers != 4 {
+		t.Fatalf("16-core MCUs = %d", c.Controllers)
+	}
+	if c := DefaultConfig(64); c.Controllers != 8 {
+		t.Fatalf("64-core MCUs = %d", c.Controllers)
+	}
+}
+
+func TestControllerPlacementOnPerimeter(t *testing.T) {
+	topo := geom.NewMesh(4, 4)
+	s := New(topo, DefaultConfig(16))
+	for i := 0; i < s.Controllers(); i++ {
+		tile := s.ControllerTile(i)
+		x, y := topo.Coord(tile)
+		if x != 0 && x != 3 && y != 0 && y != 3 {
+			t.Fatalf("controller %d at interior tile %d", i, tile)
+		}
+	}
+	// Distinct placements.
+	seen := map[int]bool{}
+	for i := 0; i < s.Controllers(); i++ {
+		if seen[s.ControllerTile(i)] {
+			t.Fatal("controllers share a tile")
+		}
+		seen[s.ControllerTile(i)] = true
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	lat, tile := s.Access(0, 1000)
+	if lat != 320 {
+		t.Fatalf("latency %d, want 320", lat)
+	}
+	if tile != s.ControllerTile(0) {
+		t.Fatalf("served by wrong tile")
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	// Two back-to-back requests to the same controller at the same cycle:
+	// the second waits one service slot.
+	l1, _ := s.Access(0, 0)
+	l2, _ := s.Access(4, 0) // 4 % 4 == 0: same controller
+	if l1 != 320 {
+		t.Fatalf("first latency %d", l1)
+	}
+	if l2 != 340 {
+		t.Fatalf("second latency %d, want 320+20", l2)
+	}
+	if s.AvgQueueDelay() != 10 {
+		t.Fatalf("avg queue delay %v", s.AvgQueueDelay())
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	s.Access(0, 0)
+	l, _ := s.Access(1, 0) // different controller
+	if l != 320 {
+		t.Fatalf("independent channel delayed: %d", l)
+	}
+}
+
+func TestBusyChannelDrains(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	s.Access(0, 0)
+	// Long after the service slot, no queueing remains.
+	l, _ := s.Access(4, 10000)
+	if l != 320 {
+		t.Fatalf("stale busy horizon: %d", l)
+	}
+}
+
+func TestInterleaving(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	counts := make([]int, s.Controllers())
+	for a := uint64(0); a < 1000; a++ {
+		counts[s.ControllerFor(a)]++
+	}
+	for i, c := range counts {
+		if c != 250 {
+			t.Fatalf("controller %d got %d/1000 lines", i, c)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New(geom.NewMesh(4, 4), DefaultConfig(16))
+	for i := uint64(0); i < 10; i++ {
+		s.Access(i, 0)
+	}
+	if s.TotalStats().Requests != 10 {
+		t.Fatalf("requests %d", s.TotalStats().Requests)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if got := GeoMean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("singleton geomean = %v", got)
+	}
+}
+
+func TestGeoMeanPanics(t *testing.T) {
+	for _, in := range [][]float64{nil, {1, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", in)
+				}
+			}()
+			GeoMean(in)
+		}()
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s := Speedups([]float64{2, 3}, []float64{1, 6})
+	if s[0] != 2 || s[1] != 0.5 {
+		t.Fatalf("speedups %v", s)
+	}
+}
+
+func TestANTTAndSTPIdentityAtBaseline(t *testing.T) {
+	ipc := []float64{1.2, 0.4, 2.5}
+	if got := ANTT(ipc, ipc); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ANTT at baseline = %v", got)
+	}
+	if got := STP(ipc, ipc); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("STP at baseline = %v", got)
+	}
+}
+
+func TestANTTDirection(t *testing.T) {
+	private := []float64{1, 1}
+	slower := []float64{0.5, 0.5}
+	faster := []float64{2, 2}
+	if ANTT(slower, private) <= ANTT(faster, private) {
+		t.Fatal("ANTT should be higher (worse) for slower runs")
+	}
+	if STP(slower, private) >= STP(faster, private) {
+		t.Fatal("STP should be lower for slower runs")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.9, 1.0, 1.21})
+	if s.Min != 0.9 || s.Max != 1.21 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Geo < 1.0 || s.Geo > 1.05 {
+		t.Fatalf("geo %v", s.Geo)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "mix", "delta", "ideal")
+	tb.AddRowf("w1", 1.09, 1.12)
+	tb.AddRow("w2", "1.050", "1.080")
+	out := tb.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "w1") ||
+		!strings.Contains(out, "1.090") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestTablePanicsOnRaggedRow(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+// Property: geomean lies between min and max; scaling inputs scales the
+// geomean linearly.
+func TestGeoMeanProperties(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r%1000)/100 + 0.01
+			if vals[i] < min {
+				min = vals[i]
+			}
+			if vals[i] > max {
+				max = vals[i]
+			}
+		}
+		g := GeoMean(vals)
+		if g < min-1e-9 || g > max+1e-9 {
+			return false
+		}
+		k := float64(scale%9) + 1
+		scaled := make([]float64, len(vals))
+		for i := range vals {
+			scaled[i] = vals[i] * k
+		}
+		return math.Abs(GeoMean(scaled)-g*k) < 1e-9*k*math.Max(1, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package noc
+
+import (
+	"testing"
+
+	"delta/internal/geom"
+)
+
+func TestLatencyScalesWithHops(t *testing.T) {
+	m := New(geom.NewMesh(4, 4), DefaultConfig())
+	if l := m.Latency(0, 1, ClassData); l != 4 {
+		t.Fatalf("1-hop latency %d, want 4", l)
+	}
+	if l := m.Latency(0, 15, ClassData); l != 24 {
+		t.Fatalf("corner latency %d, want 24", l)
+	}
+	if l := m.Latency(3, 3, ClassData); l != 0 {
+		t.Fatalf("self latency %d", l)
+	}
+}
+
+func TestAccountingByClass(t *testing.T) {
+	m := New(geom.NewMesh(4, 4), DefaultConfig())
+	m.Latency(0, 1, ClassData)
+	m.Latency(0, 2, ClassData)
+	m.Latency(0, 3, ClassControl)
+	m.Latency(5, 5, ClassControl) // local, not counted
+	if m.Stats.Messages[ClassData] != 2 || m.Stats.Messages[ClassControl] != 1 {
+		t.Fatalf("stats %+v", m.Stats)
+	}
+	if m.Stats.Total() != 3 {
+		t.Fatalf("total %d", m.Stats.Total())
+	}
+	got := m.Stats.ControlFraction()
+	if got < 0.33 || got > 0.34 {
+		t.Fatalf("control fraction %v", got)
+	}
+}
+
+func TestRoundTripCountsTwoMessages(t *testing.T) {
+	m := New(geom.NewMesh(4, 4), DefaultConfig())
+	l := m.RoundTrip(0, 5, ClassControl)
+	if l != 2*2*4 { // dist(0,5)=2
+		t.Fatalf("round trip %d", l)
+	}
+	if m.Stats.Messages[ClassControl] != 2 {
+		t.Fatalf("messages %d", m.Stats.Messages[ClassControl])
+	}
+}
+
+func TestPeekLatencyDoesNotCount(t *testing.T) {
+	m := New(geom.NewMesh(4, 4), DefaultConfig())
+	if l := m.PeekLatency(0, 15); l != 24 {
+		t.Fatalf("peek %d", l)
+	}
+	if m.Stats.Total() != 0 {
+		t.Fatal("peek recorded traffic")
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	m := New(geom.NewMesh(4, 4), Config{HopCycles: 4, LinkStats: true})
+	m.Latency(0, 3, ClassData) // route 0->1->2->3
+	if m.LinkLoad(0, 1) != 1 || m.LinkLoad(1, 2) != 1 || m.LinkLoad(2, 3) != 1 {
+		t.Fatal("route links not counted")
+	}
+	if m.LinkLoad(3, 2) != 0 {
+		t.Fatal("reverse link counted")
+	}
+	if m.MaxLinkLoad() != 1 {
+		t.Fatalf("max load %d", m.MaxLinkLoad())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassControl.String() != "control" || ClassCoherence.String() != "coherence" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// mathLog exists so rng.go does not import math directly in its hot path
+// documentation; it is the plain natural logarithm.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle = uint64
+
+// Event is a closure scheduled to run at a particular cycle. Events fire in
+// cycle order; ties are broken by insertion order so the simulation stays
+// deterministic.
+type Event struct {
+	When Cycle
+	Fn   func(now Cycle)
+	seq  uint64
+	idx  int
+}
+
+// EventQueue is a deterministic min-heap of events keyed by (cycle, sequence).
+// It is the spine of the chip's message-delivery and reconfiguration
+// machinery. Not safe for concurrent use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Schedule enqueues fn to run at cycle when. Scheduling in the past is
+// allowed (the event fires on the next drain); this matches the loosely
+// synchronized quantum model where a message can be "due" as soon as the
+// boundary is reached.
+func (q *EventQueue) Schedule(when Cycle, fn func(now Cycle)) {
+	q.seq++
+	heap.Push(&q.h, &Event{When: when, Fn: fn, seq: q.seq})
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextAt returns the cycle of the earliest pending event and true, or 0 and
+// false when the queue is empty.
+func (q *EventQueue) NextAt() (Cycle, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].When, true
+}
+
+// RunUntil fires, in order, every event with When <= now. Events scheduled by
+// handlers at cycles <= now also fire before RunUntil returns.
+func (q *EventQueue) RunUntil(now Cycle) int {
+	fired := 0
+	for len(q.h) > 0 && q.h[0].When <= now {
+		ev := heap.Pop(&q.h).(*Event)
+		ev.Fn(maxCycle(ev.When, 0))
+		fired++
+	}
+	return fired
+}
+
+// Drain fires every pending event in order regardless of time; used at the
+// end of a simulation so in-flight control messages settle.
+func (q *EventQueue) Drain() int {
+	fired := 0
+	for len(q.h) > 0 {
+		ev := heap.Pop(&q.h).(*Event)
+		ev.Fn(ev.When)
+		fired++
+	}
+	return fired
+}
+
+func maxCycle(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Ticker fires at a fixed period, with an optional phase offset so that
+// per-tile reconfiguration epochs are staggered (DELTA is asynchronous by
+// design; tiles must not all reconfigure on the same cycle).
+type Ticker struct {
+	Period Cycle
+	next   Cycle
+}
+
+// NewTicker returns a ticker whose first firing is at offset, then every
+// period cycles after that. Period must be non-zero.
+func NewTicker(period, offset Cycle) *Ticker {
+	if period == 0 {
+		panic("sim: zero ticker period")
+	}
+	return &Ticker{Period: period, next: offset}
+}
+
+// Due reports how many periods have elapsed up to and including now, and
+// advances the ticker past them. A caller that polls every quantum receives
+// each firing exactly once.
+func (t *Ticker) Due(now Cycle) int {
+	n := 0
+	for t.next <= now {
+		t.next += t.Period
+		n++
+	}
+	return n
+}
+
+// Next returns the cycle of the next firing.
+func (t *Ticker) Next() Cycle { return t.next }
+
+// Reset re-arms the ticker to first fire at the given cycle.
+func (t *Ticker) Reset(at Cycle) { t.next = at }

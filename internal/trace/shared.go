@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+
+	"delta/internal/sim"
+)
+
+// PageLines is the number of 64 B lines per 4 KB page.
+const PageLines = 64
+
+// SharedConfig describes a multithreaded application for the Section II-E /
+// IV-C experiments: each thread has a private working set, and all threads
+// draw some fraction of their accesses from a shared region. The fraction of
+// *pages* that end up classified shared depends on both the access mix and
+// the page-granular interleaving, mirroring the paper's observation that
+// block-level and page-level sharing ratios differ (Table V).
+type SharedConfig struct {
+	Threads int
+	// SharedBase/SharedLines delimit the region all threads may touch.
+	SharedBase, SharedLines uint64
+	// PrivateLines is each thread's private working-set size.
+	PrivateLines uint64
+	// HotLines is each thread's L1/L2-resident hot set (stack frames, loop
+	// state); HotFraction of accesses go there. Real shared-memory codes
+	// have strong private temporal locality, so without this component the
+	// simulated threads would be unrealistically LLC-bound.
+	HotLines    uint64
+	HotFraction float64
+	// SharedFraction is the probability an access goes to the shared region.
+	SharedFraction float64
+	// SharedHotLines concentrates SharedHotBias of the shared accesses on a
+	// hot subset at the start of the shared region (locks, frontier
+	// structures); the rest of the shared pages are touched rarely but
+	// still count as shared in the page-privacy measurement. 0 disables.
+	SharedHotLines uint64
+	SharedHotBias  float64
+	// BoundaryPages adds pages that are mostly private but contain a few
+	// shared lines (e.g. halo/boundary elements in grid codes): each
+	// thread's first BoundaryPages private pages have a small chance of
+	// being read by a neighbouring thread. This reproduces the paper's
+	// "low private pages vs private blocks" effect.
+	BoundaryPages int
+	Seed          uint64
+}
+
+// SharedApp fabricates per-thread generators from a SharedConfig.
+type SharedApp struct {
+	cfg SharedConfig
+}
+
+// NewSharedApp validates and wraps the config.
+func NewSharedApp(cfg SharedConfig) *SharedApp {
+	if cfg.Threads <= 0 || cfg.PrivateLines == 0 {
+		panic(fmt.Sprintf("trace: invalid shared config %+v", cfg))
+	}
+	if cfg.SharedFraction < 0 || cfg.SharedFraction > 1 {
+		panic("trace: SharedFraction out of range")
+	}
+	if cfg.SharedFraction > 0 && cfg.SharedLines == 0 {
+		panic("trace: shared accesses with empty shared region")
+	}
+	if cfg.HotFraction < 0 || cfg.HotFraction > 1 ||
+		cfg.SharedFraction+cfg.HotFraction > 1 {
+		panic("trace: hot/shared fractions out of range")
+	}
+	if cfg.HotFraction > 0 && cfg.HotLines == 0 {
+		panic("trace: hot accesses with empty hot region")
+	}
+	if cfg.SharedHotLines > cfg.SharedLines {
+		panic("trace: shared hot subset larger than the shared region")
+	}
+	if cfg.SharedHotBias < 0 || cfg.SharedHotBias > 1 {
+		panic("trace: SharedHotBias out of range")
+	}
+	return &SharedApp{cfg: cfg}
+}
+
+// privateBase returns the start of thread t's private region; private spaces
+// are page-aligned and disjoint from each other and from the shared region.
+func (a *SharedApp) privateBase(t int) uint64 {
+	span := (a.cfg.PrivateLines + a.cfg.HotLines + 2*PageLines - 1) / PageLines * PageLines
+	return a.cfg.SharedBase + a.cfg.SharedLines + uint64(t)*span + PageLines // pad a page
+}
+
+// hotBase places the hot set directly after the thread's private region.
+func (a *SharedApp) hotBase(t int) uint64 {
+	return a.privateBase(t) + a.cfg.PrivateLines
+}
+
+// ThreadGen returns thread t's access generator.
+func (a *SharedApp) ThreadGen(t int) Generator {
+	if t < 0 || t >= a.cfg.Threads {
+		panic("trace: thread out of range")
+	}
+	return &sharedThreadGen{app: a, thread: t,
+		rng: sim.NewStream(a.cfg.Seed, uint64(t)+1)}
+}
+
+type sharedThreadGen struct {
+	app    *SharedApp
+	thread int
+	rng    *sim.Rng
+}
+
+func (g *sharedThreadGen) Next() Access {
+	cfg := g.app.cfg
+	u := g.rng.Float64()
+	if cfg.HotFraction > 0 && u >= 1-cfg.HotFraction {
+		return Access{Line: g.app.hotBase(g.thread) + g.rng.Uint64n(cfg.HotLines)}
+	}
+	switch {
+	case u < cfg.SharedFraction:
+		if cfg.SharedHotLines > 0 && g.rng.Float64() < cfg.SharedHotBias {
+			return Access{Line: cfg.SharedBase + g.rng.Uint64n(cfg.SharedHotLines)}
+		}
+		return Access{Line: cfg.SharedBase + g.rng.Uint64n(cfg.SharedLines)}
+	case cfg.BoundaryPages > 0 && u < cfg.SharedFraction+0.02:
+		// Occasionally peek at a neighbour's boundary pages.
+		nb := (g.thread + 1) % cfg.Threads
+		span := uint64(cfg.BoundaryPages) * PageLines
+		return Access{Line: g.app.privateBase(nb) + g.rng.Uint64n(span)}
+	default:
+		return Access{Line: g.app.privateBase(g.thread) + g.rng.Uint64n(cfg.PrivateLines)}
+	}
+}
+
+// PrivateRatios runs the config's generators for n accesses per thread
+// through a page/block sharing analysis (the pintool stand-in from Section
+// IV-C) and returns the fraction of pages and of blocks touched by exactly
+// one thread.
+func (a *SharedApp) PrivateRatios(accessesPerThread int) (pagePriv, blockPriv float64) {
+	pageUsers := map[uint64]uint64{}  // page -> thread bitmask
+	blockUsers := map[uint64]uint64{} // line -> thread bitmask
+	for t := 0; t < a.cfg.Threads; t++ {
+		g := a.ThreadGen(t)
+		bit := uint64(1) << uint(t)
+		for i := 0; i < accessesPerThread; i++ {
+			acc := g.Next()
+			blockUsers[acc.Line] |= bit
+			pageUsers[acc.Line/PageLines] |= bit
+		}
+	}
+	count := func(m map[uint64]uint64) float64 {
+		if len(m) == 0 {
+			return 1
+		}
+		priv := 0
+		for _, mask := range m {
+			if mask&(mask-1) == 0 {
+				priv++
+			}
+		}
+		return float64(priv) / float64(len(m))
+	}
+	return count(pageUsers), count(blockUsers)
+}

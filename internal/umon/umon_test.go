@@ -1,0 +1,222 @@
+package umon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delta/internal/sim"
+)
+
+// denseConfig samples every set so small synthetic streams are captured
+// exactly.
+func denseConfig(maxWays, gran int) Config {
+	return Config{MaxWays: maxWays, Granularity: gran, SetBits: 4, SampleEvery: 1}
+}
+
+func TestMonitorCountsReuse(t *testing.T) {
+	m := New(denseConfig(8, 1))
+	// Two lines in the same set, accessed alternately: after warm-up every
+	// access hits at depth 1 (needs 2 ways).
+	for i := 0; i < 100; i++ {
+		m.Access(0)  // set 0
+		m.Access(16) // set 0 (SetBits=4 -> 16 sets)
+	}
+	c := m.Epoch()
+	if c.Accesses != 200 {
+		t.Fatalf("accesses = %v", c.Accesses)
+	}
+	// With 2+ ways nearly everything hits; with 1 way everything misses.
+	if got := c.Misses(2); got > 3 {
+		t.Fatalf("misses(2) = %v, want ~2 cold misses", got)
+	}
+	if got := c.Misses(1); got < 190 {
+		t.Fatalf("misses(1) = %v, want ~200", got)
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	m := New(denseConfig(32, 4))
+	r := sim.NewRng(1)
+	for i := 0; i < 20000; i++ {
+		m.Access(uint64(r.Intn(400)))
+	}
+	c := m.Epoch()
+	for w := 1; w <= c.MaxWays; w++ {
+		if c.Misses(w) > c.Misses(w-1)+1e-9 {
+			t.Fatalf("curve not monotone at w=%d: %v > %v", w, c.Misses(w), c.Misses(w-1))
+		}
+	}
+	if c.Misses(0) != c.Accesses {
+		t.Fatalf("misses(0) = %v, want all accesses %v", c.Misses(0), c.Accesses)
+	}
+}
+
+func TestWorkingSetKnee(t *testing.T) {
+	// A working set of exactly 8 lines per set: with >=8 ways the stream
+	// hits; with fewer it thrashes (cyclic access + LRU = worst case).
+	m := New(denseConfig(16, 1))
+	for rep := 0; rep < 50; rep++ {
+		for l := 0; l < 8; l++ {
+			m.Access(uint64(l * 16)) // all in set 0
+		}
+	}
+	c := m.Epoch()
+	if got := c.Misses(8); got > 9 {
+		t.Fatalf("misses(8) = %v, want ~8 cold", got)
+	}
+	// Cyclic access with LRU: fewer than 8 ways gives ~0 hits.
+	if got := c.Misses(7); got < float64(50*8)*0.95 {
+		t.Fatalf("misses(7) = %v, want ~%v", got, 50*8)
+	}
+}
+
+func TestEpochResetsWindow(t *testing.T) {
+	m := New(denseConfig(8, 1))
+	for i := 0; i < 50; i++ {
+		m.Access(0)
+	}
+	first := m.Epoch()
+	if first.Accesses != 50 {
+		t.Fatalf("first window %v", first.Accesses)
+	}
+	second := m.Epoch()
+	if !second.Empty() {
+		t.Fatalf("second window not empty: %v", second.Accesses)
+	}
+	for i := 0; i < 10; i++ {
+		m.Access(0)
+	}
+	third := m.Epoch()
+	if third.Accesses != 10 {
+		t.Fatalf("third window %v", third.Accesses)
+	}
+}
+
+func TestSetSamplingScalesCounts(t *testing.T) {
+	// With SampleEvery=4, only 1/4 of sets are observed but counts are
+	// scaled back up; for a uniform stream the estimate should be close.
+	exact := New(Config{MaxWays: 8, Granularity: 1, SetBits: 6, SampleEvery: 1})
+	sampled := New(Config{MaxWays: 8, Granularity: 1, SetBits: 6, SampleEvery: 4})
+	r := sim.NewRng(2)
+	for i := 0; i < 100000; i++ {
+		a := uint64(r.Intn(1 << 10))
+		exact.Access(a)
+		sampled.Access(a)
+	}
+	ce, cs := exact.Epoch(), sampled.Epoch()
+	if cs.Accesses < ce.Accesses*0.8 || cs.Accesses > ce.Accesses*1.2 {
+		t.Fatalf("sampled accesses %v vs exact %v", cs.Accesses, ce.Accesses)
+	}
+	for _, w := range []int{2, 4, 8} {
+		e, s := ce.Misses(w), cs.Misses(w)
+		if e == 0 {
+			continue
+		}
+		if s < e*0.7 || s > e*1.3 {
+			t.Fatalf("misses(%d): sampled %v vs exact %v", w, s, e)
+		}
+	}
+}
+
+func TestCoarseInterpolation(t *testing.T) {
+	m := New(denseConfig(16, 4))
+	r := sim.NewRng(3)
+	for i := 0; i < 50000; i++ {
+		m.Access(uint64(r.Intn(200)))
+	}
+	c := m.Epoch()
+	// Interpolated points must lie between bucket endpoints.
+	for _, w := range []int{1, 2, 3, 5, 6, 7} {
+		lo := c.Misses((w/4 + 1) * 4)
+		hi := c.Misses((w / 4) * 4)
+		if c.Misses(w) < lo-1e-9 || c.Misses(w) > hi+1e-9 {
+			t.Fatalf("misses(%d)=%v outside [%v,%v]", w, c.Misses(w), lo, hi)
+		}
+	}
+}
+
+func TestMissesAvoidedAndIncurred(t *testing.T) {
+	m := New(denseConfig(16, 1))
+	for rep := 0; rep < 100; rep++ {
+		for l := 0; l < 6; l++ {
+			m.Access(uint64(l * 16))
+		}
+	}
+	c := m.Epoch()
+	if got := c.MissesAvoided(4, 4); got <= 0 {
+		t.Fatalf("growing past the knee should avoid misses, got %v", got)
+	}
+	if got := c.MissesAvoided(8, 4); got != 0 {
+		t.Fatalf("growing beyond the working set avoids nothing, got %v", got)
+	}
+	if got := c.MissesIncurred(8, 4); got <= 0 {
+		t.Fatalf("shrinking into the working set should hurt, got %v", got)
+	}
+	if got := c.MissesIncurred(16, 4); got != 0 {
+		t.Fatalf("shrinking spare capacity is free, got %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := New(denseConfig(8, 1))
+	for i := 0; i < 40; i++ {
+		m.Access(0)
+	}
+	c := m.Epoch().Scale(0.5)
+	if c.Accesses != 20 {
+		t.Fatalf("scaled accesses %v", c.Accesses)
+	}
+	if c.Misses(0) != 20 {
+		t.Fatalf("scaled misses(0) %v", c.Misses(0))
+	}
+}
+
+func TestTagEntriesOverhead(t *testing.T) {
+	m := New(Config{MaxWays: 192, Granularity: 4, SetBits: 9, SampleEvery: 32})
+	if got := m.TagEntries(); got != 16*192 {
+		t.Fatalf("tag entries %d", got)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxWays: 0, Granularity: 1, SetBits: 4, SampleEvery: 1},
+		{MaxWays: 8, Granularity: 1, SetBits: 4, SampleEvery: 3},
+		{MaxWays: 8, Granularity: 1, SetBits: 2, SampleEvery: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: for any access stream, the miss curve is monotone nonincreasing
+// and bounded by [0, Accesses].
+func TestCurveBoundsProperty(t *testing.T) {
+	f := func(seed uint64, n uint16, span uint8) bool {
+		m := New(denseConfig(16, 4))
+		r := sim.NewRng(seed)
+		width := int(span)%500 + 1
+		for i := 0; i < int(n)%2000+10; i++ {
+			m.Access(uint64(r.Intn(width)))
+		}
+		c := m.Epoch()
+		prev := c.Accesses + 1e-9
+		for w := 0; w <= c.MaxWays; w++ {
+			v := c.Misses(w)
+			if v < -1e-9 || v > c.Accesses+1e-9 || v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package workloads provides the benchmark models behind the paper's
+// evaluation: synthetic stand-ins for the 29 SPEC CPU2006 applications
+// (classified per Table III), the 15 multi-programmed mixes of Table IV, the
+// 64-core replicated mixes, and the SPLASH2 sharing profiles of Table V.
+//
+// Each application is a declarative Spec — working-set regions, an optional
+// streaming component, an optional cyclic "cliff" region, pacing and
+// burstiness — compiled into a trace.Generator. The specs are tuned so that
+// the paper's own classification procedure (Section III-B: >10% IPC
+// improvement across the 128 KB / 512 KB / 8 MB points, MPKI>5 for
+// thrashing) reproduces Table III; a test enforces this. Nothing in the
+// policies knows application names: headline effects (xalancbmk/soplex far
+// knees, lbm/libquantum far-sighted over-allocation) emerge from curve
+// shapes alone.
+package workloads
+
+import (
+	"fmt"
+
+	"delta/internal/sim"
+	"delta/internal/trace"
+)
+
+// Class is the paper's Table III sensitivity classification.
+type Class int
+
+const (
+	// Insensitive applications see <10% IPC improvement from 128 KB to
+	// 8 MB and have low MPKI.
+	Insensitive Class = iota
+	// Thrashing applications are also insensitive but miss heavily
+	// (MPKI > 5): streaming codes.
+	Thrashing
+	// SensLow applications improve in the 128 KB - 512 KB range.
+	SensLow
+	// SensLowMed applications improve both below 512 KB and out to 8 MB.
+	SensLowMed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Insensitive:
+		return "I"
+	case Thrashing:
+		return "T"
+	case SensLow:
+		return "L"
+	case SensLowMed:
+		return "LM"
+	}
+	return "?"
+}
+
+// Region is one uniformly accessed working set.
+type Region struct {
+	KB     int
+	Weight float64
+}
+
+// Spec declares an application's memory behaviour.
+type Spec struct {
+	MemFraction   float64
+	WriteFraction float64
+	// Burst approximates the application's MLP (see trace.ShaperConfig).
+	Burst float64
+
+	// Regions are uniformly accessed working sets (hot to huge).
+	Regions []Region
+	// StreamKB adds a sequential walk over this footprint with StreamWeight
+	// probability — the thrashing component.
+	StreamKB     int
+	StreamWeight float64
+	// CliffKB adds a cyclically walked region: with LRU it yields zero hits
+	// below its size and full hits above — a capacity cliff. This is what
+	// gives xalancbmk/soplex their far knees.
+	CliffKB     int
+	CliffWeight float64
+	// PhaseKB, when set, alternates the first region between its normal
+	// size and PhaseKB every PhasePeriod accesses (program phases, the
+	// Fig. 13 ingredient).
+	PhaseKB     int
+	PhasePeriod uint64
+}
+
+// Build compiles the spec into a deterministic generator.
+func (s Spec) Build(seed uint64) trace.Generator {
+	if len(s.Regions) == 0 && s.StreamWeight == 0 && s.CliffWeight == 0 {
+		panic("workloads: empty spec")
+	}
+	var comps []trace.Component
+	base := uint64(0)
+	const gap = 1 << 30 // keep components far apart in the address space
+	// Real physical mappings are not power-of-two aligned: jitter each
+	// component's base so distinct regions (and distinct applications) do
+	// not collide on the same cache sets under interleaved indexing.
+	jit := sim.NewRng(seed ^ 0x9e3779b9)
+	jitter := func() uint64 { return jit.Uint64n(1<<18) * 64 } // page-aligned-ish
+	base += jitter()
+	first := true
+	for _, r := range s.Regions {
+		gen := trace.Generator(trace.NewRegionGen(base, trace.Lines(r.KB), seed^base))
+		if first && s.PhaseKB > 0 && s.PhasePeriod > 0 {
+			gen = trace.NewPhasedGen(
+				trace.Phase{Gen: gen, Accesses: s.PhasePeriod},
+				trace.Phase{
+					Gen:      trace.NewRegionGen(base, trace.Lines(s.PhaseKB), seed^base^1),
+					Accesses: s.PhasePeriod,
+				},
+			)
+		}
+		comps = append(comps, trace.Component{Gen: gen, Weight: r.Weight})
+		base += gap + jitter()
+		first = false
+	}
+	if s.StreamWeight > 0 {
+		comps = append(comps, trace.Component{
+			Gen:    trace.NewStreamGen(base, trace.Lines(s.StreamKB)),
+			Weight: s.StreamWeight,
+		})
+		base += gap + jitter()
+	}
+	if s.CliffWeight > 0 {
+		comps = append(comps, trace.Component{
+			Gen:    trace.NewStreamGen(base, trace.Lines(s.CliffKB)),
+			Weight: s.CliffWeight,
+		})
+	}
+	var inner trace.Generator
+	if len(comps) == 1 {
+		inner = comps[0].Gen
+	} else {
+		inner = trace.NewMixtureGen(seed^0x5f5f, comps...)
+	}
+	return trace.NewShaper(inner, trace.ShaperConfig{
+		MemFraction:   s.MemFraction,
+		WriteFraction: s.WriteFraction,
+		Burst:         s.Burst,
+		Seed:          seed ^ 0xa5a5,
+	})
+}
+
+// App is one SPEC CPU2006 model.
+type App struct {
+	Name  string
+	Short string
+	Class Class
+	Spec  Spec
+}
+
+// apps is the full SPEC CPU2006 suite per Table III. Working-set choices
+// follow the class semantics; see the package comment.
+var apps = []App{
+	// ----- Insensitive: L2-resident footprints, low MPKI.
+	{"povray", "po", Insensitive, Spec{MemFraction: 0.30, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{48, 1}}}},
+	{"sjeng", "sj", Insensitive, Spec{MemFraction: 0.25, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{64, 1}}}},
+	{"namd", "na", Insensitive, Spec{MemFraction: 0.30, WriteFraction: 0.15, Burst: 3,
+		Regions: []Region{{80, 1}}}},
+	{"zeusmp", "ze", Insensitive, Spec{MemFraction: 0.28, WriteFraction: 0.25, Burst: 3,
+		Regions: []Region{{96, 1}}}},
+	{"GemsFDTD", "Ge", Insensitive, Spec{MemFraction: 0.30, WriteFraction: 0.25, Burst: 4,
+		Regions: []Region{{96, 1}}}},
+
+	// ----- Thrashing: streaming codes. Stream weights are calibrated to
+	// post-prefetch LLC miss rates (~25-45 MPKI, matching published SPEC
+	// characterizations); the shallow huge region keeps the far miss curve
+	// sloping, which baits the farsighted centralized allocator (Fig. 11).
+	{"bwaves", "bw", Thrashing, Spec{MemFraction: 0.33, WriteFraction: 0.2, Burst: 8,
+		Regions: []Region{{24, 0.84}, {32 * 1024, 0.04}}, StreamKB: 48 * 1024, StreamWeight: 0.12}},
+	{"libquantum", "li", Thrashing, Spec{MemFraction: 0.30, WriteFraction: 0.25, Burst: 8,
+		Regions: []Region{{20, 0.82}, {28 * 1024, 0.04}}, StreamKB: 64 * 1024, StreamWeight: 0.14}},
+	{"milc", "mi", Thrashing, Spec{MemFraction: 0.32, WriteFraction: 0.25, Burst: 6,
+		Regions: []Region{{24, 0.85}, {24 * 1024, 0.03}}, StreamKB: 40 * 1024, StreamWeight: 0.12}},
+
+	// ----- Cache-sensitive low: knees inside 128 KB - 512 KB. The tiny
+	// background stream keeps a base MPKI capacity cannot remove, so the
+	// 512 KB -> 8 MB improvement stays under the 10% threshold.
+	{"h264ref", "h2", SensLow, Spec{MemFraction: 0.30, WriteFraction: 0.2, Burst: 3,
+		Regions: []Region{{64, 0.63}, {320, 0.35}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"gromacs", "gr", SensLow, Spec{MemFraction: 0.28, WriteFraction: 0.2, Burst: 3,
+		Regions: []Region{{48, 0.63}, {288, 0.35}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"astar", "as", SensLow, Spec{MemFraction: 0.30, WriteFraction: 0.15, Burst: 1.5,
+		Regions: []Region{{64, 0.60}, {320, 0.38}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"gamess", "ga", SensLow, Spec{MemFraction: 0.27, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{48, 0.65}, {256, 0.33}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"lbm", "lb", SensLow, Spec{MemFraction: 0.33, WriteFraction: 0.4, Burst: 8,
+		Regions:  []Region{{64, 0.50}, {320, 0.36}, {24 * 1024, 0.04}},
+		StreamKB: 24 * 1024, StreamWeight: 0.10}},
+	{"tonto", "to", SensLow, Spec{MemFraction: 0.28, WriteFraction: 0.2, Burst: 2.5,
+		Regions: []Region{{48, 0.63}, {352, 0.35}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"wrf", "wr", SensLow, Spec{MemFraction: 0.30, WriteFraction: 0.25, Burst: 4,
+		Regions: []Region{{64, 0.63}, {288, 0.35}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"leslie3d", "le", SensLow, Spec{MemFraction: 0.31, WriteFraction: 0.25, Burst: 5,
+		Regions: []Region{{64, 0.60}, {320, 0.38}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"hmmer", "hm", SensLow, Spec{MemFraction: 0.29, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{48, 0.65}, {288, 0.33}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+
+	// ----- Cache-sensitive low-medium: improvement through 8 MB at
+	// realistic LLC-level MPKI (the warm region carries ~20-30 MPKI when
+	// capacity-starved). xalancbmk and soplex carry their far-capacity
+	// benefit in a cyclic cliff region: invisible to DELTA's nearsighted
+	// +-4-way window, visible to the farsighted Lookahead (Figs. 7, 10).
+	{"dealII", "de", SensLowMed, Spec{MemFraction: 0.30, WriteFraction: 0.2, Burst: 3,
+		Regions: []Region{{48, 0.52}, {256, 0.36}, {1024, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"omnetpp", "om", SensLowMed, Spec{MemFraction: 0.31, WriteFraction: 0.25, Burst: 1.5,
+		Regions: []Region{{48, 0.50}, {288, 0.36}, {1024, 0.12}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"xalancbmk", "xa", SensLowMed, Spec{MemFraction: 0.30, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{96, 0.54}, {256, 0.32}}, CliffKB: 576, CliffWeight: 0.12,
+		StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"gobmk", "go", SensLowMed, Spec{MemFraction: 0.28, WriteFraction: 0.2, Burst: 2,
+		Regions: []Region{{48, 0.52}, {256, 0.36}, {768, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"bzip2", "bz", SensLowMed, Spec{MemFraction: 0.29, WriteFraction: 0.3, Burst: 2.5,
+		Regions: []Region{{64, 0.50}, {288, 0.36}, {896, 0.12}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"gcc", "gc", SensLowMed, Spec{MemFraction: 0.30, WriteFraction: 0.25, Burst: 2,
+		Regions: []Region{{48, 0.52}, {256, 0.36}, {1024, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02,
+		PhaseKB: 512, PhasePeriod: 60000}},
+	{"mcf", "mc", SensLowMed, Spec{MemFraction: 0.34, WriteFraction: 0.2, Burst: 1.2,
+		Regions: []Region{{64, 0.42}, {384, 0.40}, {1536, 0.16}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"soplex", "so", SensLowMed, Spec{MemFraction: 0.32, WriteFraction: 0.2, Burst: 2.5,
+		Regions: []Region{{96, 0.53}, {256, 0.32}}, CliffKB: 512, CliffWeight: 0.14,
+		StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"perlbench", "pe", SensLowMed, Spec{MemFraction: 0.29, WriteFraction: 0.25, Burst: 2,
+		Regions: []Region{{48, 0.52}, {224, 0.36}, {768, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"sphinx3", "sp", SensLowMed, Spec{MemFraction: 0.31, WriteFraction: 0.15, Burst: 3,
+		Regions: []Region{{48, 0.52}, {256, 0.36}, {1024, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"calculix", "ca", SensLowMed, Spec{MemFraction: 0.28, WriteFraction: 0.2, Burst: 3,
+		Regions: []Region{{48, 0.52}, {256, 0.36}, {768, 0.10}}, StreamKB: 16 * 1024, StreamWeight: 0.02}},
+	{"cactusADM", "cac", SensLowMed, Spec{MemFraction: 0.30, WriteFraction: 0.3, Burst: 4,
+		Regions: []Region{{64, 0.50}, {320, 0.36}, {1280, 0.12}}, StreamKB: 16 * 1024, StreamWeight: 0.02,
+		PhaseKB: 768, PhasePeriod: 80000}},
+}
+
+// Apps returns the full suite (shared slice; do not mutate).
+func Apps() []App { return apps }
+
+// ByShort resolves an application by its Table III/IV short code.
+func ByShort(code string) App {
+	for _, a := range apps {
+		if a.Short == code {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("workloads: unknown app code %q", code))
+}
+
+// ByName resolves an application by full name.
+func ByName(name string) App {
+	for _, a := range apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("workloads: unknown app %q", name))
+}

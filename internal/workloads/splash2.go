@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"delta/internal/trace"
+)
+
+// Splash2App is one SPLASH2 benchmark's sharing profile. PagePrivate and
+// BlockPrivate are the paper's measured percentages of pages/blocks touched
+// by exactly one thread (Table V); the synthetic generator below is tuned to
+// land near the page ratio, and the block ratio emerges from the boundary-
+// page structure.
+type Splash2App struct {
+	Name         string
+	PagePrivate  float64 // % from Table V
+	BlockPrivate float64 // % from Table V
+	// MemFraction/Burst shape the per-thread streams.
+	MemFraction float64
+	Burst       float64
+	// PrivateKB is each thread's private working set; SharedKB the common
+	// region. Larger shared sets make S-NUCA's pooled capacity matter.
+	PrivateKB, SharedKB int
+}
+
+// splash2 transcribes Table V with per-app stream shapes.
+var splash2 = []Splash2App{
+	{"barnes", 8.2, 9.3, 0.30, 3, 96, 2048},
+	{"cholesky", 62, 66, 0.30, 3, 256, 1024},
+	{"fft", 33, 34, 0.32, 5, 192, 2048},
+	{"fmm", 73, 65, 0.30, 3, 256, 768},
+	{"lu.cont", 0.5, 0.3, 0.31, 4, 64, 3072},
+	{"lu.ncont", 0.5, 0.3, 0.31, 4, 64, 3072},
+	{"ocean.cont", 38, 98.6, 0.33, 6, 384, 1024},
+	{"ocean.ncont", 67, 99, 0.33, 6, 384, 768},
+	{"radiosity", 3, 4.2, 0.29, 2, 96, 2048},
+	{"radix", 5.2, 4.5, 0.32, 6, 128, 2560},
+	{"raytrace", 17, 16, 0.30, 2, 128, 1536},
+	{"volrend", 5.7, 6.2, 0.28, 2, 96, 2048},
+	{"water.nsq", 99.8, 99.3, 0.29, 3, 320, 64},
+	{"water.sp", 10, 12, 0.29, 3, 96, 1536},
+}
+
+// Splash2Apps returns the SPLASH2 suite profiles (Table V).
+func Splash2Apps() []Splash2App { return splash2 }
+
+// Splash2ByName resolves a profile.
+func Splash2ByName(name string) Splash2App {
+	for _, a := range splash2 {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("workloads: unknown SPLASH2 app %q", name))
+}
+
+// SharedApp builds the multithreaded trace source for the benchmark on the
+// given thread count. The shared-access fraction is derived from the page
+// privacy target: with T threads, a page drawn from the shared pool is
+// practically always multi-threaded, so the private-page ratio approximates
+// privatePages / (privatePages + sharedPages); we size the shared pool
+// accordingly. Boundary pages are added when Table V shows block privacy
+// well above page privacy (grid codes sharing halos).
+func (a Splash2App) SharedApp(threads int, seed uint64) *trace.SharedApp {
+	// Pages per thread (private working set + hot set) and shared pages.
+	hotKB := 48
+	privPages := float64(a.PrivateKB+hotKB) / 4 * float64(threads)
+	target := a.PagePrivate / 100
+	if target > 0.999 {
+		target = 0.999
+	}
+	sharedPages := privPages * (1 - target) / target
+	sharedKB := int(sharedPages * 4)
+	if sharedKB < 4 {
+		sharedKB = 4
+	}
+	if sharedKB > a.SharedKB*4 {
+		sharedKB = a.SharedKB * 4 // cap footprint
+	}
+	// Shared access fraction: enough to keep shared pages warm without
+	// dominating; sharing intensity scales with the shared footprint.
+	sharedFrac := 1 - target
+	if sharedFrac > 0.95 {
+		sharedFrac = 0.95
+	}
+	boundary := 0
+	if a.BlockPrivate > a.PagePrivate+10 {
+		// Block privacy >> page privacy: mostly-private pages containing a
+		// few shared lines.
+		boundary = 8
+	}
+	// Shared and cold-private accesses split what the hot set leaves.
+	const hotFraction = 0.62
+	sharedFrac *= 1 - hotFraction
+	// Most shared traffic concentrates on a hot subset (locks, frontier
+	// data); the cold shared pages exist — and count as shared pages — but
+	// are touched rarely, as in real shared-memory codes.
+	sharedHotKB := 128
+	if sharedHotKB > sharedKB {
+		sharedHotKB = sharedKB
+	}
+	return trace.NewSharedApp(trace.SharedConfig{
+		Threads:        threads,
+		SharedBase:     0,
+		SharedLines:    trace.Lines(sharedKB),
+		SharedHotLines: trace.Lines(sharedHotKB),
+		SharedHotBias:  0.85,
+		PrivateLines:   trace.Lines(a.PrivateKB),
+		HotLines:       trace.Lines(hotKB),
+		HotFraction:    hotFraction,
+		SharedFraction: sharedFrac,
+		BoundaryPages:  boundary,
+		Seed:           seed,
+	})
+}
+
+// ThreadGenerators returns shaped per-thread generators.
+func (a Splash2App) ThreadGenerators(threads int, seed uint64) []trace.Generator {
+	app := a.SharedApp(threads, seed)
+	out := make([]trace.Generator, threads)
+	for t := 0; t < threads; t++ {
+		out[t] = trace.NewShaper(app.ThreadGen(t), trace.ShaperConfig{
+			MemFraction: a.MemFraction,
+			Burst:       a.Burst,
+			Seed:        seed + uint64(t)*13,
+		})
+	}
+	return out
+}

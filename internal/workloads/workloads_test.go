@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"testing"
+
+	"delta/internal/trace"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	if len(Apps()) != 29 {
+		t.Fatalf("suite has %d apps, want 29 (SPEC CPU2006)", len(Apps()))
+	}
+	counts := map[Class]int{}
+	seen := map[string]bool{}
+	for _, a := range Apps() {
+		if seen[a.Short] {
+			t.Fatalf("duplicate short code %q", a.Short)
+		}
+		seen[a.Short] = true
+		counts[a.Class]++
+	}
+	// Table III: 5 insensitive, 3 thrashing, 9 L, 12 LM.
+	if counts[Insensitive] != 5 || counts[Thrashing] != 3 ||
+		counts[SensLow] != 9 || counts[SensLowMed] != 12 {
+		t.Fatalf("class counts %v do not match Table III", counts)
+	}
+}
+
+func TestByShortAndName(t *testing.T) {
+	if ByShort("xa").Name != "xalancbmk" {
+		t.Fatal("short-code lookup broken")
+	}
+	if ByName("soplex").Short != "so" {
+		t.Fatal("name lookup broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown code")
+		}
+	}()
+	ByShort("zz")
+}
+
+func TestMixesWellFormed(t *testing.T) {
+	if len(Mixes()) != 15 {
+		t.Fatalf("%d mixes, want 15", len(Mixes()))
+	}
+	for _, m := range Mixes() {
+		for _, code := range m.Codes {
+			ByShort(code) // panics on junk
+		}
+	}
+	// Fig. 7/10's subject apps must be present in w2 (see the transcription
+	// note in mixes.go).
+	w2 := MixByName("w2")
+	hasXa, hasSo := false, false
+	for _, c := range w2.Codes {
+		if c == "xa" {
+			hasXa = true
+		}
+		if c == "so" {
+			hasSo = true
+		}
+	}
+	if !hasXa || !hasSo {
+		t.Fatal("w2 must contain xalancbmk and soplex for Fig. 7")
+	}
+	// Fig. 11's subjects must be in w13.
+	w13 := MixByName("w13")
+	hasLb, hasLi := false, false
+	for _, c := range w13.Codes {
+		if c == "lb" {
+			hasLb = true
+		}
+		if c == "li" {
+			hasLi = true
+		}
+	}
+	if !hasLb || !hasLi {
+		t.Fatal("w13 must contain lbm and libquantum for Fig. 11")
+	}
+}
+
+func TestSlotsReplication(t *testing.T) {
+	m := MixByName("w1")
+	s64 := m.Slots(64)
+	if len(s64) != 64 {
+		t.Fatalf("%d slots", len(s64))
+	}
+	for i := 0; i < 16; i++ {
+		for r := 1; r < 4; r++ {
+			if s64[i].Short != s64[i+16*r].Short {
+				t.Fatalf("replication broken at slot %d copy %d", i, r)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple core count")
+		}
+	}()
+	m.Slots(17)
+}
+
+func TestGeneratorsDiffer(t *testing.T) {
+	m := MixByName("w3") // contains to(2): duplicates must not be in lockstep
+	gens := m.Generators(16, 1)
+	a, b := gens[0], gens[1] // both tonto
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next().Line == b.Next().Line {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("duplicate apps emit %d/100 identical lines", same)
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	a := ByShort("om")
+	g1, g2 := a.Spec.Build(42), a.Spec.Build(42)
+	for i := 0; i < 1000; i++ {
+		x, y := g1.Next(), g2.Next()
+		if x.Line != y.Line || x.Gap != y.Gap || x.Write != y.Write {
+			t.Fatalf("nondeterministic build at access %d", i)
+		}
+	}
+}
+
+func TestSpecBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Spec{MemFraction: 0.3}.Build(1)
+}
+
+// TestClassificationMatchesTableIII is the central validation of the SPEC
+// substitution: running the paper's own classification procedure on our
+// synthetic app models must land every app in its Table III class.
+func TestClassificationMatchesTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification sweep is slow")
+	}
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			prof := MeasureApp(a, 900000, 400000, 7)
+			if got := prof.Classify(); got != a.Class {
+				t.Fatalf("%s classified %v, want %v (points %+v)",
+					a.Name, got, a.Class, prof.Points)
+			}
+		})
+	}
+}
+
+func TestSplash2Profiles(t *testing.T) {
+	if len(Splash2Apps()) != 14 {
+		t.Fatalf("%d SPLASH2 apps, want 14 (Table V)", len(Splash2Apps()))
+	}
+	for _, a := range Splash2Apps() {
+		if a.PagePrivate < 0 || a.PagePrivate > 100 {
+			t.Fatalf("%s page ratio %v", a.Name, a.PagePrivate)
+		}
+	}
+	if Splash2ByName("water.nsq").PagePrivate < 99 {
+		t.Fatal("water.nsq should be almost fully private")
+	}
+}
+
+func TestSplash2SharingRatios(t *testing.T) {
+	// The generator should land in the right privacy regime for the
+	// extremes of Table V.
+	for _, tc := range []struct {
+		name string
+		lo   float64
+		hi   float64
+	}{
+		{"water.nsq", 0.9, 1.0},  // 99.8% private
+		{"lu.cont", 0.0, 0.35},   // 0.5% private
+		{"cholesky", 0.35, 0.95}, // 62% private
+	} {
+		app := Splash2ByName(tc.name).SharedApp(16, 3)
+		page, _ := app.PrivateRatios(20000)
+		if page < tc.lo || page > tc.hi {
+			t.Fatalf("%s page privacy %v outside [%v, %v]", tc.name, page, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestSplash2BoundaryEffect(t *testing.T) {
+	// ocean.cont: 38% page-private but 98.6% block-private in Table V —
+	// block privacy must exceed page privacy in the model too.
+	app := Splash2ByName("ocean.cont").SharedApp(16, 5)
+	page, block := app.PrivateRatios(20000)
+	if block <= page {
+		t.Fatalf("ocean.cont block privacy %v <= page privacy %v", block, page)
+	}
+}
+
+func TestThreadGenerators(t *testing.T) {
+	gens := Splash2ByName("fft").ThreadGenerators(16, 9)
+	if len(gens) != 16 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	for _, g := range gens {
+		if _, ok := g.(*trace.Shaper); !ok {
+			t.Fatal("thread generators must be shaped")
+		}
+	}
+}
