@@ -12,6 +12,7 @@ import (
 	"delta/internal/central"
 	"delta/internal/chip"
 	"delta/internal/experiments"
+	"delta/internal/telemetry"
 	"delta/internal/workloads"
 )
 
@@ -173,6 +174,25 @@ func BenchmarkTableVILookahead64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		central.Lookahead(curves, 1024, 1, 1024)
 	}
+}
+
+// BenchmarkTelemetryOverhead compares a Fig. 5-style DELTA run with telemetry
+// fully disabled (Recorder nil: the sampler never runs) against the same run
+// through the no-op recorder (the full sampling/event path executes and
+// discards). The ISSUE acceptance bound is <2% delta between the two;
+// bench_results.txt records the measurements.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	mix := workloads.MixByName("w2")
+	run := func(b *testing.B, rec telemetry.Recorder) {
+		sc := benchScale()
+		sc.Recorder = rec
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.RunMix("delta", mix, 16)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, telemetry.Nop{}) })
 }
 
 // BenchmarkOverheadsControlTraffic measures the run behind the Section

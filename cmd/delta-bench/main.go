@@ -21,13 +21,27 @@ import (
 	"time"
 
 	"delta/internal/experiments"
+	"delta/internal/profiling"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, all)")
 	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-bench:", err)
+		}
+	}()
 
 	sc := experiments.DefaultScale()
 	if *quick {

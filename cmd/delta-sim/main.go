@@ -17,6 +17,7 @@ import (
 
 	"delta"
 	"delta/internal/metrics"
+	"delta/internal/profiling"
 )
 
 func main() {
@@ -28,12 +29,25 @@ func main() {
 	budget := flag.Uint64("budget", 250_000, "measured instructions per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if (*mix == "") == (*app == "") {
 		fmt.Fprintln(os.Stderr, "exactly one of -mix or -app is required")
 		os.Exit(2)
 	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-sim:", err)
+		}
+	}()
 
 	sim := delta.NewSimulator(delta.Config{
 		Cores:              *cores,

@@ -5,15 +5,19 @@
 //
 //	delta-trace -mix w2
 //	delta-trace -mix w13 -events 40
+//	delta-trace -mix w2 -jsonl | jq 'select(.kind=="cede")'
+//	delta-trace -mix w2 -timeline
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"delta/internal/chip"
 	"delta/internal/experiments"
 	"delta/internal/metrics"
+	"delta/internal/telemetry"
 	"delta/internal/workloads"
 )
 
@@ -22,6 +26,8 @@ func main() {
 	cores := flag.Int("cores", 16, "core count")
 	events := flag.Int("events", 20, "max reconfiguration events to print")
 	util := flag.Bool("util", false, "print the per-bank utilization map")
+	jsonl := flag.Bool("jsonl", false, "stream the DELTA run's telemetry as JSONL on stdout (suppresses tables)")
+	timeline := flag.Bool("timeline", false, "print the DELTA run's per-quantum sampled series (suppresses tables)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -29,6 +35,24 @@ func main() {
 		sc = sc.For64()
 	}
 	mix := workloads.MixByName(*mixName)
+
+	if *jsonl {
+		rec := telemetry.NewJSONL(os.Stdout)
+		sc.Recorder = rec
+		sc.RunMix("delta", mix, *cores)
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *timeline {
+		rec := telemetry.NewMemory(0)
+		sc.Recorder = rec
+		sc.RunMix("delta", mix, *cores)
+		printTimeline(rec, *cores)
+		return
+	}
 
 	t := metrics.NewTable(fmt.Sprintf("%s on %d cores", *mixName, *cores),
 		"policy", "geomean IPC", "vs s-nuca", "ctrl msg %", "inval lines")
@@ -79,5 +103,66 @@ func main() {
 		}
 		fmt.Printf("  @%-9d %-13s core %2d (%-10s) bank %2d ways %d\n",
 			ev.Cycle, ev.Kind, ev.Core, slots[ev.Core].Name, ev.Bank, ev.Ways)
+	}
+}
+
+// printTimeline renders the sampled series: per sample window, the mean of
+// the per-tile points plus the chip-wide NoC/MCU point, then an event-count
+// summary.
+func printTimeline(rec *telemetry.Memory, cores int) {
+	type window struct {
+		ipc, mpki, fill, hit float64
+		tiles                int
+		nocUtil, mcuQueue    float64
+	}
+	windows := map[uint64]*window{}
+	var order []uint64
+	for _, s := range rec.Samples() {
+		w := windows[s.Cycle]
+		if w == nil {
+			w = &window{}
+			windows[s.Cycle] = w
+			order = append(order, s.Cycle)
+		}
+		if s.Tile == telemetry.ChipWide {
+			w.nocUtil = s.NoCLinkUtil
+			w.mcuQueue = s.MCUQueue
+		} else {
+			w.ipc += s.IPC
+			w.mpki += s.MPKI
+			w.fill += s.BankFill
+			w.hit += s.BankHitRate
+			w.tiles++
+		}
+	}
+	t := metrics.NewTable(fmt.Sprintf("sampled series (%d cores)", cores),
+		"cycle", "mean IPC", "mean MPKI", "mean fill", "mean hit%", "NoC util", "MCU queue")
+	for _, cy := range order {
+		w := windows[cy]
+		n := float64(w.tiles)
+		if n == 0 {
+			n = 1
+		}
+		t.AddRow(fmt.Sprint(cy),
+			fmt.Sprintf("%.3f", w.ipc/n),
+			fmt.Sprintf("%.1f", w.mpki/n),
+			fmt.Sprintf("%.3f", w.fill/n),
+			fmt.Sprintf("%.1f", 100*w.hit/n),
+			fmt.Sprintf("%.4f", w.nocUtil),
+			fmt.Sprintf("%.2f", w.mcuQueue))
+	}
+	fmt.Println(t.String())
+	fmt.Println("events:")
+	for _, k := range []telemetry.EventKind{
+		telemetry.KindChallenge, telemetry.KindChallengeResult,
+		telemetry.KindCede, telemetry.KindIdleGrant, telemetry.KindIntraShift,
+		telemetry.KindRetreat, telemetry.KindRemap, telemetry.KindAlloc,
+	} {
+		if n := len(rec.EventsOfKind(k)); n > 0 {
+			fmt.Printf("  %-16s %d\n", k, n)
+		}
+	}
+	if d := rec.DroppedEvents(); d > 0 {
+		fmt.Printf("  (%d events dropped by the ring buffer)\n", d)
 	}
 }

@@ -63,6 +63,13 @@ type Config struct {
 	Multithreaded bool
 	// Seed drives workload randomness.
 	Seed uint64
+	// Recorder receives telemetry (events, per-quantum samples, end-of-run
+	// counters and gauges). nil disables telemetry entirely; the policies
+	// attach to it automatically.
+	Recorder Recorder
+	// SampleEvery sets how many quanta elapse between telemetry samples
+	// (0 uses the chip default of 16). Only meaningful with a Recorder.
+	SampleEvery int
 
 	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
 	// nil uses Table II defaults scaled by TimeCompression.
@@ -119,6 +126,8 @@ func NewSimulator(cfg Config) *Simulator {
 	ccfg.Multithreaded = cfg.Multithreaded
 	ccfg.Seed = cfg.Seed
 	ccfg.UmonSampleEvery = 4
+	ccfg.Recorder = cfg.Recorder
+	ccfg.SampleEvery = cfg.SampleEvery
 	s := &Simulator{cfg: cfg}
 	var pol chip.Policy
 	switch cfg.Policy {

@@ -3,11 +3,13 @@ package central
 import (
 	"math"
 	"sort"
+	"time"
 
 	"delta/internal/cbt"
 	"delta/internal/chip"
 	"delta/internal/geom"
 	"delta/internal/sim"
+	"delta/internal/telemetry"
 	"delta/internal/umon"
 )
 
@@ -155,7 +157,23 @@ type Ideal struct {
 	smooth  []MissCurve
 	history []allocStat
 
+	// rec receives one KindAlloc event per allocator invocation, carrying
+	// the allocator's wall-clock cost (the Table VI observable). Never nil;
+	// recSet marks an explicit SetRecorder.
+	rec    telemetry.Recorder
+	recSet bool
+
 	Stats IdealStats
+}
+
+// SetRecorder attaches a telemetry recorder; nil restores the no-op
+// recorder. An explicit recorder takes precedence over the chip's.
+func (p *Ideal) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Nop{}
+	}
+	p.rec = r
+	p.recSet = true
 }
 
 type allocStat struct {
@@ -183,7 +201,7 @@ func NewIdeal(cfg IdealConfig) *Ideal {
 	if cfg.BenefitGate == 0 {
 		cfg.BenefitGate = 0.05
 	}
-	return &Ideal{cfg: cfg}
+	return &Ideal{cfg: cfg, rec: telemetry.Nop{}}
 }
 
 // Name implements chip.Policy.
@@ -192,6 +210,11 @@ func (p *Ideal) Name() string { return "ideal-central" }
 // Attach implements chip.Policy with equal partitioning as the start state.
 func (p *Ideal) Attach(c *chip.Chip) {
 	p.c = c
+	if !p.recSet {
+		if r := c.Recorder(); r != nil {
+			p.rec = r
+		}
+	}
 	p.n = c.Cores()
 	p.w = c.Ways()
 	if p.cfg.MaxWays == 0 {
@@ -252,11 +275,13 @@ func (p *Ideal) Tick(now uint64) {
 	}
 	total := p.n * p.w
 	var next Alloc
+	allocStart := time.Now()
 	if p.cfg.UsePeekahead {
 		next = Peekahead(curves, total, p.cfg.MinWays, p.cfg.MaxWays)
 	} else {
 		next = Lookahead(curves, total, p.cfg.MinWays, p.cfg.MaxWays)
 	}
+	p.rec.Count("central.allocs", 1)
 	maxDelta := 0
 	for i := range next {
 		d := next[i] - p.alloc[i]
@@ -269,6 +294,11 @@ func (p *Ideal) Tick(now uint64) {
 		p.history[i].sum += float64(next[i])
 		p.history[i].count++
 	}
+	// One alloc event per invocation: its wall-clock cost is the repo's
+	// stand-in for the paper's Table VI allocator-latency observable.
+	p.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindAlloc,
+		Core: -1, Bank: -1, Ways: maxDelta,
+		Nanos: time.Since(allocStart).Nanoseconds()})
 	if maxDelta < p.cfg.MinChange {
 		return
 	}

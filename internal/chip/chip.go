@@ -19,6 +19,7 @@ import (
 	"delta/internal/mem"
 	"delta/internal/noc"
 	"delta/internal/sim"
+	"delta/internal/telemetry"
 	"delta/internal/trace"
 	"delta/internal/umon"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// Multithreaded enables the page classifier: shared pages revert to
 	// S-NUCA mapping (Section II-E).
 	Multithreaded bool
+
+	// Recorder receives the chip's telemetry: per-quantum time-series
+	// samples (per-core IPC/MPKI, per-bank fill/hit-rate, NoC link
+	// utilization, MCU queue depth) plus end-of-run gauges and counters.
+	// nil disables the sampler entirely; telemetry.Nop{} exercises the
+	// sampling path at (benchmarked) negligible cost.
+	Recorder telemetry.Recorder
+	// SampleEvery emits one time-series sample every N quanta (0 = 16).
+	SampleEvery int
 }
 
 // DefaultConfig returns the paper's Table II configuration for the given
@@ -142,6 +152,13 @@ type Tile struct {
 
 	lastLLCAccesses uint64
 	idleStreak      int
+
+	// Telemetry sampling window: the previous sample's cumulative counters.
+	sampInstr    uint64
+	sampCycle    uint64
+	sampLLCAcc   uint64
+	sampBankAcc  uint64
+	sampBankHits uint64
 }
 
 // Stats aggregates chip-level counters.
@@ -168,6 +185,14 @@ type Chip struct {
 	bankBits    int // log2(cores), the S-NUCA interleave field width
 	interleaved bool
 	classifier  *coherence.Classifier
+
+	// Telemetry sampler state (rec == nil means disabled).
+	rec          telemetry.Recorder
+	sampleEvery  int
+	sampleQuanta int
+	sampleCycle  uint64 // cycle of the previous sample
+	sampleNoC    noc.Stats
+	sampleMem    mem.Stats
 
 	Stats Stats
 }
@@ -205,13 +230,18 @@ func New(cfg Config, p Policy) *Chip {
 			cfg.UmonMaxWays = total
 		}
 	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 16
+	}
 	topo := geom.SquareMesh(cfg.Cores)
 	c := &Chip{
-		Cfg:    cfg,
-		Topo:   topo,
-		Net:    noc.New(topo, cfg.NoC),
-		Mem:    mem.New(topo, cfg.Mem),
-		events: sim.NewEventQueue(),
+		Cfg:         cfg,
+		Topo:        topo,
+		Net:         noc.New(topo, cfg.NoC),
+		Mem:         mem.New(topo, cfg.Mem),
+		events:      sim.NewEventQueue(),
+		rec:         cfg.Recorder,
+		sampleEvery: cfg.SampleEvery,
 	}
 	llcSets := cfg.LLCBytes / cache.LineBytes / cfg.LLCWays
 	c.llcSetBits = log2(llcSets)
@@ -411,11 +441,21 @@ func (c *Chip) Run(warmup, budget uint64) {
 		c.events.RunUntil(c.now)
 		c.policy.Tick(c.now)
 		c.quantumBookkeeping()
+		if c.rec != nil {
+			c.sampleQuanta++
+			if c.sampleQuanta >= c.sampleEvery {
+				c.sampleQuanta = 0
+				c.emitSamples()
+			}
+		}
 		if remaining == 0 {
 			break
 		}
 	}
 	c.events.Drain()
+	if c.rec != nil {
+		c.publishTelemetry()
+	}
 }
 
 // advanceCore issues accesses until the core's local clock passes qEnd.

@@ -1,0 +1,96 @@
+package chip
+
+import (
+	"fmt"
+
+	"delta/internal/noc"
+	"delta/internal/telemetry"
+)
+
+// emitSamples publishes one per-quantum time-series point per active tile
+// (windowed core IPC/MPKI plus the tile's bank fill and hit rate) and one
+// chip-wide point (NoC link utilization, MCU queue depth). Windows span the
+// quanta since the previous sample; cumulative counters are snapshotted so
+// the series is a true derivative, not a running average.
+func (c *Chip) emitSamples() {
+	for i, t := range c.Tiles {
+		s := telemetry.Sample{Cycle: c.now, Tile: i}
+		if t.gen != nil {
+			instr := t.Core.Instructions() - t.sampInstr
+			cycles := t.Core.Cycle() - t.sampCycle
+			if cycles > 0 {
+				s.IPC = float64(instr) / float64(cycles)
+			}
+			if instr > 0 {
+				s.MPKI = float64(t.LLCAccesses-t.sampLLCAcc) / float64(instr) * 1000
+			}
+			t.sampInstr = t.Core.Instructions()
+			t.sampCycle = t.Core.Cycle()
+			t.sampLLCAcc = t.LLCAccesses
+		}
+		if capLines := t.LLC.Sets * t.LLC.Ways; capLines > 0 {
+			s.BankFill = float64(t.LLC.ValidLines()) / float64(capLines)
+		}
+		acc := t.LLC.Stats.Accesses - t.sampBankAcc
+		hits := t.LLC.Stats.Hits - t.sampBankHits
+		if acc > 0 {
+			s.BankHitRate = float64(hits) / float64(acc)
+		}
+		t.sampBankAcc = t.LLC.Stats.Accesses
+		t.sampBankHits = t.LLC.Stats.Hits
+		c.rec.Sample(s)
+	}
+	chipWide := telemetry.Sample{Cycle: c.now, Tile: telemetry.ChipWide}
+	window := c.now - c.sampleCycle
+	if links := c.Net.DirectedLinks(); links > 0 && window > 0 {
+		hops := c.Net.Stats.Sub(c.sampleNoC).TotalHops()
+		chipWide.NoCLinkUtil = float64(hops) / (float64(window) * float64(links))
+	}
+	memTotals := c.Mem.TotalStats()
+	if window > 0 {
+		// Accumulated waiting cycles per elapsed cycle = time-averaged
+		// number of requests queued at the MCUs (Little's law).
+		d := memTotals.Sub(c.sampleMem)
+		chipWide.MCUQueue = float64(d.QueueDelay) / float64(window)
+	}
+	c.sampleCycle = c.now
+	c.sampleNoC = c.Net.Stats
+	c.sampleMem = memTotals
+	c.rec.Sample(chipWide)
+}
+
+// publishTelemetry writes the end-of-run aggregate state: one gauge per bank
+// (agreeing with BankReports, which report_test.go checks) and the chip-wide
+// counters the text reports print.
+func (c *Chip) publishTelemetry() {
+	for _, r := range c.BankReports() {
+		prefix := fmt.Sprintf("bank%02d.", r.Bank)
+		c.rec.Gauge(prefix+"valid_lines", float64(r.ValidLines))
+		c.rec.Gauge(prefix+"fill", float64(r.ValidLines)/float64(r.Capacity))
+		c.rec.Gauge(prefix+"hit_rate", r.HitRate)
+		c.rec.Gauge(prefix+"evictions", float64(r.Evictions))
+	}
+	tr := c.Traffic()
+	c.rec.Count("chip.llc_accesses", tr.LLCAccesses)
+	c.rec.Count("chip.mem_fetches", tr.MemFetches)
+	c.rec.Count("chip.llc_local_hits", tr.LocalHits)
+	c.rec.Count("chip.llc_remote_hits", tr.RemoteHits)
+	c.rec.Count("chip.inval_lines", c.Stats.InvalLines)
+	c.rec.Count("chip.inval_walks", c.Stats.InvalWalks)
+	c.rec.Count("chip.mask_fallbacks", c.Stats.MaskFallbacks)
+	c.rec.Count("chip.shared_inserts", c.Stats.SharedInserts)
+	c.rec.Count("chip.page_reclassify", c.Stats.PageReclassify)
+	c.rec.Count("noc.messages.data", c.Net.Stats.Messages[noc.ClassData])
+	c.rec.Count("noc.messages.coherence", c.Net.Stats.Messages[noc.ClassCoherence])
+	c.rec.Count("noc.messages.control", c.Net.Stats.Messages[noc.ClassControl])
+	c.rec.Count("noc.hops", c.Net.Stats.TotalHops())
+	mt := c.Mem.TotalStats()
+	c.rec.Count("mem.requests", mt.Requests)
+	c.rec.Count("mem.queue_delay_cycles", mt.QueueDelay)
+	c.rec.Gauge("mem.avg_queue_delay", c.Mem.AvgQueueDelay())
+	c.rec.Gauge("noc.control_fraction", c.Net.Stats.ControlFraction())
+}
+
+// Recorder returns the chip's telemetry recorder, or nil when telemetry is
+// disabled; policies attach to it during Attach.
+func (c *Chip) Recorder() telemetry.Recorder { return c.rec }

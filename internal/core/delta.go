@@ -6,6 +6,7 @@ import (
 	"delta/internal/cbt"
 	"delta/internal/chip"
 	"delta/internal/sim"
+	"delta/internal/telemetry"
 	"delta/internal/umon"
 )
 
@@ -75,11 +76,26 @@ type Delta struct {
 	maxTotal int
 
 	Stats Stats
-	// Trace, when enabled via EnableTrace, records reconfiguration events
-	// for analysis and tests.
-	trace   []Event
-	traceOn bool
+
+	// rec receives structured telemetry events (never nil; Nop by default).
+	// recSet marks an explicit SetRecorder so Attach does not override it
+	// with the chip's recorder.
+	rec    telemetry.Recorder
+	recSet bool
+
+	// Legacy trace (EnableTrace/Events): a bounded ring of the most recent
+	// reconfiguration events. Deprecated in favour of the telemetry
+	// recorder, which carries strictly more information.
+	trace        []Event
+	traceStart   int
+	traceLen     int
+	traceDropped uint64
+	traceOn      bool
 }
+
+// TraceCap bounds the legacy event ring: once full, the oldest event is
+// dropped (and counted) instead of growing the slice without bound.
+const TraceCap = 4096
 
 // Event is one recorded reconfiguration event.
 type Event struct {
@@ -95,22 +111,63 @@ type Event struct {
 	GainFrom, GainTo float64
 }
 
-// EnableTrace turns on event recording.
+// EnableTrace turns on legacy event recording into a ring of the most
+// recent TraceCap events.
+//
+// Deprecated: attach a telemetry.Recorder (SetRecorder, or chip.Config.
+// Recorder) instead; it carries every legacy event plus challenge, cede,
+// idle-grant and remap detail.
 func (d *Delta) EnableTrace() { d.traceOn = true }
 
-// Events returns the recorded events.
-func (d *Delta) Events() []Event { return d.trace }
+// Events returns the recorded events, oldest first. With the same
+// parameters, workloads and RNG seed, the returned sequence is identical
+// across runs (TestTraceDeterministicAcrossRuns): events are only appended
+// from the chip's event queue, which orders callbacks by (cycle, schedule
+// sequence).
+//
+// Deprecated: see EnableTrace.
+func (d *Delta) Events() []Event {
+	out := make([]Event, d.traceLen)
+	for i := 0; i < d.traceLen; i++ {
+		out[i] = d.trace[(d.traceStart+i)%len(d.trace)]
+	}
+	return out
+}
+
+// TraceDropped reports how many legacy events the ring evicted.
+func (d *Delta) TraceDropped() uint64 { return d.traceDropped }
 
 func (d *Delta) record(ev Event) {
-	if d.traceOn {
-		d.trace = append(d.trace, ev)
+	if !d.traceOn {
+		return
 	}
+	if d.trace == nil {
+		d.trace = make([]Event, TraceCap)
+	}
+	if d.traceLen < len(d.trace) {
+		d.trace[(d.traceStart+d.traceLen)%len(d.trace)] = ev
+		d.traceLen++
+		return
+	}
+	d.trace[d.traceStart] = ev
+	d.traceStart = (d.traceStart + 1) % len(d.trace)
+	d.traceDropped++
+}
+
+// SetRecorder attaches a telemetry recorder; nil restores the no-op
+// recorder. An explicit recorder takes precedence over the chip's.
+func (d *Delta) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Nop{}
+	}
+	d.rec = r
+	d.recSet = true
 }
 
 // New builds a DELTA policy with the given parameters.
 func New(p Params) *Delta {
 	p.Validate()
-	return &Delta{p: p}
+	return &Delta{p: p, rec: telemetry.Nop{}}
 }
 
 // Name implements chip.Policy.
@@ -128,6 +185,11 @@ func (d *Delta) SetProcess(core, pid int) { d.pid[core] = pid }
 // algorithm stays asynchronous.
 func (d *Delta) Attach(c *chip.Chip) {
 	d.c = c
+	if !d.recSet {
+		if r := c.Recorder(); r != nil {
+			d.rec = r
+		}
+	}
 	d.n = c.Cores()
 	d.w = c.Ways()
 	d.maxTotal = d.p.MaxTotalWays
@@ -290,6 +352,7 @@ func (d *Delta) interEpoch(i int, now uint64) {
 		}
 		bank, core, g := b, i, d.gainAt(i, b)
 		d.Stats.GainUpdates++
+		d.rec.Count("core.gain_updates", 1)
 		d.c.SendControl(i, b, func(uint64) {
 			d.bankGain[bank][core] = g
 			d.gainDirty[bank] = true
@@ -312,6 +375,9 @@ func (d *Delta) interEpoch(i int, now uint64) {
 	}
 	d.challenged[i][target] = true
 	d.Stats.ChallengesSent++
+	d.rec.Count("core.challenges_sent", 1)
+	d.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindChallenge,
+		Core: i, Bank: target, GainTo: gain})
 	challenger, ch := i, target
 	d.c.SendControl(i, target, func(at uint64) {
 		d.handleChallenge(ch, challenger, gain, at)
@@ -362,6 +428,9 @@ func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
 			d.transferWays(j, j, challenger, w, "chal")
 			d.grantedAt[j][challenger] = now
 			d.Stats.IdleGrants++
+			d.rec.Count("core.idle_grants", 1)
+			d.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindIdleGrant,
+				Core: j, Peer: challenger, Bank: j, Ways: w})
 			d.respond(j, challenger, true, w)
 			return
 		}
@@ -411,6 +480,10 @@ func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
 	d.transferWays(j, victim, challenger, w, "chal")
 	d.gainDirty[j] = true
 	d.grantedAt[j][challenger] = now
+	d.rec.Count("core.ways_ceded", uint64(w))
+	d.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindCede,
+		Core: victim, Peer: challenger, Bank: j, Ways: w,
+		GainFrom: best, GainTo: gain})
 	// The challenge message carried the challenger's gain: seed the bank's
 	// register array with it so the intra-bank loop does not strip the
 	// newcomer before its first periodic gain update arrives. The periodic
@@ -428,12 +501,16 @@ func (d *Delta) respond(j, challenger int, success bool, ways int) {
 
 // handleResponse runs at the challenger (Algorithm 1 lines 17-22).
 func (d *Delta) handleResponse(i, j int, success bool, ways int) {
+	d.rec.Event(telemetry.Event{Cycle: d.c.Now(), Kind: telemetry.KindChallengeResult,
+		Core: i, Bank: j, Won: success, Ways: ways})
 	if !success {
 		d.Stats.ChallengesFailed++
+		d.rec.Count("core.challenges_failed", 1)
 		return
 	}
 	d.Stats.ChallengesWon++
 	d.Stats.Expansions++
+	d.rec.Count("core.challenges_won", 1)
 	d.record(Event{Cycle: d.c.Now(), Kind: "expand", Core: i, Bank: j, Ways: ways})
 	found := false
 	for _, b := range d.bankOrder[i] {
@@ -512,6 +589,10 @@ func (d *Delta) intraEpoch(b int, now uint64) {
 	d.transferWays(b, smallest, largest, w, "intra")
 	d.gainDirty[b] = false
 	d.Stats.IntraMoves++
+	d.rec.Count("core.intra_moves", 1)
+	d.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindIntraShift,
+		Core: largest, Peer: smallest, Bank: b, Ways: w,
+		GainFrom: smallestG, GainTo: largestG})
 	d.record(Event{Cycle: now, Kind: "intra", Core: largest, Bank: b, Ways: w,
 		GainFrom: smallestG, GainTo: largestG})
 	// Feedback to the contending home tiles (Algorithm 2 line 6): the new
@@ -550,6 +631,9 @@ func (d *Delta) transferWays(bank, from, to, w int, cause string) {
 		// bank's gain register for the departed partition is cleared.
 		d.bankGain[bank][from] = 0
 		d.Stats.Retreats++
+		d.rec.Count("core.retreats", 1)
+		d.rec.Event(telemetry.Event{Cycle: d.c.Now(), Kind: telemetry.KindRetreat,
+			Core: from, Bank: bank})
 		d.record(Event{Cycle: d.c.Now(), Kind: "retreat-" + cause, Core: from, Bank: bank})
 		loser, b := from, bank
 		d.cooldownUntil[loser][b] = d.c.Now() +
@@ -595,13 +679,19 @@ func (d *Delta) rebuildCBT(core int) {
 	}
 	moves := cbt.Diff(d.tables[core], next)
 	d.tables[core] = next
+	lines := 0
 	for from, buckets := range cbt.MovedFrom(moves) {
 		set := make(map[int]bool, len(buckets))
 		for _, b := range buckets {
 			set[b] = true
 		}
-		d.Stats.InvalLines += uint64(d.c.InvalidateOwnerBuckets(core, from, set))
+		lines += d.c.InvalidateOwnerBuckets(core, from, set)
 	}
+	d.Stats.InvalLines += uint64(lines)
+	d.rec.Count("core.remaps", 1)
+	d.rec.Count("core.inval_lines", uint64(lines))
+	d.rec.Event(telemetry.Event{Cycle: d.c.Now(), Kind: telemetry.KindRemap,
+		Core: core, Lines: lines})
 }
 
 // Alloc returns a copy of core's per-bank way allocation; used by tests and

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"delta/internal/telemetry"
+)
+
+// TestTraceDeterministicAcrossRuns pins the determinism guarantee documented
+// on Events(): events are appended only from the chip's event queue, which
+// orders callbacks by (cycle, schedule sequence), so identical configuration,
+// workloads and seed yield an identical event sequence — both for the legacy
+// ring and for a telemetry recorder.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]Event, []telemetry.Event) {
+		c, d := testChip(testParams())
+		d.EnableTrace()
+		rec := telemetry.NewMemory(0)
+		d.SetRecorder(rec)
+		// One hungry app among idle neighbours guarantees expansion events.
+		c.SetWorkload(5, region(2048, 1), true)
+		for i := 0; i < 16; i++ {
+			if i != 5 {
+				c.SetWorkload(i, region(128, uint64(i)+1), true)
+			}
+		}
+		c.Run(150000, 100000)
+		return d.Events(), rec.Events()
+	}
+	legacy1, tele1 := run()
+	legacy2, tele2 := run()
+
+	if len(legacy1) == 0 {
+		t.Fatal("no legacy events recorded; the comparison is vacuous")
+	}
+	if len(legacy1) != len(legacy2) {
+		t.Fatalf("legacy event counts differ: %d vs %d", len(legacy1), len(legacy2))
+	}
+	for i := range legacy1 {
+		if legacy1[i] != legacy2[i] {
+			t.Fatalf("legacy event %d differs:\n  %+v\n  %+v", i, legacy1[i], legacy2[i])
+		}
+	}
+	if len(tele1) == 0 {
+		t.Fatal("no telemetry events recorded")
+	}
+	if len(tele1) != len(tele2) {
+		t.Fatalf("telemetry event counts differ: %d vs %d", len(tele1), len(tele2))
+	}
+	for i := range tele1 {
+		if tele1[i] != tele2[i] {
+			t.Fatalf("telemetry event %d differs:\n  %+v\n  %+v", i, tele1[i], tele2[i])
+		}
+	}
+}
+
+// TestTraceRingCap exercises the legacy ring's bound directly: the trace
+// never exceeds TraceCap events, evicts oldest-first, and counts what it
+// dropped.
+func TestTraceRingCap(t *testing.T) {
+	d := New(testParams())
+	d.EnableTrace()
+	const extra = 100
+	for i := 0; i < TraceCap+extra; i++ {
+		d.record(Event{Cycle: uint64(i), Kind: "expand"})
+	}
+	evs := d.Events()
+	if len(evs) != TraceCap {
+		t.Fatalf("ring holds %d events, want %d", len(evs), TraceCap)
+	}
+	if got := d.TraceDropped(); got != extra {
+		t.Fatalf("TraceDropped = %d, want %d", got, extra)
+	}
+	if evs[0].Cycle != extra {
+		t.Fatalf("oldest surviving event has cycle %d, want %d", evs[0].Cycle, extra)
+	}
+	if last := evs[len(evs)-1].Cycle; last != TraceCap+extra-1 {
+		t.Fatalf("newest event has cycle %d, want %d", last, TraceCap+extra-1)
+	}
+}
+
+// TestTraceDisabledRecordsNothing: without EnableTrace the ring never
+// allocates or records.
+func TestTraceDisabledRecordsNothing(t *testing.T) {
+	d := New(testParams())
+	d.record(Event{Kind: "expand"})
+	if n := len(d.Events()); n != 0 {
+		t.Fatalf("recorded %d events with tracing off", n)
+	}
+	if d.trace != nil {
+		t.Fatal("ring allocated with tracing off")
+	}
+}

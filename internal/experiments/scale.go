@@ -16,6 +16,7 @@ import (
 	"delta/internal/chip"
 	"delta/internal/core"
 	"delta/internal/noc"
+	"delta/internal/telemetry"
 	"delta/internal/workloads"
 )
 
@@ -34,6 +35,11 @@ type Scale struct {
 	Quantum uint64
 	// Seed drives workload generation.
 	Seed uint64
+	// Recorder, when non-nil, receives telemetry from every chip the scale
+	// builds (events, per-quantum samples, end-of-run counters/gauges).
+	Recorder telemetry.Recorder
+	// SampleEvery sets quanta between telemetry samples (0 = chip default).
+	SampleEvery int
 }
 
 // DefaultScale is the compression used for EXPERIMENTS.md: runs stay within
@@ -101,6 +107,8 @@ func (s Scale) ChipConfig(cores int) chip.Config {
 	cfg.Quantum = s.Quantum
 	cfg.UmonSampleEvery = s.UmonSampleEvery
 	cfg.Seed = s.Seed
+	cfg.Recorder = s.Recorder
+	cfg.SampleEvery = s.SampleEvery
 	return cfg
 }
 

@@ -114,6 +114,15 @@ func (s *System) Access(lineAddr uint64, now uint64) (uint64, int) {
 // StatsFor returns a copy of controller m's counters.
 func (s *System) StatsFor(m int) Stats { return s.stats[m] }
 
+// Sub returns the counter deltas since a previous snapshot; the telemetry
+// sampler uses it to derive windowed queue-depth series.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Requests:   s.Requests - prev.Requests,
+		QueueDelay: s.QueueDelay - prev.QueueDelay,
+	}
+}
+
 // TotalStats sums all controllers.
 func (s *System) TotalStats() Stats {
 	var t Stats

@@ -68,6 +68,22 @@ func (s *Stats) ControlFraction() float64 {
 	return float64(s.Messages[ClassControl]) / float64(t)
 }
 
+// TotalHops returns the total flit-hop count across classes.
+func (s Stats) TotalHops() uint64 {
+	return s.Hops[ClassData] + s.Hops[ClassCoherence] + s.Hops[ClassControl]
+}
+
+// Sub returns the counter deltas since a previous snapshot; the telemetry
+// sampler uses it to turn cumulative counts into windowed time series.
+func (s Stats) Sub(prev Stats) Stats {
+	var d Stats
+	for c := 0; c < int(numClasses); c++ {
+		d.Messages[c] = s.Messages[c] - prev.Messages[c]
+		d.Hops[c] = s.Hops[c] - prev.Hops[c]
+	}
+	return d
+}
+
 // Mesh is the interconnect instance.
 type Mesh struct {
 	cfg   Config
@@ -88,6 +104,13 @@ func New(topo *geom.Mesh, cfg Config) *Mesh {
 
 // Topology exposes the underlying mesh.
 func (m *Mesh) Topology() *geom.Mesh { return m.topo }
+
+// DirectedLinks returns the number of directed mesh links, the denominator
+// of the telemetry sampler's link-utilization series.
+func (m *Mesh) DirectedLinks() int {
+	w, h := m.topo.W, m.topo.H
+	return 2 * (w*(h-1) + h*(w-1))
+}
 
 // HopCycles returns the configured per-hop latency.
 func (m *Mesh) HopCycles() uint64 { return m.cfg.HopCycles }

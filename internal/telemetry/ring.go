@@ -1,0 +1,54 @@
+package telemetry
+
+// EventRing is a fixed-capacity ring buffer of events: when full, the oldest
+// event is overwritten and counted as dropped. Long simulations therefore
+// keep the most recent window of reconfiguration history at a bounded memory
+// cost, instead of growing an unbounded slice.
+type EventRing struct {
+	buf     []Event
+	start   int
+	n       int
+	dropped uint64
+}
+
+// DefaultEventCap bounds recorders that do not choose their own capacity.
+const DefaultEventCap = 4096
+
+// NewEventRing returns a ring holding up to capacity events; capacity <= 0
+// uses DefaultEventCap.
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventRing{buf: make([]Event, capacity)}
+}
+
+// Push appends an event, evicting the oldest when full.
+func (r *EventRing) Push(ev Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len reports the number of retained events.
+func (r *EventRing) Len() int { return r.n }
+
+// Cap reports the ring's capacity.
+func (r *EventRing) Cap() int { return len(r.buf) }
+
+// Dropped reports how many events were evicted to make room.
+func (r *EventRing) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events, oldest first.
+func (r *EventRing) Events() []Event {
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}

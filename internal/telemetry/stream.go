@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Format selects the Stream recorder's wire format.
+type Format int
+
+const (
+	// FormatJSONL writes one JSON object per line, keyed by "kind".
+	FormatJSONL Format = iota
+	// FormatCSV writes a fixed-column CSV with a header row.
+	FormatCSV
+)
+
+// Stream writes telemetry to an io.Writer as it arrives: events and samples
+// immediately (one line each), counters and gauges accumulated and emitted
+// sorted by name on Flush. Field order and float formatting are
+// deterministic, so identical runs produce byte-identical output (modulo
+// wall-clock Nanos on alloc events).
+//
+// JSONL schema (absent fields are zero; every line is a complete JSON
+// object):
+//
+//	{"kind":"challenge","cycle":80000,"core":3,"bank":2,"gain_to":1.25}
+//	{"kind":"quantum-sample","cycle":16000,"tile":0,"ipc":0.51,"mpki":12.4,"fill":0.92,"hit_rate":0.63}
+//	{"kind":"quantum-sample","cycle":16000,"tile":-1,"noc_util":0.0413,"mcu_queue":0.27}
+//	{"kind":"counter","name":"core.challenges_sent","value":197}
+//	{"kind":"gauge","name":"bank03.fill","value":0.971}
+type Stream struct {
+	w        *bufio.Writer
+	format   Format
+	counters map[string]uint64
+	gauges   map[string]float64
+	lines    uint64
+	err      error
+}
+
+// NewJSONL builds a JSONL stream recorder over w.
+func NewJSONL(w io.Writer) *Stream { return newStream(w, FormatJSONL) }
+
+// NewCSV builds a CSV stream recorder over w.
+func NewCSV(w io.Writer) *Stream { return newStream(w, FormatCSV) }
+
+func newStream(w io.Writer, f Format) *Stream {
+	s := &Stream{
+		w:        bufio.NewWriter(w),
+		format:   f,
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+	}
+	if f == FormatCSV {
+		s.writeLine("kind,cycle,tile,core,bank,peer,ways,lines,won,gain_from,gain_to,nanos,ipc,mpki,fill,hit_rate,noc_util,mcu_queue,name,value")
+	}
+	return s
+}
+
+// Err returns the first write error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Lines returns the number of data lines written so far (CSV header
+// excluded).
+func (s *Stream) Lines() uint64 { return s.lines }
+
+// csvColumns indexes the fixed CSV layout written in the header row.
+const (
+	colKind = iota
+	colCycle
+	colTile
+	colCore
+	colBank
+	colPeer
+	colWays
+	colLines
+	colWon
+	colGainFrom
+	colGainTo
+	colNanos
+	colIPC
+	colMPKI
+	colFill
+	colHitRate
+	colNoCUtil
+	colMCUQueue
+	colName
+	colValue
+	numCols
+)
+
+func (s *Stream) writeCSV(fields *[numCols]string) {
+	s.writeLine(strings.Join(fields[:], ","))
+}
+
+func csvInt(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.Itoa(v)
+}
+
+func csvFloat(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return string(appendJSONFloat(nil, v))
+}
+
+// Event implements Recorder.
+func (s *Stream) Event(ev Event) {
+	if s.format == FormatCSV {
+		var f [numCols]string
+		f[colKind] = ev.Kind.String()
+		f[colCycle] = strconv.FormatUint(ev.Cycle, 10)
+		f[colCore] = strconv.Itoa(ev.Core)
+		f[colBank] = strconv.Itoa(ev.Bank)
+		f[colPeer] = csvInt(ev.Peer)
+		f[colWays] = csvInt(ev.Ways)
+		f[colLines] = csvInt(ev.Lines)
+		if ev.Won {
+			f[colWon] = "true"
+		}
+		f[colGainFrom] = csvFloat(ev.GainFrom)
+		f[colGainTo] = csvFloat(ev.GainTo)
+		f[colNanos] = csvInt(int(ev.Nanos))
+		s.writeCSV(&f)
+		return
+	}
+	b := make([]byte, 0, 160)
+	b = append(b, `{"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","cycle":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(ev.Core), 10)
+	b = append(b, `,"bank":`...)
+	b = strconv.AppendInt(b, int64(ev.Bank), 10)
+	if ev.Peer != 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(ev.Peer), 10)
+	}
+	if ev.Ways != 0 {
+		b = append(b, `,"ways":`...)
+		b = strconv.AppendInt(b, int64(ev.Ways), 10)
+	}
+	if ev.Lines != 0 {
+		b = append(b, `,"lines":`...)
+		b = strconv.AppendInt(b, int64(ev.Lines), 10)
+	}
+	if ev.Kind == KindChallengeResult {
+		b = append(b, `,"won":`...)
+		b = strconv.AppendBool(b, ev.Won)
+	}
+	if ev.GainFrom != 0 {
+		b = append(b, `,"gain_from":`...)
+		b = appendJSONFloat(b, ev.GainFrom)
+	}
+	if ev.GainTo != 0 {
+		b = append(b, `,"gain_to":`...)
+		b = appendJSONFloat(b, ev.GainTo)
+	}
+	if ev.Nanos != 0 {
+		b = append(b, `,"nanos":`...)
+		b = strconv.AppendInt(b, ev.Nanos, 10)
+	}
+	b = append(b, '}')
+	s.writeLine(string(b))
+}
+
+// Sample implements Recorder; samples go out as "quantum-sample" records.
+func (s *Stream) Sample(sm Sample) {
+	if s.format == FormatCSV {
+		var f [numCols]string
+		f[colKind] = KindQuantumSample.String()
+		f[colCycle] = strconv.FormatUint(sm.Cycle, 10)
+		f[colTile] = strconv.Itoa(sm.Tile)
+		f[colIPC] = csvFloat(sm.IPC)
+		f[colMPKI] = csvFloat(sm.MPKI)
+		f[colFill] = csvFloat(sm.BankFill)
+		f[colHitRate] = csvFloat(sm.BankHitRate)
+		f[colNoCUtil] = csvFloat(sm.NoCLinkUtil)
+		f[colMCUQueue] = csvFloat(sm.MCUQueue)
+		s.writeCSV(&f)
+		return
+	}
+	b := make([]byte, 0, 160)
+	b = append(b, `{"kind":"quantum-sample","cycle":`...)
+	b = strconv.AppendUint(b, sm.Cycle, 10)
+	b = append(b, `,"tile":`...)
+	b = strconv.AppendInt(b, int64(sm.Tile), 10)
+	if sm.Tile == ChipWide {
+		b = append(b, `,"noc_util":`...)
+		b = appendJSONFloat(b, sm.NoCLinkUtil)
+		b = append(b, `,"mcu_queue":`...)
+		b = appendJSONFloat(b, sm.MCUQueue)
+	} else {
+		b = append(b, `,"ipc":`...)
+		b = appendJSONFloat(b, sm.IPC)
+		b = append(b, `,"mpki":`...)
+		b = appendJSONFloat(b, sm.MPKI)
+		b = append(b, `,"fill":`...)
+		b = appendJSONFloat(b, sm.BankFill)
+		b = append(b, `,"hit_rate":`...)
+		b = appendJSONFloat(b, sm.BankHitRate)
+	}
+	b = append(b, '}')
+	s.writeLine(string(b))
+}
+
+// Count implements Recorder; totals are emitted on Flush.
+func (s *Stream) Count(name string, delta uint64) { s.counters[name] += delta }
+
+// Gauge implements Recorder; final values are emitted on Flush.
+func (s *Stream) Gauge(name string, v float64) { s.gauges[name] = v }
+
+// Flush implements Recorder: counters and gauges go out sorted by name, then
+// the underlying writer is flushed. Flush may be called repeatedly; counter
+// and gauge state is cleared once written.
+func (s *Stream) Flush() error {
+	for _, name := range sortedKeys(s.counters) {
+		if s.format == FormatCSV {
+			var f [numCols]string
+			f[colKind] = "counter"
+			f[colName] = csvEscape(name)
+			f[colValue] = strconv.FormatUint(s.counters[name], 10)
+			s.writeCSV(&f)
+			continue
+		}
+		s.writeLine(`{"kind":"counter","name":"` + name + `","value":` +
+			strconv.FormatUint(s.counters[name], 10) + `}`)
+	}
+	for _, name := range sortedKeys(s.gauges) {
+		v := string(appendJSONFloat(nil, s.gauges[name]))
+		if s.format == FormatCSV {
+			var f [numCols]string
+			f[colKind] = "gauge"
+			f[colName] = csvEscape(name)
+			f[colValue] = v
+			s.writeCSV(&f)
+			continue
+		}
+		s.writeLine(`{"kind":"gauge","name":"` + name + `","value":` + v + `}`)
+	}
+	s.counters = make(map[string]uint64)
+	s.gauges = make(map[string]float64)
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+func (s *Stream) writeLine(line string) {
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.WriteString(line); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+		return
+	}
+	s.lines++
+}
+
+// appendJSONFloat formats a float as a valid JSON number. JSON has no
+// Inf/NaN; those encode as 0 (they only arise from degenerate windows, e.g.
+// a zero-instruction sample).
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// csvEscape quotes a field if it contains a comma or quote; telemetry names
+// never should, but the writer stays safe regardless.
+func csvEscape(f string) string {
+	for i := 0; i < len(f); i++ {
+		if f[i] == ',' || f[i] == '"' || f[i] == '\n' {
+			out := `"`
+			for j := 0; j < len(f); j++ {
+				if f[j] == '"' {
+					out += `""`
+				} else {
+					out += string(f[j])
+				}
+			}
+			return out + `"`
+		}
+	}
+	return f
+}

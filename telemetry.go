@@ -1,0 +1,64 @@
+package delta
+
+import (
+	"io"
+
+	"delta/internal/telemetry"
+)
+
+// Recorder is the telemetry sink threaded through the simulator: structured
+// reconfiguration events, per-quantum time-series samples, counters and
+// gauges. Attach one via Config.Recorder. See the internal/telemetry package
+// documentation for the event schema.
+type Recorder = telemetry.Recorder
+
+// TelemetryEvent is one structured reconfiguration event.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySample is one per-quantum time-series point.
+type TelemetrySample = telemetry.Sample
+
+// EventKind labels a TelemetryEvent.
+type EventKind = telemetry.EventKind
+
+// Event kinds, re-exported for payload inspection.
+const (
+	KindChallenge       = telemetry.KindChallenge
+	KindChallengeResult = telemetry.KindChallengeResult
+	KindCede            = telemetry.KindCede
+	KindIdleGrant       = telemetry.KindIdleGrant
+	KindIntraShift      = telemetry.KindIntraShift
+	KindRetreat         = telemetry.KindRetreat
+	KindRemap           = telemetry.KindRemap
+	KindAlloc           = telemetry.KindAlloc
+	KindQuantumSample   = telemetry.KindQuantumSample
+)
+
+// ChipWideSample is the TelemetrySample.Tile value of chip-wide samples.
+const ChipWideSample = telemetry.ChipWide
+
+// MemoryRecorder retains telemetry in process: events in a bounded ring,
+// samples in order, counters/gauges in maps with sorted accessors.
+type MemoryRecorder = telemetry.Memory
+
+// StreamRecorder writes telemetry to an io.Writer as JSONL or CSV.
+type StreamRecorder = telemetry.Stream
+
+// NopRecorder discards everything at (benchmarked) negligible cost.
+type NopRecorder = telemetry.Nop
+
+// NewMemoryRecorder builds an in-memory recorder retaining up to eventCap
+// events (<= 0 uses the default capacity).
+func NewMemoryRecorder(eventCap int) *MemoryRecorder {
+	return telemetry.NewMemory(eventCap)
+}
+
+// NewJSONLRecorder builds a streaming recorder emitting one JSON object per
+// line; call Flush when the run completes.
+func NewJSONLRecorder(w io.Writer) *StreamRecorder { return telemetry.NewJSONL(w) }
+
+// NewCSVRecorder builds a streaming recorder emitting fixed-column CSV.
+func NewCSVRecorder(w io.Writer) *StreamRecorder { return telemetry.NewCSV(w) }
+
+// NewMultiRecorder fans telemetry out to several recorders.
+func NewMultiRecorder(recs ...Recorder) Recorder { return telemetry.NewMulti(recs...) }
