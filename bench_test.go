@@ -7,6 +7,7 @@ package delta
 // versions that EXPERIMENTS.md records.
 
 import (
+	"fmt"
 	"testing"
 
 	"delta/internal/central"
@@ -193,6 +194,26 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("nop", func(b *testing.B) { run(b, telemetry.Nop{}) })
+}
+
+// BenchmarkCampaign measures the parallel campaign engine: one fixed 8-job
+// campaign (snuca + delta over four mixes, the independent unit the figure
+// drivers fan out) at 1, 4 and 8 workers. The wall-clock ratio between the
+// workers=1 and workers=4 sub-benchmarks is the speedup bench_results.txt
+// records; results are bit-identical at every worker count.
+func BenchmarkCampaign(b *testing.B) {
+	jobs := experiments.CrossJobs(
+		[]string{"snuca", "delta"}, []string{"w2", "w5", "w6", "w13"}, 16)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc := benchScale()
+			sc.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.Runner{Workers: workers}.Run(sc, jobs)
+			}
+		})
+	}
 }
 
 // BenchmarkOverheadsControlTraffic measures the run behind the Section

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	delta-bench                  # run everything
+//	delta-bench                  # run everything, one sim per CPU
 //	delta-bench -exp fig5        # one experiment
 //	delta-bench -exp fig9 -quick # compressed scale for smoke runs
+//	delta-bench -parallel 1      # sequential (historical behaviour)
+//
+// Campaigns fan independent simulations across -parallel workers (default
+// runtime.NumCPU()); results are bit-identical at any worker count.
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6
 // overheads ablations all
@@ -17,17 +21,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"delta/internal/experiments"
 	"delta/internal/profiling"
+	"delta/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, all)")
 	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per campaign (1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -48,9 +55,17 @@ func main() {
 		sc = experiments.QuickScale()
 	}
 	sc.Seed = *seed
+	sc.Workers = *parallel
 
 	suite16 := experiments.NewSuite(sc, 16)
 	suite64 := experiments.NewSuite(sc, 64)
+
+	var mixNames []string
+	for _, m := range workloads.Mixes() {
+		mixNames = append(mixNames, m.Name)
+	}
+	// PerApp and Fig6 never consult the S-NUCA run, so their prefetches skip it.
+	dynPolicies := []string{"private", "delta", "ideal"}
 
 	run := func(name string, fn func()) {
 		want := *exp
@@ -62,19 +77,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Second))
 	}
 
-	run("fig5", func() { fmt.Println(experiments.Fig5(suite16).Table()) })
-	run("fig6", func() { fmt.Println(experiments.Fig6(suite16).Table()) })
-	run("fig7", func() { fmt.Println(experiments.PerApp(suite16, "w2").Table()) })
-	run("fig8", func() { fmt.Println(experiments.PerApp(suite16, "w3").Table()) })
-	run("fig9", func() { fmt.Println(experiments.Fig5(suite64).Table()) })
-	run("fig10", func() { fmt.Println(experiments.PerApp(suite64, "w2").Table()) })
-	run("fig11", func() { fmt.Println(experiments.PerApp(suite64, "w13").Table()) })
+	// Each experiment prefetches the (policy, mix) runs it needs across the
+	// worker pool, then renders from suite cache hits. The figure drivers
+	// themselves stay sequential consumers.
+	run("fig5", func() {
+		suite16.Prefetch(experiments.PolicyNames, mixNames)
+		fmt.Println(experiments.Fig5(suite16).Table())
+	})
+	run("fig6", func() {
+		suite16.Prefetch(dynPolicies, mixNames)
+		fmt.Println(experiments.Fig6(suite16).Table())
+	})
+	run("fig7", func() {
+		suite16.Prefetch(dynPolicies, []string{"w2"})
+		fmt.Println(experiments.PerApp(suite16, "w2").Table())
+	})
+	run("fig8", func() {
+		suite16.Prefetch(dynPolicies, []string{"w3"})
+		fmt.Println(experiments.PerApp(suite16, "w3").Table())
+	})
+	run("fig9", func() {
+		suite64.Prefetch(experiments.PolicyNames, mixNames)
+		fmt.Println(experiments.Fig5(suite64).Table())
+	})
+	run("fig10", func() {
+		suite64.Prefetch(dynPolicies, []string{"w2"})
+		fmt.Println(experiments.PerApp(suite64, "w2").Table())
+	})
+	run("fig11", func() {
+		suite64.Prefetch(dynPolicies, []string{"w13"})
+		fmt.Println(experiments.PerApp(suite64, "w13").Table())
+	})
 	run("fig12", func() { fmt.Println(experiments.Fig12(sc).Table()) })
 	run("fig13", func() { fmt.Println(experiments.Fig13(sc).Table()) })
 	run("table6", func() { fmt.Println(experiments.TableVI(64, sc.Seed).Table()) })
 	run("overheads", func() {
-		for _, m := range []string{"w2", "w6"} {
-			fmt.Println(experiments.Overheads(sc, m).Table())
+		mixes := []string{"w2", "w6"}
+		tables := make([]string, len(mixes))
+		experiments.ForEach(sc.Workers, len(mixes), func(i int) {
+			tables[i] = experiments.Overheads(sc, mixes[i]).Table()
+		})
+		for _, t := range tables {
+			fmt.Println(t)
 		}
 	})
 	run("ablations", func() {

@@ -1,27 +1,37 @@
-// Command delta-sim runs a single simulation: one policy, one workload mix
-// (or a single application on every core), one chip size — and prints
-// per-core and aggregate results. It is the quickest way to poke at the
-// simulator.
+// Command delta-sim runs single simulations: one workload mix (or a single
+// application on every core), one chip size, and one or more policies — and
+// prints per-core and aggregate results. It is the quickest way to poke at
+// the simulator.
+//
+// -policy accepts a single scheme, a comma-separated list, or "all"; with
+// several policies the simulations run concurrently across -parallel workers
+// (default runtime.NumCPU()) while output keeps the requested order. Results
+// are bit-identical at any worker count: each simulation owns all of its
+// state.
 //
 // Examples:
 //
 //	delta-sim -policy delta -mix w2
 //	delta-sim -policy snuca -app mcf -cores 16
-//	delta-sim -policy ideal -mix w13 -cores 64 -budget 100000
+//	delta-sim -policy all -mix w13 -cores 64 -budget 100000
+//	delta-sim -policy snuca,delta -mix w2 -parallel 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"delta"
+	"delta/internal/experiments"
 	"delta/internal/metrics"
 	"delta/internal/profiling"
 )
 
 func main() {
-	policy := flag.String("policy", "delta", "snuca | private | delta | ideal")
+	policy := flag.String("policy", "delta", `policy to simulate: snuca | private | delta | ideal, a comma-separated list, or "all"`)
 	mix := flag.String("mix", "", "Table IV mix name (w1..w15)")
 	app := flag.String("app", "", "run this SPEC model on every core instead of a mix")
 	cores := flag.Int("cores", 16, "core count (perfect square, multiple of 16 for mixes)")
@@ -29,6 +39,7 @@ func main() {
 	budget := flag.Uint64("budget", 250_000, "measured instructions per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "workers when simulating several policies (1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -36,6 +47,11 @@ func main() {
 	if (*mix == "") == (*app == "") {
 		fmt.Fprintln(os.Stderr, "exactly one of -mix or -app is required")
 		os.Exit(2)
+	}
+
+	policies := strings.Split(*policy, ",")
+	if *policy == "all" {
+		policies = experiments.PolicyNames
 	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -49,24 +65,39 @@ func main() {
 		}
 	}()
 
-	sim := delta.NewSimulator(delta.Config{
-		Cores:              *cores,
-		Policy:             delta.PolicyKind(*policy),
-		WarmupInstructions: *warm,
-		BudgetInstructions: *budget,
-		Seed:               *seed,
-		TimeCompression:    *compress,
-	})
-	if *mix != "" {
-		sim.LoadMix(*mix)
-	} else {
-		for i := 0; i < *cores; i++ {
-			sim.SetWorkload(i, delta.Workload{App: *app})
+	// Build every simulator up front (setup is cheap and must see flag
+	// errors before any run starts), fan the runs across the pool, then
+	// print in the requested order.
+	sims := make([]*delta.Simulator, len(policies))
+	for i, p := range policies {
+		sims[i] = delta.NewSimulator(delta.Config{
+			Cores:              *cores,
+			Policy:             delta.PolicyKind(strings.TrimSpace(p)),
+			WarmupInstructions: *warm,
+			BudgetInstructions: *budget,
+			Seed:               *seed,
+			TimeCompression:    *compress,
+		})
+		if *mix != "" {
+			sims[i].LoadMix(*mix)
+		} else {
+			for c := 0; c < *cores; c++ {
+				sims[i].SetWorkload(c, delta.Workload{App: *app})
+			}
 		}
 	}
-	res := sim.Run()
+	results := make([]delta.Result, len(sims))
+	experiments.ForEach(*parallel, len(sims), func(i int) {
+		results[i] = sims[i].Run()
+	})
+	for i := range sims {
+		report(strings.TrimSpace(policies[i]), *cores, results[i], sims[i])
+	}
+}
 
-	t := metrics.NewTable(fmt.Sprintf("%s on %d cores", *policy, *cores),
+// report prints one policy's run.
+func report(policy string, cores int, res delta.Result, sim *delta.Simulator) {
+	t := metrics.NewTable(fmt.Sprintf("%s on %d cores", policy, cores),
 		"core", "ipc", "llc-mpki", "mem-mpki", "local-hit%", "mlp")
 	for _, c := range res.Cores {
 		t.AddRowf(fmt.Sprint(c.Core), c.IPC, c.MPKI, c.MemMPKI, c.LocalHitFrac*100, c.MLP)

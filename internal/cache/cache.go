@@ -65,6 +65,7 @@ type Cache struct {
 
 	lines   []Line
 	setMask uint64
+	allMask uint64 // mask of all ways, hoisted out of the access path
 	clk     uint64
 
 	// occupancy[owner] counts valid lines per partition; only maintained when
@@ -105,6 +106,11 @@ func New(cfg Config) *Cache {
 		Ways:    cfg.Ways,
 		lines:   make([]Line, sets*cfg.Ways),
 		setMask: uint64(sets - 1),
+	}
+	if cfg.Ways >= 64 {
+		c.allMask = ^uint64(0)
+	} else {
+		c.allMask = (uint64(1) << cfg.Ways) - 1
 	}
 	if cfg.TrackOwners {
 		if cfg.Partitions <= 0 {
@@ -192,25 +198,23 @@ func (c *Cache) GetIdx(setIdx int, lineAddr uint64) *Line {
 	return nil
 }
 
-// AllMask allows insertion into every way.
-func (c *Cache) AllMask() uint64 {
-	if c.Ways >= 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << c.Ways) - 1
-}
+// AllMask allows insertion into every way. It is a precomputed field read so
+// the per-access fast paths (fillPrivate, insertMask) pay no recomputation.
+func (c *Cache) AllMask() uint64 { return c.allMask }
 
 // Insert places a line, choosing a victim only among ways enabled in mask
-// (way-partitioned insertion). It returns the evicted line if a valid one was
-// displaced. The line is inserted owned by owner and clean unless write.
-// Insert panics if mask selects no way; the enforcement layer guarantees a
-// partition never inserts without owning capacity.
-func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (Line, bool) {
+// (way-partitioned insertion). It returns a pointer to the inserted line
+// (valid until the next mutation of this cache — callers that need to stamp
+// directory bits use it instead of re-walking the set), plus the evicted line
+// if a valid one was displaced. The line is inserted owned by owner and clean
+// unless write. Insert panics if mask selects no way; the enforcement layer
+// guarantees a partition never inserts without owning capacity.
+func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (*Line, Line, bool) {
 	return c.InsertIdx(c.SetIndex(lineAddr), lineAddr, owner, write, mask)
 }
 
 // InsertIdx is Insert with an explicit set index.
-func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (Line, bool) {
+func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (*Line, Line, bool) {
 	mask &= c.AllMask()
 	if mask == 0 {
 		panic("cache: insertion with empty way mask")
@@ -248,7 +252,7 @@ func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, ma
 	c.clk++
 	set[victim] = Line{Addr: lineAddr, Valid: true, Dirty: write, Owner: int16(owner), used: c.clk}
 	c.noteInsert(owner)
-	return evicted, hadVictim
+	return &set[victim], evicted, hadVictim
 }
 
 // InvalidateLine removes a specific line if present, returning its metadata.

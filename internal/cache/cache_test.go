@@ -56,7 +56,7 @@ func TestLRUVictim(t *testing.T) {
 	c.Lookup(0, false)
 	c.Lookup(8, false)
 	c.Lookup(12, false)
-	ev, had := c.Insert(16, NoOwner, false, c.AllMask())
+	_, ev, had := c.Insert(16, NoOwner, false, c.AllMask())
 	if !had || ev.Addr != 4 {
 		t.Fatalf("evicted %+v, want addr 4", ev)
 	}
@@ -68,7 +68,7 @@ func TestLRUVictim(t *testing.T) {
 func TestInsertPrefersInvalidWay(t *testing.T) {
 	c := small()
 	c.Insert(0, NoOwner, false, c.AllMask())
-	_, had := c.Insert(4, NoOwner, false, c.AllMask())
+	_, _, had := c.Insert(4, NoOwner, false, c.AllMask())
 	if had {
 		t.Fatal("evicted despite free ways")
 	}
@@ -82,7 +82,7 @@ func TestWayMaskRestrictsVictims(t *testing.T) {
 	c.Insert(8, 1, false, 0b1100)
 	c.Insert(12, 1, false, 0b1100)
 	// Partition 0 inserts again: must evict one of its own lines.
-	ev, had := c.Insert(16, 0, false, 0b0011)
+	_, ev, had := c.Insert(16, 0, false, 0b0011)
 	if !had {
 		t.Fatal("expected eviction")
 	}
@@ -254,7 +254,7 @@ func TestSingleWayMaskProperty(t *testing.T) {
 		c.ForEachLine(func(ln *Line) { _ = ln })
 		// Reinsert a colliding address with the same mask: the first line
 		// must be the victim (only that way is allowed).
-		ev, had := c.Insert(uint64(addr)+4096, NoOwner, false, 1<<w)
+		_, ev, had := c.Insert(uint64(addr)+4096, NoOwner, false, 1<<w)
 		got = 0
 		_ = got
 		return had && ev.Addr == uint64(addr)

@@ -1,0 +1,88 @@
+package chip
+
+// Hot-path microbenchmarks. BenchmarkAccessPath times the full per-reference
+// path of Chip.access (L1/L2 lookups, UMON, bank routing, LLC lookup/insert,
+// directory update) on a single chip; bench_results.txt records the effect of
+// the markSharer duplicate-set-walk fix on this number.
+
+import (
+	"testing"
+
+	"delta/internal/trace"
+)
+
+// benchGen builds one core's access generator. The workloads package can't
+// be imported here (it imports chip), so mixtures are assembled directly from
+// trace primitives: "mixed" approximates a Table IV mix (hot region + warm
+// region + streaming tail); "llc" uses a working set far beyond the private
+// L2 so essentially every reference exercises the LLC bank path that the
+// markSharer fix targets.
+func benchGen(kind string, i int) trace.Generator {
+	seed := uint64(i)*7919 + 17
+	if kind == "llc" {
+		return trace.NewRegionGen(0, trace.Lines(4096), seed+1)
+	}
+	return trace.NewMixtureGen(seed,
+		trace.Component{Gen: trace.NewRegionGen(0, trace.Lines(64), seed+1), Weight: 0.5},
+		trace.Component{Gen: trace.NewRegionGen(trace.Lines(64), trace.Lines(2048), seed+2), Weight: 0.3},
+		trace.Component{Gen: trace.NewStreamGen(trace.Lines(4096), trace.Lines(16384)), Weight: 0.2},
+	)
+}
+
+// benchChip builds a 16-core chip with one generator per core, ready to
+// drive accesses.
+func benchChip(policy Policy, kind string) *Chip {
+	cfg := DefaultConfig(16)
+	cfg.UmonSampleEvery = 4
+	c := New(cfg, policy)
+	for i := 0; i < 16; i++ {
+		c.SetWorkload(i, benchGen(kind, i), true)
+	}
+	return c
+}
+
+// BenchmarkAccessPath measures ns per memory reference through Chip.access,
+// round-robin over all 16 cores so every flavor of the path (local/remote
+// bank, hit/miss, partitioned insert) is exercised at its natural frequency.
+func BenchmarkAccessPath(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		kind string
+		mk   func() Policy
+	}{
+		{"snuca-mixed", "mixed", func() Policy { return NewSnuca() }},
+		{"private-mixed", "mixed", func() Policy { return NewPrivate() }},
+		{"snuca-llc", "llc", func() Policy { return NewSnuca() }},
+		{"private-llc", "llc", func() Policy { return NewPrivate() }},
+	} {
+		b.Run(pol.name, func(b *testing.B) {
+			c := benchChip(pol.mk(), pol.kind)
+			// Warm the hierarchy so steady-state hits dominate as in a real
+			// run, then time the access path itself.
+			for i := 0; i < 200_000; i++ {
+				core := i & 15
+				t := c.Tiles[core]
+				acc := t.gen.Next()
+				c.access(core, t.base+acc.Line, acc.Write)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core := i & 15
+				t := c.Tiles[core]
+				acc := t.gen.Next()
+				c.access(core, t.base+acc.Line, acc.Write)
+			}
+		})
+	}
+}
+
+// BenchmarkChipRun measures a whole single-chip Run at a compressed scale:
+// the unit the parallel campaign engine fans out.
+func BenchmarkChipRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := benchChip(NewSnuca(), "mixed")
+		c.Run(30_000, 20_000)
+	}
+}

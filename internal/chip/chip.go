@@ -10,6 +10,7 @@ package chip
 
 import (
 	"fmt"
+	"math/bits"
 
 	"delta/internal/cache"
 	"delta/internal/cbt"
@@ -527,15 +528,15 @@ func (c *Chip) access(i int, line uint64, write bool) uint64 {
 	lat := c.Cfg.Lat.L1Hit + c.Cfg.Lat.L2Tag
 	lat += c.Net.RoundTrip(i, bank, noc.ClassData)
 
-	if _, hit := bt.LLC.LookupIdx(setIdx, line, write); hit {
+	if ln, hit := bt.LLC.LookupIdx(setIdx, line, write); hit {
 		lat += c.Cfg.Lat.LLCTag + c.Cfg.Lat.LLCData
 		if bank == i {
 			t.LLCLocalHits++
 		} else {
 			t.LLCRemoteHits++
 		}
+		c.markSharer(ln, i)
 		c.fillPrivate(t, line, write)
-		c.markSharer(bt, setIdx, line, i)
 		return lat
 	}
 	// LLC miss: fetch from memory through the bank.
@@ -551,8 +552,8 @@ func (c *Chip) access(i int, line uint64, write bool) uint64 {
 		owner = cache.NoOwner
 		c.Stats.SharedInserts++
 	}
-	bt.LLC.InsertIdx(setIdx, line, owner, write, mask)
-	c.markSharer(bt, setIdx, line, i)
+	ins, _, _ := bt.LLC.InsertIdx(setIdx, line, owner, write, mask)
+	c.markSharer(ins, i)
 	c.fillPrivate(t, line, write)
 	return lat
 }
@@ -592,9 +593,11 @@ func (c *Chip) fillPrivate(t *Tile, line uint64, write bool) {
 	t.L1.Insert(line, cache.NoOwner, write, t.L1.AllMask())
 }
 
-// markSharer records core in the LLC line's directory bits.
-func (c *Chip) markSharer(bt *Tile, setIdx int, line uint64, core int) {
-	if ln := bt.LLC.GetIdx(setIdx, line); ln != nil && core < 64 {
+// markSharer records core in an LLC line's directory bits. ln is the pointer
+// LookupIdx/InsertIdx already located — re-walking the set here would double
+// the tag-array work of every LLC access.
+func (c *Chip) markSharer(ln *cache.Line, core int) {
+	if ln != nil && core < 64 {
 		ln.Sharers |= uint64(1) << uint(core)
 	}
 }
@@ -607,7 +610,7 @@ func (c *Chip) backInvalidate(bank int, ln cache.Line) {
 		return
 	}
 	for s := ln.Sharers; s != 0; s &= s - 1 {
-		core := trailing(s)
+		core := bits.TrailingZeros64(s)
 		if core >= len(c.Tiles) {
 			break
 		}
@@ -617,15 +620,6 @@ func (c *Chip) backInvalidate(bank int, ln cache.Line) {
 		}
 		t.L1.InvalidateLine(ln.Addr)
 	}
-}
-
-func trailing(v uint64) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
-	}
-	return n
 }
 
 // --- results -----------------------------------------------------------------

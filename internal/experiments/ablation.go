@@ -85,33 +85,40 @@ type AblationResult struct {
 }
 
 // Ablations runs every variant on the given mix and normalizes to the
-// baseline variant.
+// baseline variant. Variants are independent simulations, so they fan out
+// across sc.Workers; normalization happens after the fan-out, against
+// whichever variant is named "baseline".
 func Ablations(sc Scale, mixName string) []AblationResult {
 	mix := workloads.MixByName(mixName)
-	var out []AblationResult
-	base := 0.0
-	for _, v := range AblationVariants() {
-		params := core.DefaultParams().Scale(sc.IntervalScale)
-		ccfg := sc.ChipConfig(16)
+	variants := AblationVariants()
+	out := make([]AblationResult, len(variants))
+	fan := sc.fanIn()
+	ForEach(sc.Workers, len(variants), func(i int) {
+		v := variants[i]
+		vsc := sc.forJob(fan, "ablation/"+v.Name)
+		params := core.DefaultParams().Scale(vsc.IntervalScale)
+		ccfg := vsc.ChipConfig(16)
 		v.Mutate(&params, &ccfg)
 		d := core.New(params)
 		c := chip.New(ccfg, d)
-		for i, g := range mix.Generators(16, sc.Seed) {
-			c.SetWorkload(i, g, true)
+		for t, g := range mix.Generators(16, vsc.Seed) {
+			c.SetWorkload(t, g, true)
 		}
-		c.Run(sc.Warmup, sc.Budget)
-		geo := metrics.GeoMean(MixRun{Results: c.Results()}.IPCs())
-		if v.Name == "baseline" {
-			base = geo
-		}
-		out = append(out, AblationResult{
+		c.Run(vsc.Warmup, vsc.Budget)
+		out[i] = AblationResult{
 			Variant:    v.Name,
-			GeoIPC:     geo,
-			VsBaseline: geo / base,
+			GeoIPC:     metrics.GeoMean(MixRun{Results: c.Results()}.IPCs()),
 			InvalLines: d.Stats.InvalLines,
 			Expansions: d.Stats.Expansions,
 			Retreats:   d.Stats.Retreats,
-		})
+		}
+	})
+	base := 0.0
+	for i := range out {
+		if variants[i].Name == "baseline" {
+			base = out[i].GeoIPC
+		}
+		out[i].VsBaseline = out[i].GeoIPC / base
 	}
 	return out
 }

@@ -51,43 +51,32 @@ func roiCycles(results []chip.CoreResult) uint64 {
 	return max
 }
 
-// Fig12 runs every SPLASH2 profile on a 16-core chip under S-NUCA, private
-// and DELTA (multithreaded mode), measures page/block privacy, and computes
-// both the paper's piecewise estimate and the direct simulation.
-func Fig12(sc Scale) Fig12Result {
-	var res Fig12Result
-	sumSnuca, sumPriv := 0.0, 0.0
-	for _, app := range workloads.Splash2Apps() {
-		row := Fig12Row{App: app.Name, PaperPagePrivate: app.PagePrivate}
+// fig12Row measures one SPLASH2 profile: the Table V privacy ratios plus
+// the three policy runs. Each call builds fresh chips and generators, so
+// rows are independent and the driver fans them across workers.
+func fig12Row(sc Scale, app workloads.Splash2App) Fig12Row {
+	row := Fig12Row{App: app.Name, PaperPagePrivate: app.PagePrivate}
 
-		// Table V measurement (the pintool stand-in).
-		page, block := app.SharedApp(16, sc.Seed).PrivateRatios(20000)
-		row.PagePrivate = page * 100
-		row.BlockPrivate = block * 100
+	// Table V measurement (the pintool stand-in).
+	page, block := app.SharedApp(16, sc.Seed).PrivateRatios(20000)
+	row.PagePrivate = page * 100
+	row.BlockPrivate = block * 100
 
-		runMT := func(policy string) ([]chip.CoreResult, *chip.Chip) {
-			cfg := sc.ChipConfig(16)
-			// Only DELTA uses the Section II-E page classifier. The S-NUCA
-			// baseline maps everything statically anyway, and the paper's
-			// private baseline is a true private LLC: shared lines are
-			// replicated per requester (coherence kept by the directory),
-			// paying duplication instead of distance.
-			cfg.Multithreaded = policy == "delta"
-			p := sc.NewPolicy(policy)
-			if d, ok := p.(*core.Delta); ok {
-				// All threads belong to one process (Section II-E).
-				c := chip.New(cfg, d)
-				for t := 0; t < 16; t++ {
-					d.SetProcess(t, 0)
-				}
-				gens := app.ThreadGenerators(16, sc.Seed)
-				for t, g := range gens {
-					c.SetWorkload(t, g, false)
-				}
-				c.Run(sc.Warmup, sc.Budget)
-				return c.Results(), c
+	runMT := func(policy string) ([]chip.CoreResult, *chip.Chip) {
+		cfg := sc.ChipConfig(16)
+		// Only DELTA uses the Section II-E page classifier. The S-NUCA
+		// baseline maps everything statically anyway, and the paper's
+		// private baseline is a true private LLC: shared lines are
+		// replicated per requester (coherence kept by the directory),
+		// paying duplication instead of distance.
+		cfg.Multithreaded = policy == "delta"
+		p := sc.NewPolicy(policy)
+		if d, ok := p.(*core.Delta); ok {
+			// All threads belong to one process (Section II-E).
+			c := chip.New(cfg, d)
+			for t := 0; t < 16; t++ {
+				d.SetProcess(t, 0)
 			}
-			c := chip.New(cfg, p)
 			gens := app.ThreadGenerators(16, sc.Seed)
 			for t, g := range gens {
 				c.SetWorkload(t, g, false)
@@ -95,27 +84,50 @@ func Fig12(sc Scale) Fig12Result {
 			c.Run(sc.Warmup, sc.Budget)
 			return c.Results(), c
 		}
+		c := chip.New(cfg, p)
+		gens := app.ThreadGenerators(16, sc.Seed)
+		for t, g := range gens {
+			c.SetWorkload(t, g, false)
+		}
+		c.Run(sc.Warmup, sc.Budget)
+		return c.Results(), c
+	}
 
-		snuca, _ := runMT("snuca")
-		private, _ := runMT("private")
-		delta, dc := runMT("delta")
-		row.SnucaCycles = roiCycles(snuca)
-		row.PrivateCycles = roiCycles(private)
-		row.DeltaSimCycles = roiCycles(delta)
-		row.ReclassifyCount = dc.Stats.PageReclassify
+	snuca, _ := runMT("snuca")
+	private, _ := runMT("private")
+	delta, dc := runMT("delta")
+	row.SnucaCycles = roiCycles(snuca)
+	row.PrivateCycles = roiCycles(private)
+	row.DeltaSimCycles = roiCycles(delta)
+	row.ReclassifyCount = dc.Stats.PageReclassify
 
-		row.PrivateSpeedup = float64(row.SnucaCycles) / float64(row.PrivateCycles)
-		row.DeltaSimulated = float64(row.SnucaCycles) / float64(row.DeltaSimCycles)
+	row.PrivateSpeedup = float64(row.SnucaCycles) / float64(row.PrivateCycles)
+	row.DeltaSimulated = float64(row.SnucaCycles) / float64(row.DeltaSimCycles)
 
-		// The paper's piecewise reconstruction: private accesses perform
-		// like the private baseline, shared accesses like S-NUCA, weighted
-		// by the page-privacy ratio (Section IV-C).
-		estCycles := page*float64(row.PrivateCycles) + (1-page)*float64(row.SnucaCycles)
-		row.DeltaEstimate = float64(row.SnucaCycles) / estCycles
+	// The paper's piecewise reconstruction: private accesses perform
+	// like the private baseline, shared accesses like S-NUCA, weighted
+	// by the page-privacy ratio (Section IV-C).
+	estCycles := page*float64(row.PrivateCycles) + (1-page)*float64(row.SnucaCycles)
+	row.DeltaEstimate = float64(row.SnucaCycles) / estCycles
+	return row
+}
 
+// Fig12 runs every SPLASH2 profile on a 16-core chip under S-NUCA, private
+// and DELTA (multithreaded mode), measures page/block privacy, and computes
+// both the paper's piecewise estimate and the direct simulation. Profiles
+// fan out across sc.Workers; row order and values match a sequential run.
+func Fig12(sc Scale) Fig12Result {
+	apps := workloads.Splash2Apps()
+	rows := make([]Fig12Row, len(apps))
+	fan := sc.fanIn()
+	ForEach(sc.Workers, len(apps), func(i int) {
+		rows[i] = fig12Row(sc.forJob(fan, "fig12/"+apps[i].Name), apps[i])
+	})
+	res := Fig12Result{Rows: rows}
+	sumSnuca, sumPriv := 0.0, 0.0
+	for _, row := range rows {
 		sumSnuca += row.DeltaEstimate
 		sumPriv += row.DeltaEstimate / row.PrivateSpeedup
-		res.Rows = append(res.Rows, row)
 	}
 	n := float64(len(res.Rows))
 	res.AvgDeltaVsSnuca = sumSnuca / n

@@ -22,19 +22,22 @@ type Fig13Result struct {
 // phase-changing applications (gcc, cactusADM).
 var Fig13Mixes = []string{"w1", "w2", "w5", "w7", "w13"}
 
-// Fig13 runs the frequency comparison on a 16-core chip.
+// Fig13 runs the frequency comparison on a 16-core chip. Each mix's three
+// runs stay together on one worker (they share the S-NUCA baseline); the
+// five mixes fan out across sc.Workers.
 func Fig13(sc Scale) Fig13Result {
-	var res Fig13Result
-	for _, name := range Fig13Mixes {
+	fast := make([]float64, len(Fig13Mixes))
+	slow := make([]float64, len(Fig13Mixes))
+	fan := sc.fanIn()
+	ForEach(sc.Workers, len(Fig13Mixes), func(i int) {
+		name := Fig13Mixes[i]
+		msc := sc.forJob(fan, "fig13/"+name)
 		m := workloads.MixByName(name)
-		base := metrics.GeoMean(sc.RunMix("snuca", m, 16).IPCs())
-		fast := metrics.GeoMean(sc.RunMix("ideal", m, 16).IPCs())
-		slow := metrics.GeoMean(sc.RunMix("ideal-slow", m, 16).IPCs())
-		res.MixNames = append(res.MixNames, name)
-		res.Fast = append(res.Fast, fast/base)
-		res.Slow = append(res.Slow, slow/base)
-	}
-	return res
+		base := metrics.GeoMean(msc.RunMix("snuca", m, 16).IPCs())
+		fast[i] = metrics.GeoMean(msc.RunMix("ideal", m, 16).IPCs()) / base
+		slow[i] = metrics.GeoMean(msc.RunMix("ideal-slow", m, 16).IPCs()) / base
+	})
+	return Fig13Result{MixNames: append([]string(nil), Fig13Mixes...), Fast: fast, Slow: slow}
 }
 
 // Table renders the figure.

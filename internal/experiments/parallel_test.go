@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"delta/internal/telemetry"
+	"delta/internal/workloads"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		var visits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestCrossJobs(t *testing.T) {
+	jobs := CrossJobs([]string{"snuca", "delta"}, []string{"w2", "w6"}, 16)
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	if jobs[0].String() != "snuca/w2/16" || jobs[3].String() != "delta/w6/16" {
+		t.Fatalf("jobs %v", jobs)
+	}
+}
+
+// comparable strips the policy introspection pointers (they are per-run
+// objects, never equal across runs) so runs can be compared field-wise.
+func comparableRun(r MixRun) MixRun {
+	r.Delta = nil
+	r.Ideal = nil
+	return r
+}
+
+// TestRunnerDeterminism is the engine's core guarantee: a parallel campaign
+// is bit-identical to a sequential one, job for job. The parallel leg also
+// carries a shared recorder, so -race exercises the FanIn path.
+func TestRunnerDeterminism(t *testing.T) {
+	sc := tinyScale()
+	sc.Warmup = 30_000
+	sc.Budget = 25_000
+	jobs := CrossJobs([]string{"snuca", "delta"}, []string{"w2", "w6"}, 16)
+
+	seq := Runner{Workers: 1}.Run(sc, jobs)
+
+	psc := sc
+	var buf bytes.Buffer
+	psc.Recorder = telemetry.NewJSONL(&buf)
+	psc.Workers = 4
+	par := Runner{Workers: 4}.Run(psc, jobs)
+
+	if len(seq) != len(par) {
+		t.Fatalf("length mismatch %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := comparableRun(seq[i]), comparableRun(par[i])
+		if !reflect.DeepEqual(s, p) {
+			t.Fatalf("job %s diverged between sequential and parallel runs:\nseq %+v\npar %+v",
+				jobs[i], s, p)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("shared recorder received nothing from the parallel campaign")
+	}
+}
+
+// TestSuiteSingleFlight hammers one (policy, mix) key from many goroutines:
+// exactly one simulation may execute, and every caller sees its result.
+func TestSuiteSingleFlight(t *testing.T) {
+	sc := tinyScale()
+	sc.Warmup = 30_000
+	sc.Budget = 25_000
+	st := NewSuite(sc, 16)
+
+	const callers = 8
+	runs := make([]MixRun, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = st.Run("delta", "w6")
+		}(i)
+	}
+	wg.Wait()
+
+	if got := st.Simulations(); got != 1 {
+		t.Fatalf("%d simulations for one contended key, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if !reflect.DeepEqual(comparableRun(runs[0]), comparableRun(runs[i])) {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+}
+
+// TestSuitePrefetch checks the campaign entry point: the cross-product is
+// simulated across workers exactly once, and later Run calls are cache hits.
+func TestSuitePrefetch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sim prefetch is slow")
+	}
+	sc := tinyScale()
+	sc.Warmup = 30_000
+	sc.Budget = 25_000
+	sc.Workers = 4
+	st := NewSuite(sc, 16)
+
+	policies, mixes := []string{"snuca", "private"}, []string{"w2", "w6"}
+	st.Prefetch(policies, mixes)
+	if got := st.Simulations(); got != 4 {
+		t.Fatalf("%d simulations after prefetch, want 4", got)
+	}
+	st.Run("snuca", "w2")
+	if got := st.Simulations(); got != 4 {
+		t.Fatalf("Run after prefetch re-simulated: %d", got)
+	}
+}
+
+// TestSuiteMatchesSequentialScale pins Suite results to a plain sequential
+// RunMix at the same scale — the cache and single-flight layers must not
+// perturb simulation output.
+func TestSuiteMatchesSequentialScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := tinyScale()
+	sc.Warmup = 30_000
+	sc.Budget = 25_000
+
+	direct := sc.RunMix("snuca", workloads.MixByName("w2"), 16)
+
+	pst := NewSuite(sc, 16)
+	pst.Scale.Workers = 4
+	pst.Prefetch([]string{"snuca"}, []string{"w2"})
+	viaSuite := pst.Run("snuca", "w2")
+
+	if !reflect.DeepEqual(comparableRun(direct), comparableRun(viaSuite)) {
+		t.Fatal("suite run diverged from direct sequential run")
+	}
+}

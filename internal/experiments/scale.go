@@ -40,6 +40,13 @@ type Scale struct {
 	Recorder telemetry.Recorder
 	// SampleEvery sets quanta between telemetry samples (0 = chip default).
 	SampleEvery int
+	// Workers bounds how many simulations the campaign drivers (Suite
+	// prefetching, Fig12, Fig13, Ablations) run concurrently. 0 or 1 runs
+	// sequentially — the historical behaviour; delta-bench wires its
+	// -parallel flag (default runtime.NumCPU()) here. Results are
+	// bit-identical at any worker count: each chip owns all of its mutable
+	// state, including its seeded RNGs.
+	Workers int
 }
 
 // DefaultScale is the compression used for EXPERIMENTS.md: runs stay within
@@ -164,32 +171,22 @@ func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
 	return run
 }
 
-// Suite runs and caches (policy, mix) simulations for one chip size so that
-// Fig. 5/6/7/8 (and 9/10/11) share runs instead of recomputing them.
-type Suite struct {
-	Scale Scale
-	Cores int
-	cache map[string]map[string]MixRun // policy -> mix -> run
+// fanIn wraps the scale's recorder for a parallel campaign section: nil when
+// no recorder is attached or the campaign is sequential (the chips then use
+// Scale.Recorder directly, exactly as before).
+func (s Scale) fanIn() *telemetry.FanIn {
+	if s.Workers <= 1 || s.Recorder == nil {
+		return nil
+	}
+	return telemetry.NewFanIn(s.Recorder)
 }
 
-// NewSuite builds an empty suite.
-func NewSuite(s Scale, cores int) *Suite {
-	return &Suite{Scale: s, Cores: cores, cache: map[string]map[string]MixRun{}}
-}
-
-// Run returns the cached run for (policy, mix), simulating on first use.
-func (st *Suite) Run(policy, mixName string) MixRun {
-	if st.cache[policy] == nil {
-		st.cache[policy] = map[string]MixRun{}
+// forJob returns the scale one concurrently running simulation should use:
+// with a fan-in active, the shared recorder is replaced by a serialized view
+// tagging the job's stream; otherwise the scale is returned unchanged.
+func (s Scale) forJob(fan *telemetry.FanIn, tag string) Scale {
+	if fan != nil {
+		s.Recorder = fan.Tag(tag)
 	}
-	if r, ok := st.cache[policy][mixName]; ok {
-		return r
-	}
-	sc := st.Scale
-	if st.Cores > 16 {
-		sc = sc.For64()
-	}
-	r := sc.RunMix(policy, workloads.MixByName(mixName), st.Cores)
-	st.cache[policy][mixName] = r
-	return r
+	return s
 }

@@ -55,7 +55,7 @@ func newStream(w io.Writer, f Format) *Stream {
 		gauges:   make(map[string]float64),
 	}
 	if f == FormatCSV {
-		s.writeLine("kind,cycle,tile,core,bank,peer,ways,lines,won,gain_from,gain_to,nanos,ipc,mpki,fill,hit_rate,noc_util,mcu_queue,name,value")
+		s.writeLine("kind,tag,cycle,tile,core,bank,peer,ways,lines,won,gain_from,gain_to,nanos,ipc,mpki,fill,hit_rate,noc_util,mcu_queue,name,value")
 	}
 	return s
 }
@@ -70,6 +70,7 @@ func (s *Stream) Lines() uint64 { return s.lines }
 // csvColumns indexes the fixed CSV layout written in the header row.
 const (
 	colKind = iota
+	colTag
 	colCycle
 	colTile
 	colCore
@@ -115,6 +116,7 @@ func (s *Stream) Event(ev Event) {
 	if s.format == FormatCSV {
 		var f [numCols]string
 		f[colKind] = ev.Kind.String()
+		f[colTag] = csvEscape(ev.Tag)
 		f[colCycle] = strconv.FormatUint(ev.Cycle, 10)
 		f[colCore] = strconv.Itoa(ev.Core)
 		f[colBank] = strconv.Itoa(ev.Bank)
@@ -133,6 +135,10 @@ func (s *Stream) Event(ev Event) {
 	b := make([]byte, 0, 160)
 	b = append(b, `{"kind":"`...)
 	b = append(b, ev.Kind.String()...)
+	if ev.Tag != "" {
+		b = append(b, `","tag":"`...)
+		b = append(b, ev.Tag...)
+	}
 	b = append(b, `","cycle":`...)
 	b = strconv.AppendUint(b, ev.Cycle, 10)
 	b = append(b, `,"core":`...)
@@ -176,6 +182,7 @@ func (s *Stream) Sample(sm Sample) {
 	if s.format == FormatCSV {
 		var f [numCols]string
 		f[colKind] = KindQuantumSample.String()
+		f[colTag] = csvEscape(sm.Tag)
 		f[colCycle] = strconv.FormatUint(sm.Cycle, 10)
 		f[colTile] = strconv.Itoa(sm.Tile)
 		f[colIPC] = csvFloat(sm.IPC)
@@ -188,7 +195,13 @@ func (s *Stream) Sample(sm Sample) {
 		return
 	}
 	b := make([]byte, 0, 160)
-	b = append(b, `{"kind":"quantum-sample","cycle":`...)
+	b = append(b, `{"kind":"quantum-sample"`...)
+	if sm.Tag != "" {
+		b = append(b, `,"tag":"`...)
+		b = append(b, sm.Tag...)
+		b = append(b, '"')
+	}
+	b = append(b, `,"cycle":`...)
 	b = strconv.AppendUint(b, sm.Cycle, 10)
 	b = append(b, `,"tile":`...)
 	b = strconv.AppendInt(b, int64(sm.Tile), 10)

@@ -87,6 +87,9 @@ type Event struct {
 	GainFrom float64
 	GainTo   float64
 	Nanos    int64
+	// Tag identifies the emitting chip when several simulations share one
+	// recorder through a FanIn (e.g. "delta/w2/16"); empty otherwise.
+	Tag string
 }
 
 // Sample is one per-quantum time-series point. Tile >= 0 carries the tile's
@@ -95,6 +98,9 @@ type Event struct {
 type Sample struct {
 	Cycle uint64
 	Tile  int
+	// Tag identifies the emitting chip when several simulations share one
+	// recorder through a FanIn; empty otherwise.
+	Tag string
 	// Per-tile fields (windowed since the previous sample).
 	IPC         float64
 	MPKI        float64
@@ -110,8 +116,10 @@ const ChipWide = -1
 
 // Recorder receives telemetry. Implementations must tolerate being shared by
 // multiple emitters within one single-threaded simulation; they are not
-// required to be safe for concurrent use (the simulator is single-threaded
-// by construction).
+// required to be safe for concurrent use (a single chip simulation is
+// single-threaded by construction). Campaigns that run several chips in
+// parallel against one recorder wrap it in a FanIn, which serializes
+// delivery and tags each chip's stream.
 type Recorder interface {
 	// Event records a structured reconfiguration event.
 	Event(ev Event)

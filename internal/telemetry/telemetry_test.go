@@ -147,7 +147,7 @@ func TestCSVStreamShape(t *testing.T) {
 		}
 	}
 	// Tile 0 must be written explicitly (0 is a real tile ID).
-	if !strings.HasPrefix(lines[2], "quantum-sample,1000,0,") {
+	if !strings.HasPrefix(lines[2], "quantum-sample,,1000,0,") {
 		t.Fatalf("sample row lost its tile: %s", lines[2])
 	}
 }
