@@ -35,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per campaign (1 = sequential)")
+	check := flag.Bool("check", false, "run simulator-wide invariant checks on every chip (slow; panics on the first violation)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *parallel
+	sc.Check = *check
 
 	suite16 := experiments.NewSuite(sc, 16)
 	suite64 := experiments.NewSuite(sc, 64)

@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "workers when simulating several policies (1 = sequential)")
+	check := flag.Bool("check", false, "run simulator-wide invariant checks every quantum and after every remap (slow; panics on the first violation)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 			BudgetInstructions: *budget,
 			Seed:               *seed,
 			TimeCompression:    *compress,
+			Check:              *check,
 		})
 		if *mix != "" {
 			sims[i].LoadMix(*mix)

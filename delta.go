@@ -70,6 +70,11 @@ type Config struct {
 	// SampleEvery sets how many quanta elapse between telemetry samples
 	// (0 uses the chip default of 16). Only meaningful with a Recorder.
 	SampleEvery int
+	// Check enables the runtime invariant harness: simulator-wide
+	// consistency checks at every quantum boundary and after every
+	// reconfiguration, panicking on the first violation. See DESIGN.md
+	// "Validation & invariants".
+	Check bool
 
 	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
 	// nil uses Table II defaults scaled by TimeCompression.
@@ -128,6 +133,7 @@ func NewSimulator(cfg Config) *Simulator {
 	ccfg.UmonSampleEvery = 4
 	ccfg.Recorder = cfg.Recorder
 	ccfg.SampleEvery = cfg.SampleEvery
+	ccfg.Check = cfg.Check
 	s := &Simulator{cfg: cfg}
 	var pol chip.Policy
 	switch cfg.Policy {

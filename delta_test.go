@@ -111,3 +111,16 @@ func TestFacadeRejectsNonPow2Cores(t *testing.T) {
 	}()
 	NewSimulator(Config{Cores: 36})
 }
+
+func TestFacadeCheckedRunAllPolicies(t *testing.T) {
+	// Every policy under the invariant harness end to end through the public
+	// API: a violation anywhere in the enforcement path panics the run.
+	for _, p := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+		sim := NewSimulator(Config{Cores: 16, Policy: p, Check: true,
+			WarmupInstructions: 10_000, BudgetInstructions: 20_000})
+		sim.LoadMix("w2")
+		if res := sim.Run(); len(res.Cores) != 16 {
+			t.Fatalf("%v: results for %d cores", p, len(res.Cores))
+		}
+	}
+}

@@ -24,6 +24,17 @@ const NoOwner = -1
 
 // Line is one cache line's metadata. Sharers is only maintained for caches
 // acting as LLC banks with an in-cache directory.
+//
+// Owner is the partition that *inserted* the line and is attribution-stable
+// for the line's lifetime: a hit from another partition never reattributes
+// it. This is a deliberate semantics choice, not an accident of the lookup
+// path — the bulk-invalidation unit of a remap (chip.InvalidateOwnerBuckets)
+// is keyed on Owner and must find exactly the lines the owner's CBT placed
+// in the bank. Reattributing on cross-partition hits would orphan lines at
+// remap time (the owner's invalidation would miss them, leaving stale copies
+// behind while the bucket refills elsewhere). Occupancy accounting therefore
+// answers "whose placement filled this capacity", which is also what the
+// way-partition enforcement admitted the line under.
 type Line struct {
 	Addr    uint64 // line address; meaningful only when Valid
 	Valid   bool
@@ -56,6 +67,15 @@ func (s *Stats) MissRate() float64 {
 // EvictFn observes a line leaving the cache (capacity eviction or
 // invalidation). Inclusive hierarchies use it to back-invalidate upper
 // levels; the LLC uses it to notify the directory.
+//
+// Re-entrancy contract: the hook fires while the firing cache may be
+// mid-walk (InvalidateMatching visits lines in array order and invokes the
+// hook with the array in a partially-invalidated state). The callback may
+// read the firing cache and may freely mutate *other* caches — directory
+// cleanup back-invalidating private L1/L2 copies is the intended use — but
+// it must not insert into or invalidate lines of the cache it fired from;
+// such re-entrant mutation would corrupt the walk and the occupancy
+// accounting, and panics.
 type EvictFn func(line Line)
 
 // Cache is a single set-associative array. Not safe for concurrent use; the
@@ -72,6 +92,10 @@ type Cache struct {
 	// trackOwners is set (LLC banks).
 	occupancy   []uint64
 	trackOwners bool
+
+	// walking is set while OnEvict callbacks may observe the array in a
+	// partially mutated state; mutators panic when re-entered under it.
+	walking bool
 
 	OnEvict EvictFn
 
@@ -215,6 +239,7 @@ func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (*Li
 
 // InsertIdx is Insert with an explicit set index.
 func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (*Line, Line, bool) {
+	c.guardMutation()
 	mask &= c.AllMask()
 	if mask == 0 {
 		panic("cache: insertion with empty way mask")
@@ -245,9 +270,7 @@ func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, ma
 			c.Stats.DirtyEvicts++
 		}
 		c.noteRemoval(evicted)
-		if c.OnEvict != nil {
-			c.OnEvict(evicted)
-		}
+		c.fireEvict(evicted)
 	}
 	c.clk++
 	set[victim] = Line{Addr: lineAddr, Valid: true, Dirty: write, Owner: int16(owner), used: c.clk}
@@ -263,6 +286,7 @@ func (c *Cache) InvalidateLine(lineAddr uint64) (Line, bool) {
 
 // InvalidateLineIdx is InvalidateLine with an explicit set index.
 func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
+	c.guardMutation()
 	set := c.set(setIdx)
 	for i := range set {
 		if set[i].Valid && set[i].Addr == lineAddr {
@@ -270,9 +294,7 @@ func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
 			set[i] = Line{}
 			c.Stats.Invals++
 			c.noteRemoval(ln)
-			if c.OnEvict != nil {
-				c.OnEvict(ln)
-			}
+			c.fireEvict(ln)
 			return ln, true
 		}
 	}
@@ -283,8 +305,13 @@ func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
 // every tag and invalidates lines for which pred returns true, firing OnEvict
 // for each. It returns the number of lines invalidated. The walk itself
 // models the hardware range-invalidation engine; callers charge its latency.
+//
+// OnEvict fires mid-walk with this array in a partially-invalidated state;
+// see the EvictFn contract for what callbacks may and may not do.
 func (c *Cache) InvalidateMatching(pred func(line Line) bool) int {
+	c.guardMutation()
 	c.Stats.BulkWalks++
+	c.walking = true
 	n := 0
 	for i := range c.lines {
 		if c.lines[i].Valid && pred(c.lines[i]) {
@@ -298,6 +325,7 @@ func (c *Cache) InvalidateMatching(pred func(line Line) bool) int {
 			}
 		}
 	}
+	c.walking = false
 	return n
 }
 
@@ -334,6 +362,33 @@ func (c *Cache) ForEachLine(fn func(ln *Line)) {
 			fn(&c.lines[i])
 		}
 	}
+}
+
+// TracksOwners reports whether per-partition occupancy accounting is on.
+func (c *Cache) TracksOwners() bool { return c.trackOwners }
+
+// Partitions returns the size of the occupancy table (0 when owners are not
+// tracked); the invariant checker recounts against it.
+func (c *Cache) Partitions() int { return len(c.occupancy) }
+
+// guardMutation panics on re-entrant mutation from an OnEvict callback; see
+// the EvictFn contract.
+func (c *Cache) guardMutation() {
+	if c.walking {
+		panic("cache: re-entrant mutation during an invalidation walk (OnEvict must not mutate the cache it fired from)")
+	}
+}
+
+// fireEvict invokes OnEvict with the re-entrancy guard held, preserving an
+// enclosing walk's guard state.
+func (c *Cache) fireEvict(ln Line) {
+	if c.OnEvict == nil {
+		return
+	}
+	was := c.walking
+	c.walking = true
+	c.OnEvict(ln)
+	c.walking = was
 }
 
 func (c *Cache) noteInsert(owner int) {

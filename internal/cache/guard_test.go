@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the EvictFn re-entrancy contract: callbacks may read the
+// firing cache and mutate other caches, but never mutate the cache they
+// fired from.
+
+func oneSet(t *testing.T) *Cache {
+	t.Helper()
+	return New(Config{SizeBytes: 4 * LineBytes, Ways: 4}) // one set, 4 ways
+}
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestOnEvictReentrantInsertPanics(t *testing.T) {
+	c := oneSet(t)
+	c.OnEvict = func(ln Line) { c.Insert(ln.Addr+100, NoOwner, false, c.AllMask()) }
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i, NoOwner, false, c.AllMask())
+	}
+	mustPanic(t, "re-entrant mutation", func() {
+		c.Insert(99, NoOwner, false, c.AllMask()) // evicts, hook re-inserts
+	})
+}
+
+func TestOnEvictReentrantInvalidatePanics(t *testing.T) {
+	c := oneSet(t)
+	c.Insert(1, NoOwner, false, c.AllMask())
+	c.Insert(2, NoOwner, false, c.AllMask())
+	c.OnEvict = func(Line) { c.InvalidateLine(2) }
+	mustPanic(t, "re-entrant mutation", func() { c.InvalidateLine(1) })
+}
+
+func TestOnEvictDuringWalkReentrantMutationPanics(t *testing.T) {
+	c := oneSet(t)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i, NoOwner, false, c.AllMask())
+	}
+	c.OnEvict = func(ln Line) {
+		if ln.Addr == 1 {
+			c.Insert(50, NoOwner, false, c.AllMask())
+		}
+	}
+	mustPanic(t, "re-entrant mutation", func() { c.InvalidateAll() })
+}
+
+func TestOnEvictMayReadFiringCacheAndMutateOthers(t *testing.T) {
+	// The allowed shape: the LLC's hook back-invalidates a *different* cache
+	// (directory cleanup) and reads the firing cache.
+	llc := oneSet(t)
+	l2 := oneSet(t)
+	for i := uint64(0); i < 4; i++ {
+		llc.Insert(i, NoOwner, false, llc.AllMask())
+		l2.Insert(i, NoOwner, false, l2.AllMask())
+	}
+	reads := 0
+	llc.OnEvict = func(ln Line) {
+		l2.InvalidateLine(ln.Addr) // other-cache mutation: allowed
+		reads += llc.ValidLines()  // same-cache read: allowed
+	}
+	if n := llc.InvalidateAll(); n != 4 {
+		t.Fatalf("invalidated %d", n)
+	}
+	if l2.ValidLines() != 0 {
+		t.Fatalf("back-invalidation left %d lines", l2.ValidLines())
+	}
+	if reads == 0 {
+		t.Fatal("hook never ran")
+	}
+	// The guard is released afterwards: normal mutation works again.
+	llc.OnEvict = nil
+	llc.Insert(9, NoOwner, false, llc.AllMask())
+}
+
+func TestOnEvictObservesPartialWalkState(t *testing.T) {
+	// The walk invalidates in array order; the hook legitimately sees the
+	// array with earlier victims already gone. Pin that documented behaviour.
+	c := oneSet(t)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i, NoOwner, false, c.AllMask())
+	}
+	var remaining []int
+	c.OnEvict = func(Line) { remaining = append(remaining, c.ValidLines()) }
+	c.InvalidateAll()
+	for i, n := range remaining {
+		if want := 3 - i; n != want {
+			t.Fatalf("hook %d saw %d valid lines, want %d", i, n, want)
+		}
+	}
+}
+
+// TestOwnerStableAcrossCrossPartitionHits locks the owner-attribution
+// semantics: a hit from another partition must not reattribute the line, and
+// the occupancy table must keep matching a recount by inserting owner. The
+// bulk-invalidation unit of a remap is keyed on Owner; reattribution would
+// orphan lines (see the Line.Owner doc).
+func TestOwnerStableAcrossCrossPartitionHits(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * LineBytes, Ways: 4, TrackOwners: true, Partitions: 4})
+	for i := uint64(0); i < 32; i++ {
+		c.Insert(i, 1, false, c.AllMask())
+	}
+	// Partition 3 hits every line partition 1 inserted — reads and writes.
+	for i := uint64(0); i < 32; i++ {
+		ln, hit := c.Lookup(i, i%2 == 0)
+		if !hit {
+			t.Fatalf("line %d missing", i)
+		}
+		if ln.Owner != 1 {
+			t.Fatalf("line %d reattributed to %d on cross-partition hit", i, ln.Owner)
+		}
+	}
+	if got := c.Occupancy(1); got != 32 {
+		t.Fatalf("occupancy[1] = %d after cross-partition hits", got)
+	}
+	if got := c.Occupancy(3); got != 0 {
+		t.Fatalf("occupancy[3] = %d, hits must not transfer capacity", got)
+	}
+	// A remap keyed on the inserting owner therefore finds every line.
+	n := c.InvalidateMatching(func(ln Line) bool { return ln.Owner == 1 })
+	if n != 32 {
+		t.Fatalf("owner-keyed invalidation removed %d of 32", n)
+	}
+	if c.Occupancy(1) != 0 || c.ValidLines() != 0 {
+		t.Fatal("stale lines or occupancy after owner-keyed invalidation")
+	}
+}

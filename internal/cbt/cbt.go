@@ -65,13 +65,22 @@ type Table struct {
 // expansion and retreat move as few buckets as possible). Shares with zero
 // ways receive no buckets. Apportionment uses the largest-remainder method so
 // bucket counts are proportional to ways and sum exactly to NumBuckets.
-// Build panics if total ways is zero or any share is negative.
+// Build panics if total ways is zero, any share is negative, or a bank
+// appears in more than one share: BuildIncremental keys its quota bookkeeping
+// by bank, so duplicate banks would silently mis-apportion there while Build
+// kept them as separate ranges — the fuzz harness flushed this divergence
+// out, and rejecting duplicates loudly in both builders locks the contract.
 func Build(shares []Share) *Table {
 	total := 0
+	seen := make(map[int]bool, len(shares))
 	for _, s := range shares {
 		if s.Ways < 0 {
 			panic(fmt.Sprintf("cbt: negative ways in share %+v", s))
 		}
+		if seen[s.Bank] {
+			panic(fmt.Sprintf("cbt: bank %d appears in more than one share", s.Bank))
+		}
+		seen[s.Bank] = true
 		total += s.Ways
 	}
 	if total == 0 {

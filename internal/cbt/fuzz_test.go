@@ -1,0 +1,125 @@
+package cbt
+
+import (
+	"testing"
+)
+
+// sharesFromBytes decodes fuzz input into a valid share set: consecutive
+// byte pairs become (bank, ways) with duplicate banks dropped (both builders
+// reject them loudly — that contract has its own test) and at most 64 banks.
+func sharesFromBytes(data []byte) []Share {
+	var shares []Share
+	seen := map[int]bool{}
+	for i := 0; i+1 < len(data) && len(shares) < 64; i += 2 {
+		bank := int(data[i] % 64)
+		if seen[bank] {
+			continue
+		}
+		seen[bank] = true
+		shares = append(shares, Share{Bank: bank, Ways: int(data[i+1] % 33)})
+	}
+	total := 0
+	for _, s := range shares {
+		total += s.Ways
+	}
+	if len(shares) == 0 || total == 0 {
+		return nil
+	}
+	return shares
+}
+
+// FuzzCBTApportion drives Build and BuildIncremental with the same share
+// sets and cross-checks them: identical per-bank quotas, full structural
+// validity of both tables, and Diff reporting exactly the buckets whose
+// dense mapping changed. This is the harness that flushed out the
+// duplicate-bank divergence (Build kept duplicate shares as separate ranges
+// while BuildIncremental's bank-keyed quota map collapsed them).
+func FuzzCBTApportion(f *testing.F) {
+	f.Add([]byte{0, 16}, []byte{0, 8, 1, 8})
+	f.Add([]byte{3, 1, 5, 1, 7, 1}, []byte{3, 31, 5, 0, 9, 2})
+	f.Add([]byte{0, 255}, []byte{63, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, prevBytes, nextBytes []byte) {
+		prevShares := sharesFromBytes(prevBytes)
+		nextShares := sharesFromBytes(nextBytes)
+		if nextShares == nil {
+			return
+		}
+		prev := Uniform(0)
+		if prevShares != nil {
+			prev = Build(prevShares)
+		}
+
+		fresh := Build(nextShares)
+		inc := BuildIncremental(prev, nextShares)
+
+		validate(t, "fresh", fresh)
+		validate(t, "incremental", inc)
+
+		// Quota equivalence: both builders must grant every bank the same
+		// number of buckets.
+		for b := 0; b < 64; b++ {
+			if f, i := fresh.BucketCount(b), inc.BucketCount(b); f != i {
+				t.Fatalf("bank %d: Build grants %d buckets, BuildIncremental %d (shares %v)",
+					b, f, i, nextShares)
+			}
+		}
+
+		// Diff must equal the actual moved-bucket set.
+		moves := Diff(prev, inc)
+		moved := map[int]Move{}
+		for _, m := range moves {
+			if m.From == m.To {
+				t.Fatalf("diff reports a bucket that did not move: %+v", m)
+			}
+			moved[m.Bucket] = m
+		}
+		for b := 0; b < NumBuckets; b++ {
+			pb, nb := prev.Bank(b), inc.Bank(b)
+			m, reported := moved[b]
+			if (pb != nb) != reported {
+				t.Fatalf("bucket %d: prev bank %d next bank %d but diff reported=%v",
+					b, pb, nb, reported)
+			}
+			if reported && (m.From != pb || m.To != nb) {
+				t.Fatalf("bucket %d: diff says %d->%d, tables say %d->%d",
+					b, m.From, m.To, pb, nb)
+			}
+		}
+
+		// Incrementality: buckets that stayed within quota must not move.
+		// (Total moves are bounded by the buckets leaving over-quota banks.)
+		overQuota := 0
+		for b := 0; b < 64; b++ {
+			if have, want := prev.BucketCount(b), inc.BucketCount(b); have > want {
+				overQuota += have - want
+			}
+		}
+		if len(moves) != overQuota {
+			t.Fatalf("%d buckets moved, surplus was %d (not minimal)", len(moves), overQuota)
+		}
+	})
+}
+
+// validate asserts table structural invariants inline (the invariant package
+// cannot be imported from an in-package test without a cycle).
+func validate(t *testing.T, label string, tbl *Table) {
+	t.Helper()
+	pos := 0
+	for i, r := range tbl.Ranges() {
+		if r.Start != pos || r.End <= r.Start {
+			t.Fatalf("%s: range %d = %+v, expected start %d", label, i, r, pos)
+		}
+		if r.Bank < 0 || r.Bank >= 64 {
+			t.Fatalf("%s: range %d bank %d out of range", label, i, r.Bank)
+		}
+		for b := r.Start; b < r.End; b++ {
+			if tbl.Bank(b) != r.Bank {
+				t.Fatalf("%s: bucket %d dense %d != range bank %d", label, b, tbl.Bank(b), r.Bank)
+			}
+		}
+		pos = r.End
+	}
+	if pos != NumBuckets {
+		t.Fatalf("%s: ranges cover %d of %d buckets", label, pos, NumBuckets)
+	}
+}

@@ -1,5 +1,7 @@
 package cbt
 
+import "fmt"
+
 // BuildIncremental apportions the bucket space like Build, but instead of
 // laying out fresh contiguous ranges it preserves as much of prev's
 // bucket->bank assignment as possible: only buckets in over-quota banks move,
@@ -67,13 +69,20 @@ type quota struct {
 }
 
 // apportion computes largest-remainder bucket quotas for the shares, the
-// same arithmetic Build uses.
+// same arithmetic Build uses. Duplicate banks are rejected like in Build:
+// the caller-facing quota bookkeeping is keyed by bank, so a duplicate would
+// silently collapse two shares into one.
 func apportion(shares []Share) []quota {
 	total := 0
+	seen := make(map[int]bool, len(shares))
 	for _, s := range shares {
 		if s.Ways < 0 {
 			panic("cbt: negative ways")
 		}
+		if seen[s.Bank] {
+			panic(fmt.Sprintf("cbt: bank %d appears in more than one share", s.Bank))
+		}
+		seen[s.Bank] = true
 		total += s.Ways
 	}
 	if total == 0 {

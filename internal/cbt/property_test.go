@@ -1,0 +1,135 @@
+package cbt
+
+import (
+	"testing"
+
+	"delta/internal/sim"
+)
+
+// Property tests over the apportionment arithmetic shared by Build and
+// BuildIncremental: quotas always sum to NumBuckets, every positive share
+// holds at least one bucket, and the zero-base promotion that guarantees it
+// can never empty the bank it steals from.
+
+// randomShares derives a valid share set (distinct banks, positive total)
+// from a seeded stream.
+func randomShares(r *sim.Rng, maxBanks int) []Share {
+	n := int(r.Uint64n(uint64(maxBanks))) + 1
+	shares := make([]Share, 0, n)
+	perm := make([]int, maxBanks)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + int(r.Uint64n(uint64(maxBanks-i)))
+		perm[i], perm[j] = perm[j], perm[i]
+		shares = append(shares, Share{Bank: perm[i], Ways: int(r.Uint64n(17))})
+	}
+	total := 0
+	for _, s := range shares {
+		total += s.Ways
+	}
+	if total == 0 {
+		shares[0].Ways = 1
+	}
+	return shares
+}
+
+func quotaSum(qs []quota) int {
+	sum := 0
+	for _, q := range qs {
+		sum += q.count
+	}
+	return sum
+}
+
+func TestApportionQuotasSumAndFloors(t *testing.T) {
+	r := sim.NewStream(42, 1)
+	for iter := 0; iter < 2000; iter++ {
+		shares := randomShares(r, 16)
+		qs := apportion(shares)
+		if got := quotaSum(qs); got != NumBuckets {
+			t.Fatalf("iter %d: quotas sum to %d, want %d (shares %v)",
+				iter, got, NumBuckets, shares)
+		}
+		byBank := map[int]int{}
+		for _, q := range qs {
+			byBank[q.bank] = q.count
+		}
+		for _, s := range shares {
+			if s.Ways > 0 && byBank[s.Bank] < 1 {
+				t.Fatalf("iter %d: share %+v got %d buckets (positive share needs >=1)",
+					iter, s, byBank[s.Bank])
+			}
+			if s.Ways == 0 && byBank[s.Bank] != 0 {
+				t.Fatalf("iter %d: zero share %+v got %d buckets", iter, s, byBank[s.Bank])
+			}
+		}
+	}
+}
+
+func TestApportionZeroBasePromotionKeepsLargeBankAboveFloor(t *testing.T) {
+	// One dominant bank plus many 1-way shares whose exact quota rounds to
+	// zero: each must be promoted to one bucket, all stolen from the
+	// dominant bank, which must still keep the lion's share.
+	shares := []Share{{Bank: 0, Ways: 1024}}
+	for b := 1; b < 16; b++ {
+		shares = append(shares, Share{Bank: b, Ways: 1})
+	}
+	qs := apportion(shares)
+	if got := quotaSum(qs); got != NumBuckets {
+		t.Fatalf("quotas sum to %d", got)
+	}
+	for _, q := range qs {
+		if q.bank == 0 {
+			if q.count < NumBuckets-2*15 {
+				t.Fatalf("dominant bank driven down to %d buckets by promotion", q.count)
+			}
+		} else if q.count < 1 {
+			t.Fatalf("bank %d promoted to %d buckets", q.bank, q.count)
+		}
+	}
+}
+
+func TestBuildMatchesApportionQuotas(t *testing.T) {
+	r := sim.NewStream(43, 1)
+	for iter := 0; iter < 500; iter++ {
+		shares := randomShares(r, 16)
+		tbl := Build(shares)
+		for _, q := range apportion(shares) {
+			if got := tbl.BucketCount(q.bank); got != q.count {
+				t.Fatalf("iter %d: Build gave bank %d %d buckets, apportion says %d",
+					iter, q.bank, got, q.count)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsDuplicateBanks(t *testing.T) {
+	for _, build := range []func(){
+		func() { Build([]Share{{Bank: 2, Ways: 4}, {Bank: 2, Ways: 4}}) },
+		func() { apportion([]Share{{Bank: 2, Ways: 4}, {Bank: 2, Ways: 4}}) },
+		func() { BuildIncremental(Uniform(0), []Share{{Bank: 1, Ways: 1}, {Bank: 1, Ways: 1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("duplicate bank accepted")
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestBuildIncrementalNoopWhenSharesUnchanged(t *testing.T) {
+	r := sim.NewStream(44, 1)
+	for iter := 0; iter < 200; iter++ {
+		shares := randomShares(r, 16)
+		prev := Build(shares)
+		next := BuildIncremental(prev, shares)
+		if moves := Diff(prev, next); len(moves) != 0 {
+			t.Fatalf("iter %d: identical shares moved %d buckets", iter, len(moves))
+		}
+	}
+}

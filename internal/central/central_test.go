@@ -321,3 +321,70 @@ func TestValidationPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestIdealCheckInvariants proves the centralized policy's self-check is
+// live: a healthy attach passes, and deliberate corruptions of the
+// assignment matrix or the derived masks are reported.
+func TestIdealCheckInvariants(t *testing.T) {
+	ccfg := chip.DefaultConfig(16)
+	ccfg.Quantum = 500
+	p := idealForTest()
+	chip.New(ccfg, p)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("healthy state rejected: %v", err)
+	}
+	corruptions := []struct {
+		name string
+		mut  func()
+		undo func()
+	}{
+		{"assignment sum broken", func() { p.assign[0][0]-- }, func() { p.assign[0][0]++ }},
+		{"mask out of sync",
+			func() { p.masks[1][1] &^= 1 },
+			func() { p.masks[1][1] |= 1 }},
+		{"negative assignment", func() {
+			p.assign[2][2] -= p.w + 1
+			p.assign[2][3] += p.w + 1
+		}, func() {
+			p.assign[2][2] += p.w + 1
+			p.assign[2][3] -= p.w + 1
+		}},
+	}
+	for _, tc := range corruptions {
+		tc.mut()
+		if err := p.CheckInvariants(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+		tc.undo()
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("%s: undo left state invalid: %v", tc.name, err)
+		}
+	}
+}
+
+// TestCheckedIdealRun runs the centralized policy under the full chip
+// invariant sweep (quantum boundaries plus every reallocation's remap).
+func TestCheckedIdealRun(t *testing.T) {
+	ccfg := chip.DefaultConfig(16)
+	ccfg.Quantum = 500
+	ccfg.UmonSampleEvery = 4
+	ccfg.Check = true
+	p := idealForTest()
+	c := chip.New(ccfg, p)
+	for i := 0; i < 16; i++ {
+		kb := 64
+		if i%2 == 0 {
+			kb = 1024
+		}
+		gen := trace.NewShaper(trace.NewRegionGen(0, trace.Lines(kb), uint64(i)+1),
+			trace.ShaperConfig{MemFraction: 0.3, Burst: 4, Seed: uint64(i) + 1})
+		c.SetWorkload(i, gen, true)
+	}
+	c.Run(30000, 60000)
+	if p.Stats.Epochs == 0 {
+		t.Fatalf("no epochs ran: %+v", p.Stats)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 package central
 
 import (
+	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -369,6 +371,46 @@ func (p *Ideal) rebuildMasks() {
 		}
 	}
 }
+
+// Table implements chip.TableProvider for the invariant harness.
+func (p *Ideal) Table(core int) *cbt.Table { return p.tables[core] }
+
+// ExclusiveWayPartitioning implements chip.ExclusivePartitioner: the ideal
+// scheme enforces through the same WP-unit model as DELTA, one owner per way.
+func (p *Ideal) ExclusiveWayPartitioning() bool { return true }
+
+// CheckInvariants implements chip.SelfChecker: every bank's assignment sums
+// to exactly its associativity (Place and placeRoundRobin both return the
+// leftover capacity to the bank's home application), and the derived way
+// masks mirror the assignment matrix way for way. A mismatch means
+// rebuildMasks truncated an over-assigned bank — capacity silently granted
+// on paper but never enforceable.
+//
+// It does not compare per-app assignment sums against the allocation vector:
+// Place legitimately returns sub-chunk remote remnants to other banks' home
+// applications, so enforced capacity may undershoot the allocator's grant.
+func (p *Ideal) CheckInvariants() error {
+	for b := 0; b < p.n; b++ {
+		sum := 0
+		for app := 0; app < p.n; app++ {
+			a := p.assign[b][app]
+			if a < 0 {
+				return fmt.Errorf("ideal: assign[%d][%d] = %d is negative", b, app, a)
+			}
+			if got := popcount(p.masks[b][app]); got != a {
+				return fmt.Errorf("ideal: bank %d app %d assigned %d ways but mask %#x has %d",
+					b, app, a, p.masks[b][app], got)
+			}
+			sum += a
+		}
+		if sum != p.w {
+			return fmt.Errorf("ideal: bank %d assignment sums to %d ways of %d", b, sum, p.w)
+		}
+	}
+	return nil
+}
+
+func popcount(m uint64) int { return bits.OnesCount64(m) }
 
 // AvgWays returns the mean allocation the policy granted core across epochs
 // (Fig. 11's over-allocation analysis).

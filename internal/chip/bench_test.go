@@ -86,3 +86,22 @@ func BenchmarkChipRun(b *testing.B) {
 		c.Run(30_000, 20_000)
 	}
 }
+
+// BenchmarkChipRunChecked is the same Run with the invariant sweep armed;
+// the pair quantifies both sides of the Config.Check contract: disabled-mode
+// cost must stay within noise of the pre-harness baseline (the call sites
+// are a single branch) and the enabled sweep is expected to be
+// sanitizer-class, not free. Numbers in bench_results.txt.
+func BenchmarkChipRunChecked(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(16)
+		cfg.UmonSampleEvery = 4
+		cfg.Check = true
+		c := New(cfg, NewSnuca())
+		for j := 0; j < 16; j++ {
+			c.SetWorkload(j, benchGen("mixed", j), true)
+		}
+		c.Run(30_000, 20_000)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"delta/internal/coherence"
 	"delta/internal/cpu"
 	"delta/internal/geom"
+	"delta/internal/invariant"
 	"delta/internal/mem"
 	"delta/internal/noc"
 	"delta/internal/sim"
@@ -87,6 +88,13 @@ type Config struct {
 	// Multithreaded enables the page classifier: shared pages revert to
 	// S-NUCA mapping (Section II-E).
 	Multithreaded bool
+
+	// Check enables the runtime invariant harness: the full simulator-wide
+	// sweep (internal/invariant composed by Chip.CheckInvariants) runs at
+	// every quantum boundary, after every policy-driven bulk invalidation
+	// and at end of run, panicking on the first violation. Off by default;
+	// the disabled cost is one branch per call site (benchmark-enforced).
+	Check bool
 
 	// Recorder receives the chip's telemetry: per-quantum time-series
 	// samples (per-core IPC/MPKI, per-bank fill/hit-rate, NoC link
@@ -187,6 +195,11 @@ type Chip struct {
 	interleaved bool
 	classifier  *coherence.Classifier
 
+	// Invariant harness state (checkOn false means disabled).
+	checkOn bool
+	mono    *invariant.Monotone
+	inclMap map[uint64]inclHome // reused across inclusion sweeps
+
 	// Telemetry sampler state (rec == nil means disabled).
 	rec          telemetry.Recorder
 	sampleEvery  int
@@ -243,6 +256,10 @@ func New(cfg Config, p Policy) *Chip {
 		events:      sim.NewEventQueue(),
 		rec:         cfg.Recorder,
 		sampleEvery: cfg.SampleEvery,
+		checkOn:     cfg.Check,
+	}
+	if c.checkOn {
+		c.mono = invariant.NewMonotone()
 	}
 	llcSets := cfg.LLCBytes / cache.LineBytes / cfg.LLCWays
 	c.llcSetBits = log2(llcSets)
@@ -347,6 +364,9 @@ func (c *Chip) InvalidateOwnerBuckets(owner, bank int, buckets map[int]bool) int
 	})
 	c.Stats.InvalLines += uint64(n)
 	c.Stats.InvalWalks++
+	if c.checkOn {
+		c.CheckInvariants("remap")
+	}
 	return n
 }
 
@@ -360,6 +380,9 @@ func (c *Chip) InvalidatePageEverywhere(page uint64) int {
 		})
 	}
 	c.Stats.InvalLines += uint64(total)
+	if c.checkOn {
+		c.CheckInvariants("reclassify")
+	}
 	return total
 }
 
@@ -442,6 +465,9 @@ func (c *Chip) Run(warmup, budget uint64) {
 		c.events.RunUntil(c.now)
 		c.policy.Tick(c.now)
 		c.quantumBookkeeping()
+		if c.checkOn {
+			c.CheckInvariants("quantum")
+		}
 		if c.rec != nil {
 			c.sampleQuanta++
 			if c.sampleQuanta >= c.sampleEvery {
@@ -454,6 +480,9 @@ func (c *Chip) Run(warmup, budget uint64) {
 		}
 	}
 	c.events.Drain()
+	if c.checkOn {
+		c.CheckInvariants("end")
+	}
 	if c.rec != nil {
 		c.publishTelemetry()
 	}

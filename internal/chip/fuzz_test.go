@@ -1,0 +1,41 @@
+package chip
+
+import (
+	"testing"
+
+	"delta/internal/trace"
+)
+
+// FuzzAccessPath throws fuzzer-chosen remap schedules and workload seeds at a
+// small chip with the full invariant sweep armed. The byte script drives
+// testRemapPolicy's way transfers (and therefore CBT rebuilds and bulk
+// invalidations) while a multithreaded workload mixes CBT-placed private
+// lines with S-NUCA-placed shared lines; every quantum, remap and
+// reclassification is swept, so any state corruption the schedule provokes
+// panics and becomes a crasher.
+func FuzzAccessPath(f *testing.F) {
+	f.Add(uint64(1), []byte{})
+	f.Add(uint64(7), []byte{1, 0, 0, 2, 1, 3})
+	f.Add(uint64(42), remapScript(30, 5))
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 192 {
+			script = script[:192]
+		}
+		cfg := testConfig(4)
+		cfg.Check = true
+		cfg.Multithreaded = true
+		cfg.Seed = seed%1024 + 1
+		c := New(cfg, newTestRemapPolicy(script))
+		app := trace.NewSharedApp(trace.SharedConfig{
+			Threads: 4, PrivateLines: trace.Lines(128),
+			SharedBase: 1 << 30, SharedLines: trace.Lines(256),
+			SharedFraction: 0.4, Seed: seed%512 + 1,
+		})
+		for i := 0; i < 4; i++ {
+			gen := trace.NewShaper(app.ThreadGen(i),
+				trace.ShaperConfig{MemFraction: 0.3, Burst: 2, Seed: seed + uint64(i)})
+			c.SetWorkload(i, gen, false)
+		}
+		c.Run(1000, 2000)
+	})
+}

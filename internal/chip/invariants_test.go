@@ -1,0 +1,391 @@
+package chip
+
+import (
+	"strings"
+	"testing"
+
+	"delta/internal/cache"
+	"delta/internal/cbt"
+	"delta/internal/trace"
+)
+
+// testRemapPolicy is a minimal exclusive-partitioning policy for exercising
+// the enforcement path without importing the real DELTA policy (which lives
+// above this package). It owns per-core CBTs and a per-bank way-ownership
+// array, and replays a byte script: every quantum it may move one way
+// between partitions and rebuild the affected CBTs, bulk-invalidating moved
+// buckets exactly like the real policies do.
+type testRemapPolicy struct {
+	c      *Chip
+	n, w   int
+	tables []*cbt.Table
+	owner  [][]int16 // [bank][way] -> core
+	script []byte
+	pos    int
+}
+
+func newTestRemapPolicy(script []byte) *testRemapPolicy {
+	return &testRemapPolicy{script: script}
+}
+
+func (p *testRemapPolicy) Name() string { return "test-remap" }
+
+func (p *testRemapPolicy) Attach(c *Chip) {
+	p.c, p.n, p.w = c, c.Cores(), c.Ways()
+	p.tables = make([]*cbt.Table, p.n)
+	p.owner = make([][]int16, p.n)
+	for i := 0; i < p.n; i++ {
+		p.tables[i] = cbt.Uniform(i)
+		p.owner[i] = make([]int16, p.w)
+		for w := range p.owner[i] {
+			p.owner[i][w] = int16(i)
+		}
+	}
+}
+
+func (p *testRemapPolicy) next() int {
+	if p.pos >= len(p.script) {
+		return -1
+	}
+	b := p.script[p.pos]
+	p.pos++
+	return int(b)
+}
+
+func (p *testRemapPolicy) Tick(uint64) {
+	to, bank, way := p.next(), p.next(), p.next()
+	if way < 0 {
+		return // script exhausted
+	}
+	to, bank, way = to%p.n, bank%p.n, way%p.w
+	from := int(p.owner[bank][way])
+	if from == to {
+		return
+	}
+	p.owner[bank][way] = int16(to)
+	p.rebuild(from)
+	p.rebuild(to)
+}
+
+// rebuild mirrors the real policies' remap step: recompute the core's CBT
+// from its way counts and bulk-invalidate every moved bucket.
+func (p *testRemapPolicy) rebuild(core int) {
+	count := make([]int, p.n)
+	for b := 0; b < p.n; b++ {
+		for w := 0; w < p.w; w++ {
+			if int(p.owner[b][w]) == core {
+				count[b]++
+			}
+		}
+	}
+	home := count[core]
+	if home == 0 {
+		home = 1 // home bank anchors the table, as in the real policies
+	}
+	shares := []cbt.Share{{Bank: core, Ways: home}}
+	for b := 0; b < p.n; b++ {
+		if b != core && count[b] > 0 {
+			shares = append(shares, cbt.Share{Bank: b, Ways: count[b]})
+		}
+	}
+	next := cbt.BuildIncremental(p.tables[core], shares)
+	moves := cbt.Diff(p.tables[core], next)
+	p.tables[core] = next
+	for from, buckets := range cbt.MovedFrom(moves) {
+		set := make(map[int]bool, len(buckets))
+		for _, b := range buckets {
+			set[b] = true
+		}
+		p.c.InvalidateOwnerBuckets(core, from, set)
+	}
+}
+
+func (p *testRemapPolicy) BankFor(core int, lineAddr uint64) int {
+	return p.tables[core].BankForLine(lineAddr, p.c.LLCSetBits())
+}
+
+func (p *testRemapPolicy) WayMask(core, bank int) uint64 {
+	var m uint64
+	for w := 0; w < p.w; w++ {
+		if int(p.owner[bank][w]) == core {
+			m |= 1 << uint(w)
+		}
+	}
+	return m
+}
+
+func (p *testRemapPolicy) Table(core int) *cbt.Table      { return p.tables[core] }
+func (p *testRemapPolicy) ExclusiveWayPartitioning() bool { return true }
+
+// remapScript generates a deterministic pseudo-random script.
+func remapScript(n int, seed byte) []byte {
+	out := make([]byte, n)
+	x := uint32(seed) | 1
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = byte(x >> 16)
+	}
+	return out
+}
+
+func checkedConfig(cores int) Config {
+	cfg := testConfig(cores)
+	cfg.Check = true
+	return cfg
+}
+
+// TestCheckedRemapStorm drives mixed DELTA-style (CBT) and S-NUCA (shared
+// page) placement through a storm of randomized remaps with the full
+// invariant sweep on: every quantum, every remap and every reclassification
+// is checked; any violation panics and fails the test.
+func TestCheckedRemapStorm(t *testing.T) {
+	cfg := checkedConfig(16)
+	cfg.Multithreaded = true
+	c := New(cfg, newTestRemapPolicy(remapScript(3*200, 7)))
+	app := trace.NewSharedApp(trace.SharedConfig{
+		Threads: 16, PrivateLines: trace.Lines(256),
+		SharedBase: 1 << 30, SharedLines: trace.Lines(512),
+		SharedFraction: 0.4, Seed: 11,
+	})
+	for i := 0; i < 16; i++ {
+		gen := trace.NewShaper(app.ThreadGen(i),
+			trace.ShaperConfig{MemFraction: 0.3, Burst: 2, Seed: uint64(i) + 1})
+		c.SetWorkload(i, gen, false)
+	}
+	c.Run(10000, 20000)
+	if c.Stats.InvalWalks == 0 {
+		t.Fatal("remap storm performed no bulk invalidations — the test exercised nothing")
+	}
+	if c.Stats.SharedInserts == 0 {
+		t.Fatal("no S-NUCA-placed shared lines — mixed placement not exercised")
+	}
+}
+
+// TestCheckedRunBaselines runs the shared and private baselines under the
+// sweep (non-exclusive and trivially-covering mask shapes, plus the
+// line-interleaved index path).
+func TestCheckedRunBaselines(t *testing.T) {
+	for _, pol := range []Policy{NewSnuca(), NewPrivate()} {
+		c := New(checkedConfig(16), pol)
+		for i := 0; i < 16; i++ {
+			c.SetWorkload(i, bigRegion(256, uint64(i)+1), true)
+		}
+		c.Run(5000, 15000)
+	}
+}
+
+// TestSnucaAliasSurvivesOwnerBucketInvalidation is the remap-vs-S-NUCA
+// aliasing proof: shared pages are placed S-NUCA with Owner == NoOwner, and
+// their addresses necessarily alias CBT bucket ranges (every address has a
+// bucket). A remap's bulk invalidation is keyed on (owner, bucket); it must
+// remove only the owner's lines and never shared-page lines that merely
+// alias the moved bucket range.
+func TestSnucaAliasSurvivesOwnerBucketInvalidation(t *testing.T) {
+	cfg := testConfig(16)
+	cfg.Multithreaded = true
+	c := New(cfg, NewPrivate())
+	app := trace.NewSharedApp(trace.SharedConfig{
+		Threads: 16, PrivateLines: trace.Lines(128),
+		SharedBase: 1 << 30, SharedLines: trace.Lines(512),
+		SharedFraction: 0.5, Seed: 7,
+	})
+	for i := 0; i < 16; i++ {
+		gen := trace.NewShaper(app.ThreadGen(i),
+			trace.ShaperConfig{MemFraction: 0.3, Burst: 2, Seed: uint64(i) + 1})
+		c.SetWorkload(i, gen, false)
+	}
+	c.Run(20000, 40000)
+	if c.Stats.SharedInserts == 0 {
+		t.Fatal("no shared lines inserted")
+	}
+	all := map[int]bool{}
+	for b := 0; b < cbt.NumBuckets; b++ {
+		all[b] = true
+	}
+	countShared := func(bank int) (shared int) {
+		c.Tiles[bank].LLC.ForEachLine(func(ln *cache.Line) {
+			if ln.Owner == cache.NoOwner {
+				shared++
+			}
+		})
+		return
+	}
+	checked := 0
+	for bank := 0; bank < 16; bank++ {
+		sharedBefore := countShared(bank)
+		if sharedBefore == 0 {
+			continue
+		}
+		checked++
+		ownedBefore := c.Tiles[bank].LLC.Occupancy(bank)
+		// Invalidate the home core's lines across the FULL bucket range —
+		// the widest possible remap. Every shared line aliases some bucket
+		// in it, yet none may be removed.
+		n := c.InvalidateOwnerBuckets(bank, bank, all)
+		if uint64(n) != ownedBefore {
+			t.Fatalf("bank %d: invalidated %d owned lines, occupancy said %d",
+				bank, n, ownedBefore)
+		}
+		if got := countShared(bank); got != sharedBefore {
+			t.Fatalf("bank %d: remap invalidation removed %d S-NUCA-placed shared lines",
+				bank, sharedBefore-got)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no bank held shared lines")
+	}
+}
+
+// TestFingerprintDeterminism pins the determinism invariant: same seed, same
+// script, byte-identical end-of-run fingerprint.
+func TestFingerprintDeterminism(t *testing.T) {
+	run := func() string {
+		c := New(checkedConfig(16), newTestRemapPolicy(remapScript(3*100, 3)))
+		for i := 0; i < 16; i++ {
+			c.SetWorkload(i, bigRegion(256, uint64(i)+1), true)
+		}
+		c.Run(5000, 15000)
+		return c.Fingerprint()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty fingerprint")
+	}
+}
+
+// expectViolation corrupts chip state and asserts the sweep panics.
+func expectViolation(t *testing.T, c *Chip, substr string, corrupt func()) {
+	t.Helper()
+	c.CheckInvariants("pre") // must be healthy before corruption
+	corrupt()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("sweep accepted corrupted state (wanted %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	c.CheckInvariants("post")
+}
+
+// checkedChip returns a small ran chip with the harness armed.
+func checkedChip(t *testing.T, script []byte) *Chip {
+	t.Helper()
+	c := New(checkedConfig(16), newTestRemapPolicy(script))
+	for i := 0; i < 16; i++ {
+		c.SetWorkload(i, bigRegion(256, uint64(i)+1), true)
+	}
+	c.Run(3000, 6000)
+	return c
+}
+
+// anyLine returns a pointer to one valid line matching pred, or nil.
+func anyLine(c *cache.Cache, pred func(*cache.Line) bool) *cache.Line {
+	var found *cache.Line
+	c.ForEachLine(func(ln *cache.Line) {
+		if found == nil && pred(ln) {
+			found = ln
+		}
+	})
+	return found
+}
+
+func TestSweepCatchesStatsCorruption(t *testing.T) {
+	c := checkedChip(t, nil)
+	expectViolation(t, c, "hits", func() { c.Tiles[3].LLC.Stats.Hits++ })
+}
+
+func TestSweepCatchesOwnerCorruption(t *testing.T) {
+	c := checkedChip(t, nil)
+	victim := anyLine(c.Tiles[0].LLC, func(ln *cache.Line) bool { return ln.Owner == 0 })
+	if victim == nil {
+		t.Skip("bank 0 held no core-0 lines")
+	}
+	expectViolation(t, c, "occupancy", func() { victim.Owner = 5 })
+}
+
+func TestSweepCatchesDuplicateResidency(t *testing.T) {
+	c := checkedChip(t, nil)
+	ln := anyLine(c.Tiles[0].LLC, func(*cache.Line) bool { return true })
+	if ln == nil {
+		t.Skip("bank 0 empty")
+	}
+	addr := ln.Addr
+	expectViolation(t, c, "resident in both", func() {
+		c.Tiles[1].LLC.Insert(addr, 1, false, c.Tiles[1].LLC.AllMask())
+	})
+}
+
+func TestSweepCatchesDirectoryDrop(t *testing.T) {
+	c := checkedChip(t, nil)
+	// Clear the LLC sharer bits of an L2-resident line: the directory then
+	// under-reports residency (back-invalidation would miss the copy).
+	l2ln := anyLine(c.Tiles[2].L2, func(*cache.Line) bool { return true })
+	if l2ln == nil {
+		t.Skip("core 2 L2 empty")
+	}
+	addr := l2ln.Addr
+	expectViolation(t, c, "sharer bit is clear", func() {
+		for _, tile := range c.Tiles {
+			if ln := anyLine(tile.LLC, func(ln *cache.Line) bool { return ln.Addr == addr }); ln != nil {
+				ln.Sharers = 0
+			}
+		}
+	})
+}
+
+func TestSweepCatchesInclusionBreak(t *testing.T) {
+	c := checkedChip(t, nil)
+	l2ln := anyLine(c.Tiles[4].L2, func(*cache.Line) bool { return true })
+	if l2ln == nil {
+		t.Skip("core 4 L2 empty")
+	}
+	addr := l2ln.Addr
+	expectViolation(t, c, "inclusion", func() {
+		// Drop the LLC copy with back-invalidation suppressed: simulate a
+		// lost invalidation message.
+		for _, tile := range c.Tiles {
+			llc := tile.LLC
+			evict := llc.OnEvict
+			llc.OnEvict = nil
+			llc.InvalidateMatching(func(ln cache.Line) bool { return ln.Addr == addr })
+			llc.OnEvict = evict
+		}
+	})
+}
+
+func TestSweepCatchesWayMaskCorruption(t *testing.T) {
+	c := checkedChip(t, remapScript(3, 9))
+	p := c.Policy().(*testRemapPolicy)
+	expectViolation(t, c, "way masks", func() { p.owner[6][0] = -2 })
+}
+
+func TestSweepCatchesCBTCorruption(t *testing.T) {
+	c := checkedChip(t, nil)
+	p := c.Policy().(*testRemapPolicy)
+	expectViolation(t, c, "CBT", func() {
+		p.tables[1] = cbt.Build([]cbt.Share{{Bank: 99, Ways: 1}})
+	})
+}
+
+func TestSweepCatchesMonotoneRegression(t *testing.T) {
+	c := checkedChip(t, nil)
+	if c.Stats.InvalLines == 0 {
+		c.Stats.InvalLines = 10
+		c.CheckInvariants("seed")
+	}
+	expectViolation(t, c, "went backwards", func() { c.Stats.InvalLines-- })
+}
+
+func TestDisabledSweepIsInert(t *testing.T) {
+	c := New(testConfig(16), NewSnuca()) // Check off
+	c.SetWorkload(0, bigRegion(256, 1), true)
+	c.Run(3000, 6000)
+	c.Tiles[3].LLC.Stats.Hits += 99 // would violate conservation
+	c.CheckInvariants("noop")       // must not panic: harness disabled
+}

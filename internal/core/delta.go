@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"delta/internal/cbt"
@@ -477,6 +478,20 @@ func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
 	if avail := d.alloc[victim][j] - floor; w > avail {
 		w = avail
 	}
+	// Re-check the challenger's allocation cap at handle time. The
+	// challenger verified room when it *sent* the challenge, but the message
+	// is in flight for a NoC latency and other grants (an idle handover, a
+	// concurrent challenge, an intra-bank move) can fill the remaining room
+	// meanwhile; transferring unconditionally here pushed totalWays past
+	// maxTotal. Flushed out by the invariant harness (totalWays ≤ maxTotal
+	// in Delta.CheckInvariants).
+	if room := d.maxTotal - d.totalWays(challenger); w > room {
+		w = room
+	}
+	if w <= 0 {
+		d.respond(j, challenger, false, 0)
+		return
+	}
 	d.transferWays(j, victim, challenger, w, "chal")
 	d.gainDirty[j] = true
 	d.grantedAt[j][challenger] = now
@@ -692,6 +707,76 @@ func (d *Delta) rebuildCBT(core int) {
 	d.rec.Count("core.inval_lines", uint64(lines))
 	d.rec.Event(telemetry.Event{Cycle: d.c.Now(), Kind: telemetry.KindRemap,
 		Core: core, Lines: lines})
+}
+
+// Table implements chip.TableProvider for the invariant harness.
+func (d *Delta) Table(core int) *cbt.Table { return d.tables[core] }
+
+// ExclusiveWayPartitioning implements chip.ExclusivePartitioner: DELTA's WP
+// units give every way exactly one owner.
+func (d *Delta) ExclusiveWayPartitioning() bool { return true }
+
+// CheckInvariants implements chip.SelfChecker. It validates the policy's
+// internal bookkeeping against its ground truth:
+//   - every wayOwner entry names a real partition, and recounting wayOwner
+//     per (bank, partition) reproduces the incrementally maintained alloc
+//     table exactly (per-bank allocations therefore sum to the bank's
+//     associativity);
+//   - no core's chip-wide allocation exceeds maxTotal (the paper's 6/24 MB
+//     per-application cap);
+//   - the home bank never drops below the MinWays inclusion reserve;
+//   - bankOrder lists distinct banks with the home bank first (the CBT
+//     layout anchor).
+//
+// It deliberately does NOT require alloc and the CBTs to agree: between a
+// won challenge and the challenger's handleResponse the allocation is ahead
+// of the table by design (the rebuild rides the response message). Table
+// well-formedness itself is checked by the chip via chip.TableProvider.
+func (d *Delta) CheckInvariants() error {
+	recount := make([][]int, d.n)
+	for p := range recount {
+		recount[p] = make([]int, d.n)
+	}
+	for b := 0; b < d.n; b++ {
+		for way, p := range d.wayOwner[b] {
+			if int(p) < 0 || int(p) >= d.n {
+				return fmt.Errorf("delta: bank %d way %d owned by nonexistent partition %d",
+					b, way, p)
+			}
+			recount[p][b]++
+		}
+	}
+	for p := 0; p < d.n; p++ {
+		total := 0
+		for b := 0; b < d.n; b++ {
+			if d.alloc[p][b] != recount[p][b] {
+				return fmt.Errorf("delta: alloc[%d][%d] = %d but wayOwner recount = %d",
+					p, b, d.alloc[p][b], recount[p][b])
+			}
+			total += d.alloc[p][b]
+		}
+		if total > d.maxTotal {
+			return fmt.Errorf("delta: core %d owns %d ways chip-wide, cap is %d",
+				p, total, d.maxTotal)
+		}
+		if d.alloc[p][p] < d.p.MinWays {
+			return fmt.Errorf("delta: core %d home allocation %d below MinWays reserve %d",
+				p, d.alloc[p][p], d.p.MinWays)
+		}
+		if len(d.bankOrder[p]) == 0 || d.bankOrder[p][0] != p {
+			return fmt.Errorf("delta: core %d bankOrder %v does not start with its home bank",
+				p, d.bankOrder[p])
+		}
+		seen := make(map[int]bool, len(d.bankOrder[p]))
+		for _, b := range d.bankOrder[p] {
+			if seen[b] {
+				return fmt.Errorf("delta: core %d bankOrder %v lists bank %d twice",
+					p, d.bankOrder[p], b)
+			}
+			seen[b] = true
+		}
+	}
+	return nil
 }
 
 // Alloc returns a copy of core's per-bank way allocation; used by tests and

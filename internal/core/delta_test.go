@@ -289,3 +289,99 @@ func TestScale(t *testing.T) {
 		t.Fatal("identity scale changed params")
 	}
 }
+
+// --- invariant harness --------------------------------------------------------
+
+// TestCheckedDeltaRun runs DELTA under the full chip invariant sweep: every
+// quantum boundary and every remap-driven bulk invalidation is validated,
+// including the policy's own CheckInvariants.
+func TestCheckedDeltaRun(t *testing.T) {
+	d := New(testParams())
+	cfg := chip.DefaultConfig(16)
+	cfg.Quantum = 500
+	cfg.Check = true
+	c := chip.New(cfg, d)
+	for i := 0; i < 16; i++ {
+		kb := 64
+		if i%3 == 0 {
+			kb = 1024
+		}
+		c.SetWorkload(i, region(kb, uint64(i)+1), true)
+	}
+	c.Run(20000, 40000)
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsCatchesAllocDrift proves the self-check is live: each
+// deliberate corruption of the policy's bookkeeping must be reported.
+func TestCheckInvariantsCatchesAllocDrift(t *testing.T) {
+	_, d := testChip(testParams())
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("healthy state rejected: %v", err)
+	}
+	corruptions := []struct {
+		name string
+		mut  func()
+		undo func()
+	}{
+		{"alloc drift", func() { d.alloc[0][0]-- }, func() { d.alloc[0][0]++ }},
+		{"foreign way owner", func() { d.wayOwner[1][0] = 99 }, func() { d.wayOwner[1][0] = 1 }},
+		{"bankOrder duplicate",
+			func() { d.bankOrder[2] = []int{2, 3, 3} },
+			func() { d.bankOrder[2] = []int{2} }},
+		{"bankOrder home not first",
+			func() { d.bankOrder[4] = []int{5} },
+			func() { d.bankOrder[4] = []int{4} }},
+	}
+	for _, tc := range corruptions {
+		tc.mut()
+		if err := d.CheckInvariants(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+		tc.undo()
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("%s: undo left state invalid: %v", tc.name, err)
+		}
+	}
+}
+
+// TestChallengeRespectsCapAtHandleTime is the regression test for the
+// allocation-cap race the invariant harness flushed out: a challenge checks
+// room when it is sent, but the message is in flight for a NoC latency and
+// other grants can fill the remaining room meanwhile. Handling the challenge
+// must re-check the cap and trim (or refuse) the transfer; it used to
+// transfer unconditionally, pushing totalWays past maxTotal.
+func TestChallengeRespectsCapAtHandleTime(t *testing.T) {
+	_, d := testChip(testParams())
+	// Make bank 1's home partition a valid victim (pain is +Inf until the
+	// first epoch, which would veto every challenge).
+	d.pain[1] = 0
+	// Challenger 0 is exactly at its cap by the time the message arrives.
+	d.maxTotal = d.totalWays(0)
+	d.handleChallenge(1, 0, 1e9, 0)
+	if got := d.totalWays(0); got != d.maxTotal {
+		t.Fatalf("challenger at cap won %d extra ways", got-d.maxTotal)
+	}
+	if d.alloc[0][1] != 0 {
+		t.Fatalf("alloc[0][1] = %d, want 0", d.alloc[0][1])
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One way of room left: the transfer must be trimmed to it, not the
+	// full InterDeltaWays.
+	d.maxTotal = d.totalWays(0) + 1
+	d.handleChallenge(1, 0, 1e9, 0)
+	if got := d.totalWays(0); got != d.maxTotal {
+		t.Fatalf("totalWays %d after trimmed win, cap %d", got, d.maxTotal)
+	}
+	if d.alloc[0][1] != 1 {
+		t.Fatalf("alloc[0][1] = %d, want the trimmed single way", d.alloc[0][1])
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

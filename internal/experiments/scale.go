@@ -40,6 +40,9 @@ type Scale struct {
 	Recorder telemetry.Recorder
 	// SampleEvery sets quanta between telemetry samples (0 = chip default).
 	SampleEvery int
+	// Check enables the runtime invariant harness on every chip the scale
+	// builds (chip.Config.Check).
+	Check bool
 	// Workers bounds how many simulations the campaign drivers (Suite
 	// prefetching, Fig12, Fig13, Ablations) run concurrently. 0 or 1 runs
 	// sequentially — the historical behaviour; delta-bench wires its
@@ -116,6 +119,7 @@ func (s Scale) ChipConfig(cores int) chip.Config {
 	cfg.Seed = s.Seed
 	cfg.Recorder = s.Recorder
 	cfg.SampleEvery = s.SampleEvery
+	cfg.Check = s.Check
 	return cfg
 }
 
