@@ -27,6 +27,7 @@ import (
 
 	"delta/internal/experiments"
 	"delta/internal/profiling"
+	"delta/internal/version"
 	"delta/internal/workloads"
 )
 
@@ -38,7 +39,13 @@ func main() {
 	check := flag.Bool("check", false, "run simulator-wide invariant checks on every chip (slow; panics on the first violation)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("delta-bench", version.String())
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -13,11 +13,17 @@ import (
 	"fmt"
 
 	"delta/internal/experiments"
+	"delta/internal/version"
 )
 
 func main() {
 	max := flag.Int("max-cores", 64, "largest core count to time (doubling from 2)")
 	seed := flag.Uint64("seed", 1, "synthetic curve seed")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("delta-overhead", version.String())
+		return
+	}
 	fmt.Println(experiments.TableVI(*max, *seed).Table())
 }

@@ -28,6 +28,7 @@ import (
 	"delta/internal/experiments"
 	"delta/internal/metrics"
 	"delta/internal/profiling"
+	"delta/internal/version"
 )
 
 func main() {
@@ -43,8 +44,13 @@ func main() {
 	check := flag.Bool("check", false, "run simulator-wide invariant checks every quantum and after every remap (slow; panics on the first violation)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("delta-sim", version.String())
+		return
+	}
 	if (*mix == "") == (*app == "") {
 		fmt.Fprintln(os.Stderr, "exactly one of -mix or -app is required")
 		os.Exit(2)

@@ -18,6 +18,7 @@ import (
 	"delta/internal/experiments"
 	"delta/internal/metrics"
 	"delta/internal/telemetry"
+	"delta/internal/version"
 	"delta/internal/workloads"
 )
 
@@ -28,7 +29,13 @@ func main() {
 	util := flag.Bool("util", false, "print the per-bank utilization map")
 	jsonl := flag.Bool("jsonl", false, "stream the DELTA run's telemetry as JSONL on stdout (suppresses tables)")
 	timeline := flag.Bool("timeline", false, "print the DELTA run's per-quantum sampled series (suppresses tables)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("delta-trace", version.String())
+		return
+	}
 
 	sc := experiments.DefaultScale()
 	if *cores > 16 {

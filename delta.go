@@ -24,6 +24,9 @@
 package delta
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 
 	"delta/internal/central"
@@ -96,6 +99,22 @@ type Workload struct {
 	SharedAddressSpace bool
 }
 
+// Validate reports whether the workload is well-formed: exactly one of App
+// or Generator set, and App (when set) naming a built-in model.
+func (w Workload) Validate() error {
+	switch {
+	case w.App == "" && w.Generator == nil:
+		return errors.New("delta: workload needs App or Generator")
+	case w.App != "" && w.Generator != nil:
+		return errors.New("delta: workload has both App and Generator; set exactly one")
+	case w.App != "":
+		if _, err := LookupApp(w.App); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Simulator is a configured chip ready to run.
 type Simulator struct {
 	cfg    Config
@@ -106,26 +125,100 @@ type Simulator struct {
 	ran    bool
 }
 
+// Canonical returns the configuration with every default resolved, exactly
+// as NewSimulator would run it. Two configurations with equal Canonical
+// forms produce bit-identical simulations.
+func (c Config) Canonical() Config {
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyDelta
+	}
+	if c.TimeCompression == 0 {
+		c.TimeCompression = 50
+	}
+	if c.WarmupInstructions == 0 {
+		c.WarmupInstructions = 400_000
+	}
+	if c.BudgetInstructions == 0 {
+		c.BudgetInstructions = 250_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// CanonicalJSON serializes the result-affecting configuration fields (with
+// defaults resolved) into deterministic bytes, suitable as a
+// content-addressed cache key: two configurations with equal CanonicalJSON
+// produce bit-identical runs. Observability knobs (Recorder, SampleEvery,
+// Check) are excluded because they never change results.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	cc := c.Canonical()
+	return json.Marshal(struct {
+		Cores           int
+		Policy          PolicyKind
+		TimeCompression uint64
+		Warmup          uint64
+		Budget          uint64
+		Multithreaded   bool
+		Seed            uint64
+		DeltaParams     *core.Params         `json:",omitempty"`
+		IdealConfig     *central.IdealConfig `json:",omitempty"`
+	}{
+		Cores:           cc.Cores,
+		Policy:          cc.Policy,
+		TimeCompression: cc.TimeCompression,
+		Warmup:          cc.WarmupInstructions,
+		Budget:          cc.BudgetInstructions,
+		Multithreaded:   cc.Multithreaded,
+		Seed:            cc.Seed,
+		DeltaParams:     cc.DeltaParams,
+		IdealConfig:     cc.IdealConfig,
+	})
+}
+
+// validate rejects configurations the internal layers would panic on.
+func (c Config) validate() error {
+	switch c.Policy {
+	case PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal:
+	default:
+		return fmt.Errorf("delta: unknown policy %q", c.Policy)
+	}
+	n := c.Cores
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("delta: core count %d is not a power of two", n)
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return fmt.Errorf("delta: core count %d is not a square mesh", n)
+	}
+	return nil
+}
+
 // NewSimulator builds a simulator. It panics on invalid configuration, like
-// the rest of the library: configuration errors are programming errors.
+// the rest of the library: configuration errors are programming errors. Use
+// NewSimulatorE when configurations come from untrusted input (the serving
+// layer) and must surface as errors instead.
 func NewSimulator(cfg Config) *Simulator {
-	if cfg.Cores == 0 {
-		cfg.Cores = 16
+	s, err := NewSimulatorE(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	if cfg.Policy == "" {
-		cfg.Policy = PolicyDelta
-	}
-	if cfg.TimeCompression == 0 {
-		cfg.TimeCompression = 50
-	}
-	if cfg.WarmupInstructions == 0 {
-		cfg.WarmupInstructions = 400_000
-	}
-	if cfg.BudgetInstructions == 0 {
-		cfg.BudgetInstructions = 250_000
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
+	return s
+}
+
+// NewSimulatorE builds a simulator, returning an error (instead of
+// panicking) on invalid configuration.
+func NewSimulatorE(cfg Config) (*Simulator, error) {
+	cfg = cfg.Canonical()
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	ccfg := chip.DefaultConfig(cfg.Cores)
 	ccfg.Multithreaded = cfg.Multithreaded
@@ -159,40 +252,77 @@ func NewSimulator(cfg Config) *Simulator {
 		}
 		s.ideal = central.NewIdeal(icfg)
 		pol = s.ideal
-	default:
-		panic(fmt.Sprintf("delta: unknown policy %q", cfg.Policy))
 	}
 	s.chip = chip.New(ccfg, pol)
-	return s
+	return s, nil
 }
 
-// SetWorkload assigns a workload to a core.
+// SetWorkload assigns a workload to a core, panicking on invalid input.
 func (s *Simulator) SetWorkload(coreID int, w Workload) {
+	if err := s.SetWorkloadE(coreID, w); err != nil {
+		panic(err.Error())
+	}
+}
+
+// SetWorkloadE assigns a workload to a core, returning an error (instead of
+// panicking) on an out-of-range core, an unknown application, or a call
+// after Run.
+func (s *Simulator) SetWorkloadE(coreID int, w Workload) error {
 	if s.ran {
-		panic("delta: SetWorkload after Run")
+		return errors.New("delta: SetWorkload after Run")
+	}
+	if coreID < 0 || coreID >= s.cfg.Cores {
+		return fmt.Errorf("delta: core %d out of range [0,%d)", coreID, s.cfg.Cores)
+	}
+	if err := w.Validate(); err != nil {
+		return err
 	}
 	gen := w.Generator
 	if gen == nil {
-		if w.App == "" {
-			panic("delta: workload needs App or Generator")
-		}
 		app, err := LookupApp(w.App)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		gen = app.Spec.Build(s.cfg.Seed*1000003 + uint64(coreID)*7919 + 17)
 	}
 	s.chip.SetWorkload(coreID, gen, !w.SharedAddressSpace)
 	s.loaded++
+	return nil
 }
 
-// LoadMix assigns one of the paper's Table IV mixes (w1..w15) to all cores.
+// LoadMix assigns one of the paper's Table IV mixes (w1..w15) to all cores,
+// panicking on an unknown mix.
 func (s *Simulator) LoadMix(name string) {
-	m := workloads.MixByName(name)
-	for i, g := range m.Generators(s.cfg.Cores, s.cfg.Seed) {
+	if err := s.LoadMixE(name); err != nil {
+		panic(err.Error())
+	}
+}
+
+// LoadMixE assigns one of the paper's Table IV mixes to all cores, returning
+// an error (instead of panicking) on an unknown mix, a chip whose core count
+// is not a multiple of 16, or a call after Run.
+func (s *Simulator) LoadMixE(name string) error {
+	if s.ran {
+		return errors.New("delta: LoadMix after Run")
+	}
+	var mix *workloads.Mix
+	for _, m := range workloads.Mixes() {
+		if m.Name == name {
+			mix = &m
+			break
+		}
+	}
+	if mix == nil {
+		return fmt.Errorf("delta: unknown mix %q", name)
+	}
+	if s.cfg.Cores%16 != 0 {
+		return fmt.Errorf("delta: %d cores is not a multiple of 16; mixes need 16n cores", s.cfg.Cores)
+	}
+	for i, g := range mix.Generators(s.cfg.Cores, s.cfg.Seed) {
 		s.chip.SetWorkload(i, g, true)
 		s.loaded++
 	}
+	return nil
 }
 
 // SetProcessGroup marks cores as threads of one process (multithreaded mode;
@@ -221,20 +351,45 @@ type Result struct {
 // Run executes the simulation (warmup then measured window) and returns the
 // results. Run can only be called once.
 func (s *Simulator) Run() Result {
+	res, err := s.RunCtx(context.Background())
+	if err != nil {
+		// Background contexts never cancel, so the only errors are the
+		// call-twice / nothing-loaded programming errors.
+		panic(err.Error())
+	}
+	return res
+}
+
+// ErrCanceled marks a run stopped by its context before the measured window
+// completed. Errors returned by RunCtx wrap it (and the context's cause), and
+// the Result alongside holds partial measurements.
+var ErrCanceled = errors.New("delta: run canceled")
+
+// RunCtx executes the simulation like Run, checking ctx at every chip
+// quantum boundary: a canceled or expired context stops the run within one
+// quantum. On cancellation the returned error wraps both ErrCanceled and the
+// context's error, and the returned Result carries whatever the chip had
+// measured so far (partial: cores that never crossed their budget report
+// their progress at the stop point).
+func (s *Simulator) RunCtx(ctx context.Context) (Result, error) {
 	if s.ran {
-		panic("delta: Run called twice")
+		return Result{}, errors.New("delta: Run called twice")
 	}
 	if s.loaded == 0 {
-		panic("delta: no workloads assigned")
+		return Result{}, errors.New("delta: no workloads assigned")
 	}
 	s.ran = true
-	s.chip.Run(s.cfg.WarmupInstructions, s.cfg.BudgetInstructions)
-	return Result{
+	err := s.chip.RunCtx(ctx, s.cfg.WarmupInstructions, s.cfg.BudgetInstructions)
+	res := Result{
 		Policy:                 s.cfg.Policy,
 		Cores:                  s.chip.Results(),
 		ControlMessageFraction: s.chip.Net.Stats.ControlFraction(),
 		InvalidatedLines:       s.chip.Stats.InvalLines,
 	}
+	if err != nil {
+		return res, fmt.Errorf("%w after %d cycles (results are partial): %w", ErrCanceled, s.chip.Now(), err)
+	}
+	return res, nil
 }
 
 // Delta exposes the DELTA policy instance (nil for other policies) for

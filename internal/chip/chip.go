@@ -9,6 +9,7 @@
 package chip
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -437,6 +438,16 @@ func (c *Chip) SetWorkload(core int, gen trace.Generator, private bool) {
 // pressure on shared resources stays realistic, but their measurement window
 // is latched at the crossing.
 func (c *Chip) Run(warmup, budget uint64) {
+	// A background context never cancels, so the error is statically nil.
+	_ = c.RunCtx(context.Background(), warmup, budget)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is polled at every
+// quantum boundary (cores are never interrupted mid-quantum), and a canceled
+// or expired context stops the chip within one quantum and returns the
+// context's error. Measurements latched so far stay readable through
+// Results(); end-of-run telemetry is not published for a canceled run.
+func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 	if budget == 0 {
 		panic("chip: zero instruction budget")
 	}
@@ -450,6 +461,9 @@ func (c *Chip) Run(warmup, budget uint64) {
 		panic("chip: no workloads assigned")
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		qEnd := c.now + c.Cfg.Quantum
 		remaining := 0
 		for i, t := range c.Tiles {
@@ -486,6 +500,7 @@ func (c *Chip) Run(warmup, budget uint64) {
 	if c.rec != nil {
 		c.publishTelemetry()
 	}
+	return nil
 }
 
 // advanceCore issues accesses until the core's local clock passes qEnd.

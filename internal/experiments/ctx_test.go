@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"delta/internal/workloads"
+)
+
+func TestForEachCtxCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 100, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d iterations ran under a pre-canceled context", n)
+	}
+}
+
+func TestForEachCtxStopsClaimingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 2, 1000, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Each worker may finish the iteration it already claimed, so a small
+	// overshoot is allowed — but nowhere near the full range.
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d iterations ran despite cancellation", n)
+	}
+	if err := ForEachCtx(context.Background(), 2, 10, func(int) {}); err != nil {
+		t.Fatalf("uncanceled ForEachCtx returned %v", err)
+	}
+}
+
+func TestRunMixCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := QuickScale()
+	run, err := sc.RunMixCtx(ctx, "snuca", workloads.MixByName("w2"), 16)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The partial MixRun is still structurally complete.
+	if run.Policy != "snuca" || run.Cores != 16 {
+		t.Fatalf("partial run %+v", run)
+	}
+}
+
+func TestRunnerRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := QuickScale()
+	jobs := CrossJobs([]string{"snuca"}, []string{"w2", "w3"}, 16)
+	_, err := Runner{Workers: 2}.RunCtx(ctx, sc, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package experiments
 // telemetry.Recorder, which the engine wraps in a telemetry.FanIn.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,14 +28,26 @@ import (
 // only write state disjoint per index (the campaign drivers write results[i]
 // and nothing else).
 func ForEach(workers, n int, fn func(int)) {
+	// A background context never cancels, so the error is statically nil.
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is canceled
+// no further iterations start (running ones finish — a chip is never
+// interrupted between its own quantum checks) and the context's error is
+// returned. A nil return means every iteration ran.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -43,6 +56,9 @@ func ForEach(workers, n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -52,6 +68,7 @@ func ForEach(workers, n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Job identifies one independent (policy, mix, cores) simulation of a
@@ -84,21 +101,41 @@ func (r Runner) workers() int {
 // reduction, matching Suite. When sc.Recorder is non-nil, all chips share it
 // through a FanIn that tags each job's stream "policy/mix/cores".
 func (r Runner) Run(sc Scale, jobs []Job) []MixRun {
+	// A background context never cancels, so the error is statically nil.
+	out, _ := r.RunCtx(context.Background(), sc, jobs)
+	return out
+}
+
+// RunCtx is Run with cooperative cancellation: ctx reaches every chip's run
+// loop, so cancellation stops in-flight simulations within one quantum and
+// skips unstarted jobs. On cancellation the context's error is returned and
+// the result slice holds zero values (or partial measurements) for jobs that
+// did not complete.
+func (r Runner) RunCtx(ctx context.Context, sc Scale, jobs []Job) ([]MixRun, error) {
 	out := make([]MixRun, len(jobs))
 	workers := r.workers()
 	var fan *telemetry.FanIn
 	if workers > 1 && sc.Recorder != nil {
 		fan = telemetry.NewFanIn(sc.Recorder)
 	}
-	ForEach(workers, len(jobs), func(i int) {
+	var aborted atomic.Bool
+	err := ForEachCtx(ctx, workers, len(jobs), func(i int) {
 		j := jobs[i]
 		jsc := sc.forJob(fan, j.String())
 		if j.Cores > 16 {
 			jsc = jsc.For64()
 		}
-		out[i] = jsc.RunMix(j.Policy, workloads.MixByName(j.Mix), j.Cores)
+		run, err := jsc.RunMixCtx(ctx, j.Policy, workloads.MixByName(j.Mix), j.Cores)
+		if err != nil {
+			aborted.Store(true)
+			return
+		}
+		out[i] = run
 	})
-	return out
+	if err == nil && aborted.Load() {
+		err = ctx.Err()
+	}
+	return out, err
 }
 
 // CrossJobs enumerates the full policies x mixes campaign at one chip size.

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"delta/internal/central"
@@ -148,6 +149,16 @@ func (r MixRun) IPCs() []float64 {
 
 // RunMix simulates one mix under one policy.
 func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
+	// Background contexts never cancel, so the error is statically nil.
+	run, _ := s.RunMixCtx(context.Background(), policy, mix, cores)
+	return run
+}
+
+// RunMixCtx is RunMix with cooperative cancellation: ctx is threaded into
+// the chip's run loop and polled at quantum boundaries. On cancellation the
+// returned error is the context's and the MixRun holds the partial
+// measurements latched so far — campaign drivers treat such runs as aborted.
+func (s Scale) RunMixCtx(ctx context.Context, policy string, mix workloads.Mix, cores int) (MixRun, error) {
 	p := s.NewPolicy(policy)
 	if d, ok := p.(*core.Delta); ok {
 		d.EnableTrace()
@@ -157,7 +168,7 @@ func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
 	for i, g := range gens {
 		c.SetWorkload(i, g, true)
 	}
-	c.Run(s.Warmup, s.Budget)
+	err := c.RunCtx(ctx, s.Warmup, s.Budget)
 	run := MixRun{
 		Policy:  policy,
 		Mix:     mix,
@@ -172,7 +183,7 @@ func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
 	if id, ok := p.(*central.Ideal); ok {
 		run.Ideal = id
 	}
-	return run
+	return run, err
 }
 
 // fanIn wraps the scale's recorder for a parallel campaign section: nil when

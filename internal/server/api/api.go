@@ -1,0 +1,145 @@
+// Package api defines the JSON wire types of the delta-served HTTP API.
+// Both the server (internal/server) and the Go client
+// (internal/server/client) build against these, so the two cannot drift.
+//
+// All simulation requests are declarative — a workload is named (a Table IV
+// mix or SPEC CPU2006 models), never supplied as code — which is what makes
+// results content-addressable: the canonical form of a request fully
+// determines the simulation's output.
+package api
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle. Accepted jobs move queued → running → one of the three
+// terminal states; terminal jobs never change again and their results are
+// served from the content-addressed cache.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// SubmitRequest describes one simulation. Exactly one of Mix or Apps selects
+// the workload; zero-valued knobs take the simulator's defaults (policy
+// delta, 16 cores, the paper's compressed warmup/budget windows, seed 1).
+type SubmitRequest struct {
+	// Policy is one of snuca | private | delta | ideal.
+	Policy string `json:"policy,omitempty"`
+	// Cores is the tile count (power-of-two perfect square; mixes need a
+	// multiple of 16).
+	Cores int `json:"cores,omitempty"`
+	// Mix names a Table IV mix (w1..w15).
+	Mix string `json:"mix,omitempty"`
+	// Apps assigns SPEC CPU2006 models (full names or short codes) to
+	// cores: one entry replicates to every core, otherwise len(Apps) must
+	// equal Cores.
+	Apps []string `json:"apps,omitempty"`
+	// WarmupInstructions and BudgetInstructions set the per-core
+	// fast-forward and measured windows.
+	WarmupInstructions uint64 `json:"warmup_instructions,omitempty"`
+	BudgetInstructions uint64 `json:"budget_instructions,omitempty"`
+	// TimeCompression divides the paper's reconfiguration intervals.
+	TimeCompression uint64 `json:"time_compression,omitempty"`
+	// Multithreaded enables R-NUCA-style shared-page handling.
+	Multithreaded bool `json:"multithreaded,omitempty"`
+	// Seed drives workload randomness.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission. ID is the content address of the
+// canonical request: resubmitting an equivalent request yields the same ID.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	// Deduped is true when the submission attached to an existing job
+	// (in-flight single-flight hit or a finished cached result) instead of
+	// enqueueing a new simulation.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// CoreResult is one core's measured performance.
+type CoreResult struct {
+	Core         int     `json:"core"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	MPKI         float64 `json:"mpki"`
+	MemMPKI      float64 `json:"mem_mpki"`
+	LocalHitFrac float64 `json:"local_hit_frac"`
+	MLP          float64 `json:"mlp"`
+}
+
+// Result is a completed (or partially completed) simulation's output.
+type Result struct {
+	GeomeanIPC             float64      `json:"geomean_ipc"`
+	Cores                  []CoreResult `json:"cores"`
+	ControlMessageFraction float64      `json:"control_message_fraction"`
+	InvalidatedLines       uint64       `json:"invalidated_lines"`
+	// Partial marks measurements from a run stopped by deadline or
+	// shutdown before every core crossed its budget.
+	Partial bool `json:"partial,omitempty"`
+	// ElapsedMS is the wall-clock execution time of the simulation.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Job is the status document served at /v1/simulations/{id}.
+type Job struct {
+	ID      string        `json:"id"`
+	Status  Status        `json:"status"`
+	Request SubmitRequest `json:"request"`
+	// Error describes why a failed/canceled job stopped.
+	Error string `json:"error,omitempty"`
+	// Result is set once the job is done (and, with partial data, on
+	// deadline-canceled jobs).
+	Result *Result `json:"result,omitempty"`
+}
+
+// ErrorBody is the structured error envelope of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code plus a human message.
+type ErrorDetail struct {
+	// Code is one of invalid_config | unknown_job | queue_full | draining |
+	// internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Version string `json:"version"`
+	// UptimeSeconds is the process age.
+	UptimeSeconds int64 `json:"uptime_seconds"`
+}
+
+// ProgressEvent is one line of the /v1/simulations/{id}/events JSONL stream:
+// status transitions, the job's telemetry reconfiguration events, chip-wide
+// progress samples, and a final "done" line when the job reaches a terminal
+// state.
+type ProgressEvent struct {
+	Type string `json:"type"` // status | event | sample | done
+	// Status accompanies type=status and type=done.
+	Status Status `json:"status,omitempty"`
+	// Telemetry payload (type=event): the reconfiguration event kind and
+	// its chip coordinates.
+	Kind string `json:"kind,omitempty"`
+	Core int    `json:"core,omitempty"`
+	Bank int    `json:"bank,omitempty"`
+	Ways int    `json:"ways,omitempty"`
+	// Sample payload (type=sample): chip-wide utilization.
+	NoCLinkUtil float64 `json:"noc_link_util,omitempty"`
+	MCUQueue    float64 `json:"mcu_queue,omitempty"`
+	// Cycle stamps event and sample lines with simulated time.
+	Cycle uint64 `json:"cycle,omitempty"`
+}

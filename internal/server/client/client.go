@@ -1,0 +1,184 @@
+// Package client is the Go client for the delta-served HTTP API: typed
+// submit/poll/stream calls over the wire types of internal/server/api, with
+// 429 backpressure surfaced as a typed error carrying the server's
+// Retry-After hint.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// Client talks to one delta-served instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New builds a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response: the HTTP status, the server's structured
+// error body, and (for 429) the parsed Retry-After hint.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("delta-served: %s (%d %s)", e.Message, e.StatusCode, e.Code)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses decode the error envelope into an APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var envelope api.ErrorBody
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a simulation (or attaches to an equivalent one: see
+// SubmitResponse.Deduped). Queue-full returns an *APIError with status 429
+// and a RetryAfter hint.
+func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResponse, error) {
+	var out api.SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/simulations", req, &out)
+	return out, err
+}
+
+// Job fetches a job's status document.
+func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id, nil, &out)
+	return out, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		if j.Status.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Run submits and waits: the one-call path for synchronous callers. Deduped
+// submissions wait on the existing job, so concurrent Run calls with one
+// request cost one simulation.
+func (c *Client) Run(ctx context.Context, req api.SubmitRequest, poll time.Duration) (api.Job, error) {
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		return api.Job{}, err
+	}
+	return c.Wait(ctx, sub.ID, poll)
+}
+
+// Events streams the job's progress lines, invoking fn per event until the
+// stream ends (terminal job) or ctx cancels. fn returning false stops early.
+func (c *Client) Events(ctx context.Context, id string, fn func(api.ProgressEvent) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/simulations/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope api.ErrorBody
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		}
+		return apiErr
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev api.ProgressEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("delta-served: bad progress line: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,142 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"delta/internal/server"
+	"delta/internal/server/api"
+)
+
+func newPair(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		// Short deadline: tests that leave slow jobs in flight rely on the
+		// deadline path canceling them cooperatively.
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, New(ts.URL)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv, c := newPair(t, server.Config{Workers: 2, QueueDepth: 8, Version: "client-test"})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Version != "client-test" {
+		t.Fatalf("health %+v err %v", h, err)
+	}
+
+	req := api.SubmitRequest{
+		Policy:             "snuca",
+		Cores:              4,
+		Apps:               []string{"mcf"},
+		WarmupInstructions: 4_000,
+		BudgetInstructions: 4_000,
+	}
+	job, err := c.Run(ctx, req, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != api.StatusDone || job.Result == nil || job.Result.GeomeanIPC <= 0 {
+		t.Fatalf("job %+v", job)
+	}
+
+	// A second Run of the same request is a cache hit: same content
+	// address, no second simulation.
+	again, err := c.Run(ctx, req, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != job.ID {
+		t.Fatalf("resubmission got a new id %s vs %s", again.ID, job.ID)
+	}
+	if got := srv.Telemetry().Counter("served.simulations.executed"); got != 1 {
+		t.Fatalf("%d simulations for 2 identical Run calls", got)
+	}
+
+	// The progress stream replays to completion and ends with done.
+	var last api.ProgressEvent
+	if err := c.Events(ctx, job.ID, func(ev api.ProgressEvent) bool {
+		last = ev
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" || last.Status != api.StatusDone {
+		t.Fatalf("last progress event %+v", last)
+	}
+
+	// Unknown job surfaces as a typed API error.
+	if _, err := c.Job(ctx, "deadbeef"); err == nil {
+		t.Fatal("unknown job did not error")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 || apiErr.Code != "unknown_job" {
+			t.Fatalf("unknown job error %v", err)
+		}
+	}
+
+	// Invalid configs surface the server's structured 400.
+	if _, err := c.Submit(ctx, api.SubmitRequest{Policy: "bogus", Mix: "w2", Cores: 16}); err == nil {
+		t.Fatal("invalid config did not error")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Code != "invalid_config" {
+			t.Fatalf("invalid config error %v", err)
+		}
+	}
+}
+
+func TestClientQueueFullRetryAfter(t *testing.T) {
+	_, c := newPair(t, server.Config{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+	slow := api.SubmitRequest{
+		Policy:             "snuca",
+		Cores:              4,
+		Apps:               []string{"mcf"},
+		WarmupInstructions: 50_000_000,
+		BudgetInstructions: 50_000_000,
+	}
+	sub, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the only worker has dequeued the first job, so the next
+	// submission deterministically occupies the single queue slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == api.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job stuck in %s", j.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	slow.Seed = 2
+	if _, err := c.Submit(ctx, slow); err != nil {
+		t.Fatal(err)
+	}
+	slow.Seed = 3
+	_, err = c.Submit(ctx, slow)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("queue-full error %v", err)
+	}
+	if apiErr.StatusCode != 429 || apiErr.Code != "queue_full" || apiErr.RetryAfter <= 0 {
+		t.Fatalf("queue-full error detail %+v", apiErr)
+	}
+}

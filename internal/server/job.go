@@ -1,0 +1,270 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"delta"
+	"delta/internal/server/api"
+	"delta/internal/telemetry"
+)
+
+// normalize resolves a submission's defaults and validates it without
+// building a chip: policy and core-count checks mirror the facade's, app
+// short codes resolve to full model names (so "mcf" and "429.mcf" are the
+// same content address), and workload shape errors surface as
+// invalid_config. The returned request is canonical: byte-identical for any
+// two submissions that would run bit-identical simulations.
+func normalize(req api.SubmitRequest) (api.SubmitRequest, error) {
+	if req.Policy == "" {
+		req.Policy = string(delta.PolicyDelta)
+	}
+	cfg := delta.Config{
+		Cores:              req.Cores,
+		Policy:             delta.PolicyKind(req.Policy),
+		TimeCompression:    req.TimeCompression,
+		WarmupInstructions: req.WarmupInstructions,
+		BudgetInstructions: req.BudgetInstructions,
+		Multithreaded:      req.Multithreaded,
+		Seed:               req.Seed,
+	}.Canonical()
+	switch cfg.Policy {
+	case delta.PolicySnuca, delta.PolicyPrivate, delta.PolicyDelta, delta.PolicyIdeal:
+	default:
+		return req, fmt.Errorf("unknown policy %q", req.Policy)
+	}
+	n := cfg.Cores
+	if n <= 0 || n&(n-1) != 0 {
+		return req, fmt.Errorf("core count %d is not a power of two", n)
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return req, fmt.Errorf("core count %d is not a square mesh", n)
+	}
+	if (req.Mix == "") == (len(req.Apps) == 0) {
+		return req, fmt.Errorf("exactly one of mix or apps is required")
+	}
+	if req.Mix != "" {
+		known := false
+		for _, name := range delta.MixNames() {
+			if name == req.Mix {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return req, fmt.Errorf("unknown mix %q", req.Mix)
+		}
+		if cfg.Cores%16 != 0 {
+			return req, fmt.Errorf("mix workloads need a multiple of 16 cores, got %d", cfg.Cores)
+		}
+	} else {
+		if len(req.Apps) != 1 && len(req.Apps) != cfg.Cores {
+			return req, fmt.Errorf("apps must have 1 or %d entries, got %d", cfg.Cores, len(req.Apps))
+		}
+		apps := make([]string, len(req.Apps))
+		for i, name := range req.Apps {
+			app, err := delta.LookupApp(name)
+			if err != nil {
+				return req, fmt.Errorf("unknown application %q", name)
+			}
+			apps[i] = app.Name
+		}
+		if len(apps) == 1 {
+			rep := make([]string, cfg.Cores)
+			for i := range rep {
+				rep[i] = apps[0]
+			}
+			apps = rep
+		}
+		req.Apps = apps
+	}
+	req.Policy = string(cfg.Policy)
+	req.Cores = cfg.Cores
+	req.TimeCompression = cfg.TimeCompression
+	req.WarmupInstructions = cfg.WarmupInstructions
+	req.BudgetInstructions = cfg.BudgetInstructions
+	req.Seed = cfg.Seed
+	return req, nil
+}
+
+// config converts a normalized request into the facade configuration.
+func config(req api.SubmitRequest) delta.Config {
+	return delta.Config{
+		Cores:              req.Cores,
+		Policy:             delta.PolicyKind(req.Policy),
+		TimeCompression:    req.TimeCompression,
+		WarmupInstructions: req.WarmupInstructions,
+		BudgetInstructions: req.BudgetInstructions,
+		Multithreaded:      req.Multithreaded,
+		Seed:               req.Seed,
+	}
+}
+
+// cacheKey derives the content address of a normalized request: the hex
+// SHA-256 of the facade's canonical config serialization plus the canonical
+// workload spec. Two requests hash equal iff their simulations are
+// bit-identical, which is what makes the result cache and single-flight
+// deduplication sound.
+func cacheKey(req api.SubmitRequest) (string, error) {
+	cfgJSON, err := config(req).CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	wl, err := json.Marshal(struct {
+		Mix  string
+		Apps []string
+	}{req.Mix, req.Apps})
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(cfgJSON)
+	h.Write([]byte{0})
+	h.Write(wl)
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// maxReplayEvents bounds each job's progress replay buffer; late /events
+// subscribers see at most this many historical lines.
+const maxReplayEvents = 1024
+
+// job is one accepted simulation: its identity (the content address),
+// normalized request, lifecycle state, result, and progress subscribers.
+type job struct {
+	id  string
+	req api.SubmitRequest
+
+	mu     sync.Mutex
+	status api.Status
+	errMsg string
+	result *api.Result
+	events []api.ProgressEvent
+	subs   []chan api.ProgressEvent
+	done   chan struct{}
+}
+
+func newJob(id string, req api.SubmitRequest) *job {
+	return &job{id: id, req: req, status: api.StatusQueued, done: make(chan struct{})}
+}
+
+// snapshot renders the job's current API document.
+func (j *job) snapshot() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := api.Job{ID: j.id, Status: j.status, Request: j.req, Error: j.errMsg}
+	if j.result != nil {
+		r := *j.result
+		doc.Result = &r
+	}
+	return doc
+}
+
+// setRunning transitions queued → running and notifies subscribers.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = api.StatusRunning
+	j.publishLocked(api.ProgressEvent{Type: "status", Status: api.StatusRunning})
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, publishes the final "done"
+// progress line, closes every subscriber, and wakes waiters.
+func (j *job) finish(status api.Status, errMsg string, result *api.Result) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.result = result
+	j.publishLocked(api.ProgressEvent{Type: "done", Status: status})
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// publish appends a progress event and forwards it to live subscribers.
+func (j *job) publish(ev api.ProgressEvent) {
+	j.mu.Lock()
+	j.publishLocked(ev)
+	j.mu.Unlock()
+}
+
+func (j *job) publishLocked(ev api.ProgressEvent) {
+	if len(j.events) < maxReplayEvents {
+		j.events = append(j.events, ev)
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the simulation
+		}
+	}
+}
+
+// subscribe returns the replay buffer and, for a live job, a channel of
+// subsequent events that is closed when the job finishes. Terminal jobs
+// return a nil channel: the replay already ends with the "done" line.
+func (j *job) subscribe() ([]api.ProgressEvent, chan api.ProgressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := make([]api.ProgressEvent, len(j.events))
+	copy(replay, j.events)
+	if j.status.Terminal() {
+		return replay, nil
+	}
+	ch := make(chan api.ProgressEvent, 256)
+	j.subs = append(j.subs, ch)
+	return replay, ch
+}
+
+// progressRecorder adapts the job's progress stream to telemetry.Recorder:
+// reconfiguration events and chip-wide samples forward to subscribers;
+// counters and gauges are aggregate-only and flow to the server's shared
+// recorder instead. It is safe for concurrent use (job.publish locks), which
+// Multi requires of each branch when chips run on worker goroutines.
+type progressRecorder struct{ j *job }
+
+// Event implements telemetry.Recorder.
+func (p progressRecorder) Event(ev telemetry.Event) {
+	p.j.publish(api.ProgressEvent{
+		Type:  "event",
+		Kind:  ev.Kind.String(),
+		Core:  ev.Core,
+		Bank:  ev.Bank,
+		Ways:  ev.Ways,
+		Cycle: ev.Cycle,
+	})
+}
+
+// Sample implements telemetry.Recorder, forwarding only the chip-wide
+// series: per-tile samples would multiply the stream by the core count
+// without telling a progress watcher much.
+func (p progressRecorder) Sample(s telemetry.Sample) {
+	if s.Tile != telemetry.ChipWide {
+		return
+	}
+	p.j.publish(api.ProgressEvent{
+		Type:        "sample",
+		NoCLinkUtil: s.NoCLinkUtil,
+		MCUQueue:    s.MCUQueue,
+		Cycle:       s.Cycle,
+	})
+}
+
+// Count implements telemetry.Recorder (aggregates are not part of the
+// per-job progress stream).
+func (progressRecorder) Count(string, uint64) {}
+
+// Gauge implements telemetry.Recorder.
+func (progressRecorder) Gauge(string, float64) {}
+
+// Flush implements telemetry.Recorder.
+func (progressRecorder) Flush() error { return nil }

@@ -1,0 +1,415 @@
+// Package server is the delta-served simulation service: a long-lived HTTP
+// frontend over the simulator facade with admission control. Submissions are
+// validated, content-addressed (the job ID is a hash of the canonical
+// request), deduplicated single-flight against both in-flight and completed
+// jobs, and run through a bounded queue and a fixed worker pool; a full
+// queue pushes back with 429 + Retry-After instead of accepting unbounded
+// work. Each job runs under a configurable deadline with cooperative
+// cancellation threaded into the chip's quantum loop, and Shutdown stops
+// admission, drains every accepted job, and flushes telemetry sinks — the
+// shape of a production inference frontend, applied to simulations.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delta"
+	"delta/internal/server/api"
+	"delta/internal/telemetry"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the simulation worker pool size; <= 0 uses
+	// runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// <= 0 uses 64. A full queue rejects submissions with 429.
+	QueueDepth int
+	// JobTimeout is the per-job deadline measured from dequeue; 0 disables
+	// deadlines. Expired jobs report canceled with partial results.
+	JobTimeout time.Duration
+	// Version is reported by /healthz.
+	Version string
+	// Sink, when non-nil, receives every simulation's telemetry in
+	// addition to the server's aggregate recorder (e.g. a JSONL stream).
+	// It is flushed during Shutdown and may be single-goroutine-only: the
+	// server serializes access.
+	Sink telemetry.Recorder
+	// Logf receives one line per lifecycle transition; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Server is the service state behind the HTTP handler.
+type Server struct {
+	cfg     Config
+	workers int
+	shared  *telemetry.Shared
+	sink    *telemetry.FanIn // serialized view of cfg.Sink, nil without one
+	mux     *http.ServeMux
+	start   time.Time
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+
+	inflight atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		workers: cfg.Workers,
+		shared:  telemetry.NewShared(0),
+		sink:    telemetry.NewFanIn(cfg.Sink),
+		start:   time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/simulations/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Telemetry exposes the aggregate recorder (tests assert on its counters).
+func (s *Server) Telemetry() *telemetry.Shared { return s.shared }
+
+// Shutdown gracefully stops the service: admission closes immediately
+// (readyz flips to draining, submissions get 503), every already-accepted
+// job — queued or in flight — runs to completion, and telemetry sinks are
+// flushed. If ctx expires first, in-flight jobs are canceled cooperatively
+// (they finish their quantum, report canceled with partial results, and
+// still count as drained) and Shutdown waits for the workers to exit before
+// returning the context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the backlog, then exit
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("delta-served: draining (%d jobs in flight)", s.inflight.Load())
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // cooperative cancel of in-flight runs
+		<-done
+	}
+	if s.sink != nil {
+		if ferr := s.sink.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	s.cfg.Logf("delta-served: drained")
+	return err
+}
+
+// --- workers -----------------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one accepted job end to end.
+func (s *Server) runJob(j *job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	j.setRunning()
+	s.cfg.Logf("delta-served: job %s running (%s)", j.id, j.req.Policy)
+	started := time.Now()
+
+	rec := telemetry.Recorder(telemetry.NewMulti(s.shared, progressRecorder{j}))
+	if s.sink != nil {
+		rec = telemetry.NewMulti(rec, s.sink.Tag(j.id))
+	}
+	cfg := config(j.req)
+	cfg.Recorder = rec
+	sim, err := delta.NewSimulatorE(cfg)
+	if err == nil {
+		err = loadWorkloads(sim, j.req)
+	}
+	if err != nil {
+		// normalize() vets submissions, so reaching here is a server bug;
+		// surface it as a failed job rather than a hung one.
+		s.shared.Count("served.jobs.failed", 1)
+		j.finish(api.StatusFailed, err.Error(), nil)
+		return
+	}
+	s.shared.Count("served.simulations.executed", 1)
+	res, runErr := sim.RunCtx(ctx)
+	result := toAPIResult(res, runErr != nil, time.Since(started))
+	switch {
+	case runErr == nil:
+		s.shared.Count("served.jobs.completed", 1)
+		j.finish(api.StatusDone, "", result)
+	case errors.Is(runErr, delta.ErrCanceled):
+		s.shared.Count("served.jobs.canceled", 1)
+		j.finish(api.StatusCanceled, runErr.Error(), result)
+	default:
+		s.shared.Count("served.jobs.failed", 1)
+		j.finish(api.StatusFailed, runErr.Error(), nil)
+	}
+	s.cfg.Logf("delta-served: job %s %s in %s", j.id, j.snapshot().Status, time.Since(started).Round(time.Millisecond))
+}
+
+// loadWorkloads applies the normalized workload spec to a simulator.
+func loadWorkloads(sim *delta.Simulator, req api.SubmitRequest) error {
+	if req.Mix != "" {
+		return sim.LoadMixE(req.Mix)
+	}
+	for i, app := range req.Apps {
+		if err := sim.SetWorkloadE(i, delta.Workload{App: app}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// toAPIResult converts a facade result to the wire form.
+func toAPIResult(res delta.Result, partial bool, elapsed time.Duration) *api.Result {
+	out := &api.Result{
+		ControlMessageFraction: res.ControlMessageFraction,
+		InvalidatedLines:       res.InvalidatedLines,
+		Partial:                partial,
+		ElapsedMS:              elapsed.Milliseconds(),
+	}
+	allPositive := len(res.Cores) > 0
+	for _, c := range res.Cores {
+		out.Cores = append(out.Cores, api.CoreResult{
+			Core:         c.Core,
+			Instructions: c.Instructions,
+			Cycles:       c.Cycles,
+			IPC:          c.IPC,
+			MPKI:         c.MPKI,
+			MemMPKI:      c.MemMPKI,
+			LocalHitFrac: c.LocalHitFrac,
+			MLP:          c.MLP,
+		})
+		if c.IPC <= 0 {
+			allPositive = false
+		}
+	}
+	if allPositive {
+		// GeoMeanIPC panics on non-positive IPCs, which partial results of
+		// a canceled run can contain.
+		out.GeomeanIPC = res.GeoMeanIPC()
+	}
+	return out
+}
+
+// --- HTTP handlers -----------------------------------------------------------
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.shared.Count("served.rejected.invalid", 1)
+		writeError(w, http.StatusBadRequest, "invalid_config", "malformed request body: "+err.Error())
+		return
+	}
+	norm, err := normalize(req)
+	if err != nil {
+		s.shared.Count("served.rejected.invalid", 1)
+		writeError(w, http.StatusBadRequest, "invalid_config", err.Error())
+		return
+	}
+	id, err := cacheKey(norm)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		s.mu.Unlock()
+		s.shared.Count("served.singleflight.deduped", 1)
+		writeJSON(w, http.StatusOK, api.SubmitResponse{ID: id, Status: j.snapshot().Status, Deduped: true})
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new simulations")
+		return
+	}
+	j := newJob(id, norm)
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.mu.Unlock()
+		s.shared.Count("served.jobs.accepted", 1)
+		w.Header().Set("Location", "/v1/simulations/"+id)
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Status: api.StatusQueued})
+	default:
+		queued := len(s.queue)
+		s.mu.Unlock()
+		s.shared.Count("served.rejected.queue_full", 1)
+		retry := queued / s.workers
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("queue full (%d waiting); retry after %ds", queued, retry))
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job", "no simulation with this id")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job", "no simulation with this id")
+		return
+	}
+	replay, live := j.subscribe()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, ev := range replay {
+		if enc.Encode(ev) != nil {
+			return
+		}
+	}
+	flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if enc.Encode(ev) != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	s.mu.Lock()
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        status,
+		Version:       s.cfg.Version,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.shared.Snapshot()
+	snap.Gauges["served.queue.depth"] = float64(len(s.queue))
+	snap.Gauges["served.jobs.inflight"] = float64(s.inflight.Load())
+	snap.Gauges["served.uptime.seconds"] = time.Since(s.start).Seconds()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WritePrometheus(w, snap); err != nil {
+		log.Printf("delta-served: /metrics write: %v", err)
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorBody{Error: api.ErrorDetail{Code: code, Message: msg}})
+}

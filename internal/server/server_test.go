@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// quickReq is a request small enough that a job completes in well under a
+// second: 4 cores, one replicated app, compressed windows.
+func quickReq(seed uint64) api.SubmitRequest {
+	return api.SubmitRequest{
+		Policy:             "snuca",
+		Cores:              4,
+		Apps:               []string{"mcf"},
+		WarmupInstructions: 4_000,
+		BudgetInstructions: 4_000,
+		Seed:               seed,
+	}
+}
+
+// slowReq is a request whose simulation runs long enough to still be in
+// flight when the test acts (canceled cooperatively at teardown).
+func slowReq(seed uint64) api.SubmitRequest {
+	r := quickReq(seed)
+	r.WarmupInstructions = 50_000_000
+	r.BudgetInstructions = 50_000_000
+	return r
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/simulations/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decode[api.Job](t, resp)
+		if j.Status.Terminal() {
+			return j
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return api.Job{}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	resp := postJSON(t, ts.URL+"/v1/simulations", quickReq(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/simulations/") {
+		t.Fatalf("Location header %q", loc)
+	}
+	sub := decode[api.SubmitResponse](t, resp)
+	if sub.ID == "" || sub.Deduped {
+		t.Fatalf("submit response %+v", sub)
+	}
+	j := waitDone(t, ts, sub.ID)
+	if j.Status != api.StatusDone || j.Result == nil {
+		t.Fatalf("job %+v", j)
+	}
+	if j.Result.GeomeanIPC <= 0 || len(j.Result.Cores) != 4 || j.Result.Partial {
+		t.Fatalf("result %+v", j.Result)
+	}
+	if j.Request.Apps[0] != "mcf" && !strings.Contains(j.Request.Apps[0], "mcf") {
+		t.Fatalf("normalized request %+v", j.Request)
+	}
+}
+
+func TestSubmitRejectsInvalidConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown policy", api.SubmitRequest{Policy: "bogus", Mix: "w2", Cores: 16}},
+		{"unknown mix", api.SubmitRequest{Mix: "w99", Cores: 16}},
+		{"unknown app", api.SubmitRequest{Apps: []string{"nosuchapp"}, Cores: 4}},
+		{"both mix and apps", api.SubmitRequest{Mix: "w2", Apps: []string{"mcf"}, Cores: 16}},
+		{"neither mix nor apps", api.SubmitRequest{Cores: 16}},
+		{"bad cores", api.SubmitRequest{Mix: "w2", Cores: 9}},
+		{"mix on 4 cores", api.SubmitRequest{Mix: "w2", Cores: 4}},
+		{"wrong apps count", api.SubmitRequest{Apps: []string{"mcf", "lbm"}, Cores: 16}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/simulations", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		body := decode[api.ErrorBody](t, resp)
+		if body.Error.Code != "invalid_config" || body.Error.Message == "" {
+			t.Fatalf("%s: error body %+v", tc.name, body)
+		}
+	}
+	// Malformed JSON is also a structured 400.
+	resp, err := http.Post(ts.URL+"/v1/simulations", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	if body := decode[api.ErrorBody](t, resp); body.Error.Code != "invalid_config" {
+		t.Fatalf("malformed body: %+v", body)
+	}
+}
+
+func TestSingleFlightDeduplication(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	// Two concurrent identical submissions: both get the same content
+	// address, exactly one simulation executes.
+	const concurrent = 8
+	ids := make([]string, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/simulations", quickReq(7))
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submit %d: status %d", i, resp.StatusCode)
+				resp.Body.Close()
+				return
+			}
+			ids[i] = decode[api.SubmitResponse](t, resp).ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < concurrent; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("divergent content addresses %q vs %q", ids[i], ids[0])
+		}
+	}
+	j := waitDone(t, ts, ids[0])
+	if j.Status != api.StatusDone {
+		t.Fatalf("job %+v", j)
+	}
+	if got := srv.Telemetry().Counter("served.simulations.executed"); got != 1 {
+		t.Fatalf("%d simulations executed for %d identical submissions", got, concurrent)
+	}
+	if got := srv.Telemetry().Counter("served.singleflight.deduped"); got != concurrent-1 {
+		t.Fatalf("deduped counter = %d, want %d", got, concurrent-1)
+	}
+	// A resubmission after completion is a cache hit on the same job.
+	resp := postJSON(t, ts.URL+"/v1/simulations", quickReq(7))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached resubmit status %d", resp.StatusCode)
+	}
+	sub := decode[api.SubmitResponse](t, resp)
+	if !sub.Deduped || sub.ID != ids[0] || sub.Status != api.StatusDone {
+		t.Fatalf("cached resubmit %+v", sub)
+	}
+	if got := srv.Telemetry().Counter("served.simulations.executed"); got != 1 {
+		t.Fatalf("cache hit re-executed: %d runs", got)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Occupy the only worker, then fill the one queue slot.
+	resp := postJSON(t, ts.URL+"/v1/simulations", slowReq(1))
+	running := decode[api.SubmitResponse](t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, running.ID, api.StatusRunning)
+	if resp := postJSON(t, ts.URL+"/v1/simulations", slowReq(2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/simulations", slowReq(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header %q", ra)
+	}
+	body := decode[api.ErrorBody](t, resp)
+	if body.Error.Code != "queue_full" {
+		t.Fatalf("429 body %+v", body)
+	}
+	if got := srv.Telemetry().Counter("served.rejected.queue_full"); got != 1 {
+		t.Fatalf("queue_full counter = %d", got)
+	}
+	// Teardown shutdown (short deadline) cancels the slow jobs
+	// cooperatively; make sure that path reports canceled, not lost.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	for _, id := range []string{running.ID} {
+		j := waitDone(t, ts, id)
+		if j.Status != api.StatusCanceled {
+			t.Fatalf("slow job after deadline shutdown: %+v", j.Status)
+		}
+		if j.Result == nil || !j.Result.Partial {
+			t.Fatalf("canceled job should carry partial results, got %+v", j.Result)
+		}
+	}
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id string, want api.Status) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/simulations/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decode[api.Job](t, resp)
+		if j.Status == want {
+			return
+		}
+		if j.Status.Terminal() {
+			t.Fatalf("job %s reached %s while waiting for %s", id, j.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	resp, err := http.Get(ts.URL + "/v1/simulations/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body := decode[api.ErrorBody](t, resp); body.Error.Code != "unknown_job" {
+		t.Fatalf("body %+v", body)
+	}
+}
+
+func TestHealthReadyMetrics(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Version: "test-build"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[api.Health](t, resp)
+	if h.Status != "ok" || h.Version != "test-build" {
+		t.Fatalf("healthz %+v", h)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d", resp.StatusCode)
+	}
+
+	// Complete one job, then check the exposition.
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", quickReq(1)))
+	waitDone(t, ts, sub.ID)
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"served_jobs_accepted 1",
+		"served_jobs_completed 1",
+		"served_simulations_executed 1",
+		"# TYPE served_queue_depth gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// After shutdown: readyz 503, healthz reports draining, submit 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/simulations", quickReq(42))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit %d", resp.StatusCode)
+	}
+	if body := decode[api.ErrorBody](t, resp); body.Error.Code != "draining" {
+		t.Fatalf("draining body %+v", body)
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := quickReq(5)
+	req.Policy = "delta" // reconfiguration events come from the delta policy
+	req.Cores = 16
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", req))
+	waitDone(t, ts, sub.ID)
+	resp, err := http.Get(ts.URL + "/v1/simulations/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []api.ProgressEvent
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var ev api.ProgressEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 2 {
+		t.Fatalf("only %d progress events", len(events))
+	}
+	if events[0].Type != "status" || events[0].Status != api.StatusRunning {
+		t.Fatalf("first event %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Status != api.StatusDone {
+		t.Fatalf("last event %+v", last)
+	}
+}
+
+func TestDrainLosesNoAcceptedJob(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	// Accept a burst — more jobs than workers, so some are still queued
+	// when the drain starts — then shut down and verify every accepted job
+	// finished with a full (non-partial) result.
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		resp := postJSON(t, ts.URL+"/v1/simulations", quickReq(uint64(100+i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = decode[api.SubmitResponse](t, resp).ID
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, id := range ids {
+		j := waitDone(t, ts, id)
+		if j.Status != api.StatusDone || j.Result == nil || j.Result.Partial {
+			t.Fatalf("job %d lost in drain: %+v", i, j)
+		}
+	}
+	if got := srv.Telemetry().Counter("served.jobs.completed"); got != jobs {
+		t.Fatalf("completed counter = %d, want %d", got, jobs)
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	// Short code and full name are one content address; different seeds
+	// are different addresses.
+	a, err := normalize(api.SubmitRequest{Apps: []string{"mc"}, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := normalize(api.SubmitRequest{Apps: []string{"mcf"}, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := cacheKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := cacheKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("short code and full name hash apart: %s vs %s", ka, kb)
+	}
+	c, err := normalize(api.SubmitRequest{Apps: []string{"mcf"}, Cores: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc, _ := cacheKey(c); kc == ka {
+		t.Fatal("different seeds share a content address")
+	}
+}

@@ -1,0 +1,52 @@
+// Package version derives a human-readable build identity from the Go
+// build-info embedded in every binary, so the five delta commands (and the
+// serving layer's /healthz) can report what exactly is running without a
+// linker-flag stamping step.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity: module version when the binary was
+// built from a tagged module, otherwise the VCS revision (short) with a
+// -dirty suffix for modified trees, plus the Go toolchain. Falls back to
+// "devel" when build info is unavailable (e.g. test binaries).
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var b strings.Builder
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	b.WriteString(v)
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	// Pseudo-versions already embed the revision; only devel builds need
+	// it appended.
+	if rev != "" && v == "devel" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString("+" + rev)
+		if dirty {
+			b.WriteString("-dirty")
+		}
+	}
+	if bi.GoVersion != "" {
+		b.WriteString(" (" + bi.GoVersion + ")")
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Service smoke test: build delta-served, boot it on a random port, check
+# /healthz, submit one tiny simulation, poll it to completion, assert the
+# result, then SIGTERM and assert a clean drain + exit. Run from the repo
+# root; CI runs it after the unit tests.
+set -euo pipefail
+
+PORT=$((20000 + RANDOM % 20000))
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/delta-served"
+LOG="$(mktemp)"
+
+cleanup() {
+  [ -n "${SRV_PID:-}" ] && kill -9 "${SRV_PID}" 2>/dev/null || true
+  rm -f "${LOG}"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "${BIN}" ./cmd/delta-served
+"${BIN}" -version
+
+echo "== start on ${ADDR}"
+"${BIN}" -addr "${ADDR}" -workers 2 -queue-depth 8 -job-timeout 60s >"${LOG}" 2>&1 &
+SRV_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "${SRV_PID}" 2>/dev/null; then
+    echo "server died during startup:"; cat "${LOG}"; exit 1
+  fi
+  sleep 0.2
+done
+
+echo "== healthz"
+HEALTH=$(curl -sf "http://${ADDR}/healthz")
+echo "${HEALTH}"
+echo "${HEALTH}" | grep -q '"status":"ok"'
+echo "${HEALTH}" | grep -q '"version"'
+
+echo "== readyz"
+curl -sf "http://${ADDR}/readyz" | grep -q ok
+
+echo "== submit a tiny simulation"
+SUBMIT=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' \
+  -d '{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":4000,"budget_instructions":4000}')
+echo "${SUBMIT}"
+ID=$(echo "${SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "${ID}" ] || { echo "no job id in submit response"; exit 1; }
+
+echo "== poll ${ID}"
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${ID}")
+  case "${JOB}" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'*|*'"status":"canceled"'*) echo "job ended badly: ${JOB}"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "job never finished: ${JOB}"; exit 1; }
+echo "${JOB}" | grep -q '"geomean_ipc"'
+
+echo "== duplicate submission hits the cache"
+DUP=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' \
+  -d '{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":4000,"budget_instructions":4000}')
+echo "${DUP}" | grep -q '"deduped":true'
+
+echo "== metrics exposition"
+METRICS=$(curl -sf "http://${ADDR}/metrics")
+echo "${METRICS}" | grep -q '^served_simulations_executed 1$'
+echo "${METRICS}" | grep -q '^served_jobs_completed 1$'
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "${SRV_PID}"
+EXIT_CODE=0
+for i in $(seq 1 100); do
+  if ! kill -0 "${SRV_PID}" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "${SRV_PID}" 2>/dev/null; then
+  echo "server did not exit after SIGTERM:"; cat "${LOG}"; exit 1
+fi
+wait "${SRV_PID}" || EXIT_CODE=$?
+[ "${EXIT_CODE}" -eq 0 ] || { echo "server exited ${EXIT_CODE}:"; cat "${LOG}"; exit 1; }
+grep -q "drained" "${LOG}"
+SRV_PID=""
+
+echo "service smoke: OK"
