@@ -7,6 +7,7 @@
 // API (JSON unless noted):
 //
 //	POST /v1/simulations              submit {policy, cores, mix|apps, ...}
+//	POST /v1/simulations/{id}:suspend checkpoint a job for later resumption
 //	GET  /v1/simulations/{id}         job status and result
 //	GET  /v1/simulations/{id}/events  JSONL progress stream
 //	GET  /healthz                     liveness + version
@@ -44,6 +45,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job deadline (0 = none); expired jobs report partial results")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain accepted jobs on shutdown before canceling them")
 	jsonl := flag.String("jsonl", "", "append every simulation's telemetry to this JSONL file (flushed on shutdown)")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist suspended jobs' simulation snapshots here; enables :suspend, resume-on-resubmit, and checkpoint-instead-of-discard drains")
+	snapshotEvery := flag.Int("snapshot-every", 0, "auto-checkpoint each running simulation in memory every N quantum boundaries (0 = off)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -65,12 +68,14 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		Version:    version.String(),
-		Sink:       sink,
-		Logf:       log.Printf,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		CheckpointDir: *checkpointDir,
+		SnapshotEvery: *snapshotEvery,
+		Version:       version.String(),
+		Sink:          sink,
+		Logf:          log.Printf,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -77,7 +77,7 @@ func main() {
 	// print in the requested order.
 	sims := make([]*delta.Simulator, len(policies))
 	for i, p := range policies {
-		sims[i] = delta.NewSimulator(delta.Config{
+		sim, err := delta.New(delta.WithConfig(delta.Config{
 			Cores:              *cores,
 			Policy:             delta.PolicyKind(strings.TrimSpace(p)),
 			WarmupInstructions: *warm,
@@ -85,7 +85,12 @@ func main() {
 			Seed:               *seed,
 			TimeCompression:    *compress,
 			Check:              *check,
-		})
+		}))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-sim:", err)
+			os.Exit(2)
+		}
+		sims[i] = sim
 		if *mix != "" {
 			sims[i].LoadMix(*mix)
 		} else {

@@ -29,10 +29,13 @@ import (
 	"errors"
 	"fmt"
 
+	"sync"
+
 	"delta/internal/central"
 	"delta/internal/chip"
 	"delta/internal/core"
 	"delta/internal/metrics"
+	"delta/internal/snapshot"
 	"delta/internal/trace"
 	"delta/internal/workloads"
 )
@@ -78,6 +81,12 @@ type Config struct {
 	// reconfiguration, panicking on the first violation. See DESIGN.md
 	// "Validation & invariants".
 	Check bool
+	// SnapshotEvery, when positive, auto-checkpoints the simulator every
+	// SnapshotEvery quantum boundaries during Run/RunCtx; the latest
+	// checkpoint is available through LastSnapshot. Like the other
+	// observability knobs it never changes results and is excluded from
+	// CanonicalJSON.
+	SnapshotEvery int
 
 	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
 	// nil uses Table II defaults scaled by TimeCompression.
@@ -123,6 +132,17 @@ type Simulator struct {
 	ideal  *central.Ideal
 	loaded int
 	ran    bool
+
+	// Workload bookkeeping for checkpoint/restore: the mix name (applied
+	// first on restore) and per-core named assignments layered on top.
+	// Cores loaded with custom generators record hasCustom and make
+	// Snapshot fail.
+	mixName   string
+	appByCore map[int]snapshot.AppAssignment
+	hasCustom bool
+
+	mu       sync.Mutex
+	lastSnap *Snapshot
 }
 
 // Canonical returns the configuration with every default resolved, exactly
@@ -201,12 +221,12 @@ func (c Config) validate() error {
 	return nil
 }
 
-// NewSimulator builds a simulator. It panics on invalid configuration, like
-// the rest of the library: configuration errors are programming errors. Use
-// NewSimulatorE when configurations come from untrusted input (the serving
-// layer) and must surface as errors instead.
+// NewSimulator builds a simulator, panicking on invalid configuration.
+//
+// Deprecated: Use New with functional options (e.g. New(WithCores(16),
+// WithPolicy(PolicyDelta))), which returns errors instead of panicking.
 func NewSimulator(cfg Config) *Simulator {
-	s, err := NewSimulatorE(cfg)
+	s, err := newSimulator(cfg)
 	if err != nil {
 		panic(err.Error())
 	}
@@ -215,7 +235,15 @@ func NewSimulator(cfg Config) *Simulator {
 
 // NewSimulatorE builds a simulator, returning an error (instead of
 // panicking) on invalid configuration.
+//
+// Deprecated: Use New(WithConfig(cfg)) or per-field options.
 func NewSimulatorE(cfg Config) (*Simulator, error) {
+	return newSimulator(cfg)
+}
+
+// newSimulator is the single construction path behind New, NewSimulator,
+// NewSimulatorE and Restore.
+func newSimulator(cfg Config) (*Simulator, error) {
 	cfg = cfg.Canonical()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -227,7 +255,7 @@ func NewSimulatorE(cfg Config) (*Simulator, error) {
 	ccfg.Recorder = cfg.Recorder
 	ccfg.SampleEvery = cfg.SampleEvery
 	ccfg.Check = cfg.Check
-	s := &Simulator{cfg: cfg}
+	s := &Simulator{cfg: cfg, appByCore: make(map[int]snapshot.AppAssignment)}
 	var pol chip.Policy
 	switch cfg.Policy {
 	case PolicySnuca:
@@ -284,6 +312,12 @@ func (s *Simulator) SetWorkloadE(coreID int, w Workload) error {
 			return err
 		}
 		gen = app.Spec.Build(s.cfg.Seed*1000003 + uint64(coreID)*7919 + 17)
+		// Record by canonical name so a restore rebuilds the identical
+		// generator tree regardless of whether the short code was used.
+		s.appByCore[coreID] = snapshot.AppAssignment{Core: coreID, App: app.Name, Shared: w.SharedAddressSpace}
+	} else {
+		delete(s.appByCore, coreID)
+		s.hasCustom = true
 	}
 	s.chip.SetWorkload(coreID, gen, !w.SharedAddressSpace)
 	s.loaded++
@@ -322,6 +356,11 @@ func (s *Simulator) LoadMixE(name string) error {
 		s.chip.SetWorkload(i, g, true)
 		s.loaded++
 	}
+	// The mix assigns every core, superseding earlier per-core assignments;
+	// restores replay the mix first, then later SetWorkload calls on top.
+	s.mixName = name
+	s.appByCore = make(map[int]snapshot.AppAssignment)
+	s.hasCustom = false
 	return nil
 }
 
@@ -379,7 +418,15 @@ func (s *Simulator) RunCtx(ctx context.Context) (Result, error) {
 		return Result{}, errors.New("delta: no workloads assigned")
 	}
 	s.ran = true
+	if s.cfg.SnapshotEvery > 0 {
+		s.chip.SetCheckpoint(s.cfg.SnapshotEvery, func(uint64) { s.storeCheckpoint() })
+	}
 	err := s.chip.RunCtx(ctx, s.cfg.WarmupInstructions, s.cfg.BudgetInstructions)
+	if err != nil && s.cfg.SnapshotEvery > 0 {
+		// The chip stopped at an exact quantum boundary; capture it so the
+		// last checkpoint resumes from the stop point, not an earlier one.
+		s.storeCheckpoint()
+	}
 	res := Result{
 		Policy:                 s.cfg.Policy,
 		Cores:                  s.chip.Results(),
@@ -399,11 +446,20 @@ func (s *Simulator) Delta() *core.Delta { return s.delta }
 // Ideal exposes the centralized policy instance (nil otherwise).
 func (s *Simulator) Ideal() *central.Ideal { return s.ideal }
 
-// GeoMeanIPC is the paper's per-workload performance metric.
+// GeoMeanIPC is the paper's per-workload performance metric: the geometric
+// mean over cores that measured a positive IPC. Cores that retired no
+// instructions in their window (idle tiles, or partial runs stopped before
+// warmup) are excluded rather than poisoning the mean with NaN/-Inf; when no
+// core measured anything the result is 0.
 func (r Result) GeoMeanIPC() float64 {
-	ipcs := make([]float64, len(r.Cores))
-	for i, c := range r.Cores {
-		ipcs[i] = c.IPC
+	ipcs := make([]float64, 0, len(r.Cores))
+	for _, c := range r.Cores {
+		if c.IPC > 0 {
+			ipcs = append(ipcs, c.IPC)
+		}
+	}
+	if len(ipcs) == 0 {
+		return 0
 	}
 	return metrics.GeoMean(ipcs)
 }

@@ -1,0 +1,104 @@
+package delta
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden snapshot files")
+
+// goldenSim builds the small, fixed simulation whose snapshot is pinned under
+// testdata/. Changing anything here invalidates the golden files — regenerate
+// with `go test -run TestGoldenSnapshot -update .` and bump snapshot.Version
+// if the wire format itself changed.
+func goldenSim(t *testing.T) *Simulator {
+	t.Helper()
+	sim, err := New(WithCores(4), WithPolicy(PolicySnuca),
+		WithWarmup(500), WithBudget(4000), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetWorkloadE(0, Workload{App: "mcf"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetWorkloadE(1, Workload{App: "libquantum"}); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestGoldenSnapshot pins the serialized snapshot format: today's encoder
+// must reproduce the stored bytes exactly, and the stored bytes must still
+// decode, restore, and run to the stored fingerprint. A failure here means
+// the wire format changed — if intentional, bump snapshot.Version and
+// regenerate with -update.
+func TestGoldenSnapshot(t *testing.T) {
+	snapPath := filepath.Join("testdata", "golden_snapshot_v1.json")
+	fpPath := filepath.Join("testdata", "golden_fingerprint.txt")
+
+	sim := goldenSim(t)
+	runToBoundary(t, sim, 1)
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fp := resumed.Fingerprint()
+
+	if *updateGolden {
+		if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fpPath, []byte(fp+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden files rewritten (%d snapshot bytes)", len(data))
+		return
+	}
+
+	wantData, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(data, wantData) {
+		t.Errorf("snapshot encoding drifted from %s (%d vs %d bytes); if the format change is intentional, bump snapshot.Version and regenerate with -update",
+			snapPath, len(data), len(wantData))
+	}
+
+	// The stored bytes themselves must remain loadable and resume to the
+	// stored fingerprint.
+	golden, err := DecodeSnapshot(wantData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGolden, err := Restore(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fromGolden.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := os.ReadFile(fpPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got := strings.TrimSpace(fromGolden.Fingerprint()); got != strings.TrimSpace(string(wantFP)) {
+		t.Errorf("golden snapshot resumes to fingerprint %s, stored %s", got, strings.TrimSpace(string(wantFP)))
+	}
+}

@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"fmt"
+
+	"delta/internal/snapshot"
+)
+
+// Snapshot captures the full array state — every line (valid or not, since
+// victim choice depends on exact layout and LRU stamps), the recency clock,
+// per-partition occupancy, and stats — as parallel positional slices.
+func (c *Cache) Snapshot() snapshot.Cache {
+	n := len(c.lines)
+	s := snapshot.Cache{
+		Sets:    c.Sets,
+		Ways:    c.Ways,
+		Clk:     c.clk,
+		Addrs:   make([]uint64, n),
+		Flags:   make([]byte, n),
+		Owners:  make([]int16, n),
+		Sharers: make([]uint64, n),
+		Used:    make([]uint64, n),
+		Stats: snapshot.CacheStats{
+			Accesses:    c.Stats.Accesses,
+			Hits:        c.Stats.Hits,
+			Misses:      c.Stats.Misses,
+			Evictions:   c.Stats.Evictions,
+			DirtyEvicts: c.Stats.DirtyEvicts,
+			Invals:      c.Stats.Invals,
+			BulkWalks:   c.Stats.BulkWalks,
+		},
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		s.Addrs[i] = ln.Addr
+		var f byte
+		if ln.Valid {
+			f |= 1
+		}
+		if ln.Dirty {
+			f |= 2
+		}
+		s.Flags[i] = f
+		s.Owners[i] = ln.Owner
+		s.Sharers[i] = ln.Sharers
+		s.Used[i] = ln.used
+	}
+	if c.occupancy != nil {
+		s.Occupancy = append([]uint64(nil), c.occupancy...)
+	}
+	return s
+}
+
+// Restore overwrites the array state from a snapshot taken on a cache with
+// identical geometry. The OnEvict callback and owner-tracking mode are
+// construction-time configuration and are left untouched.
+func (c *Cache) Restore(s snapshot.Cache) error {
+	if s.Sets != c.Sets || s.Ways != c.Ways {
+		return fmt.Errorf("cache: snapshot geometry %dx%d, cache is %dx%d", s.Sets, s.Ways, c.Sets, c.Ways)
+	}
+	n := len(c.lines)
+	if len(s.Addrs) != n || len(s.Flags) != n || len(s.Owners) != n || len(s.Sharers) != n || len(s.Used) != n {
+		return fmt.Errorf("cache: snapshot arrays do not cover %d lines", n)
+	}
+	if c.trackOwners {
+		if len(s.Occupancy) != len(c.occupancy) {
+			return fmt.Errorf("cache: snapshot occupancy has %d partitions, cache has %d", len(s.Occupancy), len(c.occupancy))
+		}
+	} else if len(s.Occupancy) != 0 {
+		return fmt.Errorf("cache: snapshot carries occupancy but owner tracking is off")
+	}
+	for i := range c.lines {
+		c.lines[i] = Line{
+			Addr:    s.Addrs[i],
+			Valid:   s.Flags[i]&1 != 0,
+			Dirty:   s.Flags[i]&2 != 0,
+			Owner:   s.Owners[i],
+			Sharers: s.Sharers[i],
+			used:    s.Used[i],
+		}
+	}
+	c.clk = s.Clk
+	copy(c.occupancy, s.Occupancy)
+	c.Stats = Stats{
+		Accesses:    s.Stats.Accesses,
+		Hits:        s.Stats.Hits,
+		Misses:      s.Stats.Misses,
+		Evictions:   s.Stats.Evictions,
+		DirtyEvicts: s.Stats.DirtyEvicts,
+		Invals:      s.Stats.Invals,
+		BulkWalks:   s.Stats.BulkWalks,
+	}
+	return nil
+}

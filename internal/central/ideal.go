@@ -270,8 +270,8 @@ func (p *Ideal) Tick(now uint64) {
 			}
 		}
 		curves[i] = p.smooth[i]
-		p.c.SendControl(i, 0, func(uint64) {}) // stats -> center
-		p.c.SendControl(0, i, func(uint64) {}) // decision -> tile
+		p.c.SendControl(i, 0, sim.Msg{Kind: sim.MsgNoop}) // stats -> center
+		p.c.SendControl(0, i, sim.Msg{Kind: sim.MsgNoop}) // decision -> tile
 		p.Stats.CollectMsgs += 2
 		p.c.CoreInterval(i) // keep interval windows rolling
 	}

@@ -1,0 +1,98 @@
+package central
+
+import (
+	"fmt"
+	"math"
+
+	"delta/internal/cbt"
+	"delta/internal/snapshot"
+)
+
+// SnapshotPolicy implements chip.PolicySnapshotter. masks are derived from
+// the assignment matrix and rebuilt on restore.
+func (p *Ideal) SnapshotPolicy() (*snapshot.Policy, error) {
+	s := &snapshot.IdealPolicy{
+		TickNext:       p.tick.Next(),
+		Alloc:          append([]int(nil), p.alloc...),
+		Assign:         make([][]int, p.n),
+		Tables:         make([]snapshot.CBT, p.n),
+		HasSmooth:      p.smooth != nil,
+		HistorySumBits: make([]uint64, p.n),
+		HistoryCount:   make([]uint64, p.n),
+		Stats: snapshot.IdealStats{
+			Epochs:      p.Stats.Epochs,
+			Reallocs:    p.Stats.Reallocs,
+			InvalLines:  p.Stats.InvalLines,
+			CollectMsgs: p.Stats.CollectMsgs,
+		},
+	}
+	for i := 0; i < p.n; i++ {
+		s.Assign[i] = append([]int(nil), p.assign[i]...)
+		s.Tables[i] = p.tables[i].Snapshot()
+		s.HistorySumBits[i] = math.Float64bits(p.history[i].sum)
+		s.HistoryCount[i] = p.history[i].count
+	}
+	if p.smooth != nil {
+		s.SmoothBits = make([][]uint64, p.n)
+		for i, row := range p.smooth {
+			if row == nil {
+				continue
+			}
+			bits := make([]uint64, len(row))
+			for w, f := range row {
+				bits[w] = math.Float64bits(f)
+			}
+			s.SmoothBits[i] = bits
+		}
+	}
+	return &snapshot.Policy{Kind: p.Name(), Ideal: s}, nil
+}
+
+// RestorePolicy implements chip.PolicySnapshotter, overwriting the state
+// Attach initialized; the policy self-check revalidates assign↔masks.
+func (p *Ideal) RestorePolicy(s *snapshot.Policy) error {
+	if s.Kind != p.Name() || s.Ideal == nil {
+		return fmt.Errorf("central: snapshot policy %q does not match %q", s.Kind, p.Name())
+	}
+	st := s.Ideal
+	if len(st.Alloc) != p.n || len(st.Assign) != p.n || len(st.Tables) != p.n ||
+		len(st.HistorySumBits) != p.n || len(st.HistoryCount) != p.n {
+		return fmt.Errorf("central: snapshot policy state does not cover %d tiles", p.n)
+	}
+	tables := make([]*cbt.Table, p.n)
+	for i := range st.Tables {
+		t, err := cbt.FromSnapshot(st.Tables[i])
+		if err != nil {
+			return fmt.Errorf("central: tile %d: %w", i, err)
+		}
+		tables[i] = t
+	}
+	p.tick.Reset(st.TickNext)
+	copy(p.alloc, st.Alloc)
+	for i := 0; i < p.n; i++ {
+		if len(st.Assign[i]) != p.n {
+			return fmt.Errorf("central: snapshot assign row %d has %d entries, want %d", i, len(st.Assign[i]), p.n)
+		}
+		copy(p.assign[i], st.Assign[i])
+		p.tables[i] = tables[i]
+		p.history[i] = allocStat{sum: math.Float64frombits(st.HistorySumBits[i]), count: st.HistoryCount[i]}
+	}
+	if st.HasSmooth {
+		p.smooth = make([]MissCurve, p.n)
+		for i := 0; i < p.n && i < len(st.SmoothBits); i++ {
+			bits := st.SmoothBits[i]
+			if bits == nil {
+				continue
+			}
+			row := make(MissCurve, len(bits))
+			for w, b := range bits {
+				row[w] = math.Float64frombits(b)
+			}
+			p.smooth[i] = row
+		}
+	} else {
+		p.smooth = nil
+	}
+	p.rebuildMasks()
+	return nil
+}

@@ -201,6 +201,12 @@ type Chip struct {
 	mono    *invariant.Monotone
 	inclMap map[uint64]inclHome // reused across inclusion sweeps
 
+	// Checkpoint hook (ckptFn == nil means disabled): fired at quantum
+	// boundaries, every ckptEvery quanta, after policy ticks and sampling.
+	ckptFn     func(now uint64)
+	ckptEvery  int
+	ckptQuanta int
+
 	// Telemetry sampler state (rec == nil means disabled).
 	rec          telemetry.Recorder
 	sampleEvery  int
@@ -344,11 +350,33 @@ func (c *Chip) CoreInterval(core int) cpu.Interval {
 	return c.Tiles[core].Core.TakeInterval()
 }
 
-// SendControl delivers fn at the destination tile after the NoC latency for
-// a control message from src to dst, counting the message.
-func (c *Chip) SendControl(src, dst int, fn func(now uint64)) {
+// ControlHandler is implemented by policies that receive reified control
+// messages. Delivery happens at the message's arrival cycle during the
+// event-queue drain at each quantum boundary.
+type ControlHandler interface {
+	HandleControl(m sim.Msg, now uint64)
+}
+
+// SendControl delivers the message at the destination tile after the NoC
+// latency for a control message from src to dst, counting the message.
+// Messages are serializable payloads (sim.Msg) rather than closures so
+// in-flight traffic survives checkpoint/restore; sim.MsgNoop messages count
+// as traffic but are dropped on delivery.
+func (c *Chip) SendControl(src, dst int, m sim.Msg) {
 	lat := c.Net.Latency(src, dst, noc.ClassControl)
-	c.events.Schedule(c.now+lat, fn)
+	c.events.ScheduleMsg(c.now+lat, m, func(now uint64) { c.deliver(m, now) })
+}
+
+// deliver routes a control message to the policy's handler.
+func (c *Chip) deliver(m sim.Msg, now uint64) {
+	if m.Kind == sim.MsgNoop {
+		return
+	}
+	h, ok := c.policy.(ControlHandler)
+	if !ok {
+		panic(fmt.Sprintf("chip: policy %s cannot handle control message %q", c.policy.Name(), m.Kind))
+	}
+	h.HandleControl(m, now)
 }
 
 // InvalidateOwnerBuckets removes, from the given bank, every line owned by
@@ -429,6 +457,22 @@ func (c *Chip) SetWorkload(core int, gen trace.Generator, private bool) {
 	}
 }
 
+// SetCheckpoint registers fn to run at every every-th quantum boundary
+// (after the policy tick, invariant checks, and telemetry sampling for that
+// quantum). The chip is in a consistent boundary state when fn runs, so fn
+// may call Snapshot. every <= 0 or fn == nil disables the hook.
+func (c *Chip) SetCheckpoint(every int, fn func(now uint64)) {
+	if every <= 0 || fn == nil {
+		c.ckptFn = nil
+		c.ckptEvery = 0
+		c.ckptQuanta = 0
+		return
+	}
+	c.ckptFn = fn
+	c.ckptEvery = every
+	c.ckptQuanta = 0
+}
+
 // --- run loop ----------------------------------------------------------------
 
 // Run advances the chip until every core with a workload has first retired
@@ -464,16 +508,26 @@ func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		qEnd := c.now + c.Cfg.Quantum
+		// The completion check runs before the quantum advances (not after,
+		// inside the same iteration) so a chip restored from a snapshot
+		// taken at the final boundary stops immediately instead of running
+		// one extra quantum; for uninterrupted runs the sequencing is
+		// identical.
 		remaining := 0
+		for _, t := range c.Tiles {
+			if t.gen != nil && t.doneCycle == 0 {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		qEnd := c.now + c.Cfg.Quantum
 		for i, t := range c.Tiles {
 			if t.gen == nil {
 				continue
 			}
 			c.advanceCore(i, qEnd, warmup, budget)
-			if t.doneCycle == 0 {
-				remaining++
-			}
 		}
 		c.now = qEnd
 		c.events.RunUntil(c.now)
@@ -489,8 +543,12 @@ func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 				c.emitSamples()
 			}
 		}
-		if remaining == 0 {
-			break
+		if c.ckptFn != nil {
+			c.ckptQuanta++
+			if c.ckptQuanta >= c.ckptEvery {
+				c.ckptQuanta = 0
+				c.ckptFn(c.now)
+			}
 		}
 	}
 	c.events.Drain()

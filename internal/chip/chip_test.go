@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"delta/internal/cache"
+	"delta/internal/sim"
 	"delta/internal/trace"
 )
 
@@ -296,15 +297,30 @@ func TestRunPanicsWithoutWorkload(t *testing.T) {
 func TestControlMessagesCountedSeparately(t *testing.T) {
 	c := New(testConfig(16), NewSnuca())
 	c.SetWorkload(0, bigRegion(256, 1), true)
-	delivered := false
-	c.SendControl(0, 5, func(uint64) { delivered = true })
-	c.Run(5000, 20000)
-	if !delivered {
-		t.Fatal("control message not delivered")
+	c.SendControl(0, 5, sim.Msg{Kind: sim.MsgNoop})
+	pending, err := c.events.Pending()
+	if err != nil {
+		t.Fatal(err)
 	}
+	if len(pending) != 1 || pending[0].Msg.Kind != sim.MsgNoop {
+		t.Fatalf("pending events %+v", pending)
+	}
+	c.Run(5000, 20000)
 	if c.Net.Stats.Messages[2] != 1 { // ClassControl
 		t.Fatalf("control messages %d", c.Net.Stats.Messages[2])
 	}
+}
+
+func TestControlMessageToPolicyWithoutHandlerPanics(t *testing.T) {
+	c := New(testConfig(16), NewSnuca())
+	c.SetWorkload(0, bigRegion(256, 1), true)
+	c.SendControl(0, 5, sim.Msg{Kind: "delta.gain", A: 0, B: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic delivering control message to handler-less policy")
+		}
+	}()
+	c.Run(5000, 20000)
 }
 
 func TestBankReportsConsistency(t *testing.T) {

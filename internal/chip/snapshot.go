@@ -1,0 +1,224 @@
+package chip
+
+import (
+	"fmt"
+
+	"delta/internal/invariant"
+	"delta/internal/sim"
+	"delta/internal/snapshot"
+	"delta/internal/trace"
+)
+
+// PolicySnapshotter is implemented by policies with mutable state that must
+// survive checkpoint/restore. Stateless policies (S-NUCA, private) need not
+// implement it: their snapshot carries only the Kind tag.
+type PolicySnapshotter interface {
+	SnapshotPolicy() (*snapshot.Policy, error)
+	RestorePolicy(*snapshot.Policy) error
+}
+
+// Snapshot captures the chip's complete state at a quantum boundary: every
+// tile's core, caches, UMON, generator cursor and measurement latches; the
+// in-flight control messages; policy state; NoC/memory counters; the page
+// classifier; the telemetry sampling cursor; and the quantum clock.
+//
+// Not captured (and documented as such): recorder contents (observability
+// sinks own their data) and the invariant harness's monotone baselines
+// (restores re-baseline on the first check). It fails with a
+// snapshot.ErrNotSnapshotable-wrapped error if any tile runs a generator
+// that does not implement trace.Snapshotter.
+func (c *Chip) Snapshot() (*snapshot.Chip, error) {
+	events, err := c.events.Pending()
+	if err != nil {
+		return nil, fmt.Errorf("chip: %w", err)
+	}
+	s := &snapshot.Chip{
+		Now:    c.now,
+		Tiles:  make([]snapshot.Tile, len(c.Tiles)),
+		Events: events,
+		Policy: snapshot.Policy{Kind: c.policy.Name()},
+		NoC:    c.Net.Snapshot(),
+		Mem:    c.Mem.Snapshot(),
+		Stats: snapshot.ChipStats{
+			InvalLines:     c.Stats.InvalLines,
+			InvalWalks:     c.Stats.InvalWalks,
+			MaskFallbacks:  c.Stats.MaskFallbacks,
+			SharedInserts:  c.Stats.SharedInserts,
+			PageReclassify: c.Stats.PageReclassify,
+		},
+	}
+	if ps, ok := c.policy.(PolicySnapshotter); ok {
+		pol, err := ps.SnapshotPolicy()
+		if err != nil {
+			return nil, err
+		}
+		s.Policy = *pol
+	}
+	for i, t := range c.Tiles {
+		st := snapshot.Tile{
+			Core:            t.Core.Snapshot(),
+			L1:              t.L1.Snapshot(),
+			L2:              t.L2.Snapshot(),
+			LLC:             t.LLC.Snapshot(),
+			Mon:             t.Mon.Snapshot(),
+			Base:            t.base,
+			LLCAccesses:     t.LLCAccesses,
+			LLCRemoteHits:   t.LLCRemoteHits,
+			LLCLocalHits:    t.LLCLocalHits,
+			MemFetches:      t.MemFetches,
+			Warmed:          t.warmed,
+			StartCycle:      t.startCycle,
+			StartInstr:      t.startInstr,
+			StartLLCAcc:     t.startLLCAcc,
+			StartMemF:       t.startMemF,
+			DoneCycle:       t.doneCycle,
+			DoneInstr:       t.doneInstr,
+			DoneLLCAcc:      t.doneLLCAcc,
+			DoneMemF:        t.doneMemF,
+			LastLLCAccesses: t.lastLLCAccesses,
+			IdleStreak:      t.idleStreak,
+			SampInstr:       t.sampInstr,
+			SampCycle:       t.sampCycle,
+			SampLLCAcc:      t.sampLLCAcc,
+			SampBankAcc:     t.sampBankAcc,
+			SampBankHits:    t.sampBankHits,
+		}
+		if t.gen != nil {
+			g, err := trace.SnapshotGen(t.gen)
+			if err != nil {
+				return nil, fmt.Errorf("chip: tile %d: %w", i, err)
+			}
+			st.Gen = g
+		}
+		s.Tiles[i] = st
+	}
+	if c.classifier != nil {
+		cls := c.classifier.Snapshot()
+		s.Classifier = &cls
+	}
+	if c.rec != nil {
+		s.Sampler = &snapshot.Sampler{
+			Quanta: c.sampleQuanta,
+			Cycle:  c.sampleCycle,
+			NoC:    snapshot.NoCStats{Messages: c.sampleNoC.Messages, Hops: c.sampleNoC.Hops},
+			Mem:    snapshot.MemStats{Requests: c.sampleMem.Requests, QueueDelay: c.sampleMem.QueueDelay},
+		}
+	}
+	return s, nil
+}
+
+// Restore overwrites the chip's state from a snapshot taken on a chip with
+// the same configuration, policy kind, and workload assignment. The caller
+// must have rebuilt the chip (New + Attach + SetWorkload with the original
+// specs) before restoring: construction-time wiring (evict callbacks, way
+// masks' geometry, generator tree shape) is re-derived, then every cursor
+// and counter is overwritten. In-flight control messages are rebound to the
+// policy's ControlHandler with their exact (cycle, sequence) ordering.
+func (c *Chip) Restore(s *snapshot.Chip) error {
+	if len(s.Tiles) != len(c.Tiles) {
+		return fmt.Errorf("chip: snapshot has %d tiles, chip has %d", len(s.Tiles), len(c.Tiles))
+	}
+	if s.Policy.Kind != c.policy.Name() {
+		return fmt.Errorf("chip: snapshot policy %q, chip runs %q", s.Policy.Kind, c.policy.Name())
+	}
+	for i, st := range s.Tiles {
+		t := c.Tiles[i]
+		if (st.Gen != nil) != (t.gen != nil) {
+			return fmt.Errorf("chip: tile %d workload presence does not match snapshot", i)
+		}
+	}
+	for _, pe := range s.Events {
+		if pe.Msg.Kind != sim.MsgNoop {
+			if _, ok := c.policy.(ControlHandler); !ok {
+				return fmt.Errorf("chip: snapshot carries %q message but policy %s handles no control messages",
+					pe.Msg.Kind, c.policy.Name())
+			}
+		}
+	}
+	if ps, ok := c.policy.(PolicySnapshotter); ok {
+		if err := ps.RestorePolicy(&s.Policy); err != nil {
+			return err
+		}
+	}
+	for i, st := range s.Tiles {
+		t := c.Tiles[i]
+		t.Core.Restore(st.Core)
+		if err := t.L1.Restore(st.L1); err != nil {
+			return fmt.Errorf("chip: tile %d L1: %w", i, err)
+		}
+		if err := t.L2.Restore(st.L2); err != nil {
+			return fmt.Errorf("chip: tile %d L2: %w", i, err)
+		}
+		if err := t.LLC.Restore(st.LLC); err != nil {
+			return fmt.Errorf("chip: tile %d LLC: %w", i, err)
+		}
+		if err := t.Mon.Restore(st.Mon); err != nil {
+			return fmt.Errorf("chip: tile %d: %w", i, err)
+		}
+		if st.Gen != nil {
+			if err := trace.RestoreGen(t.gen, *st.Gen); err != nil {
+				return fmt.Errorf("chip: tile %d: %w", i, err)
+			}
+		}
+		t.base = st.Base
+		t.LLCAccesses = st.LLCAccesses
+		t.LLCRemoteHits = st.LLCRemoteHits
+		t.LLCLocalHits = st.LLCLocalHits
+		t.MemFetches = st.MemFetches
+		t.warmed = st.Warmed
+		t.startCycle = st.StartCycle
+		t.startInstr = st.StartInstr
+		t.startLLCAcc = st.StartLLCAcc
+		t.startMemF = st.StartMemF
+		t.doneCycle = st.DoneCycle
+		t.doneInstr = st.DoneInstr
+		t.doneLLCAcc = st.DoneLLCAcc
+		t.doneMemF = st.DoneMemF
+		t.lastLLCAccesses = st.LastLLCAccesses
+		t.idleStreak = st.IdleStreak
+		t.sampInstr = st.SampInstr
+		t.sampCycle = st.SampCycle
+		t.sampLLCAcc = st.SampLLCAcc
+		t.sampBankAcc = st.SampBankAcc
+		t.sampBankHits = st.SampBankHits
+	}
+	if err := c.Net.Restore(s.NoC); err != nil {
+		return err
+	}
+	if err := c.Mem.Restore(s.Mem); err != nil {
+		return err
+	}
+	if (s.Classifier != nil) != (c.classifier != nil) {
+		return fmt.Errorf("chip: snapshot multithreaded mode does not match chip config")
+	}
+	if s.Classifier != nil {
+		c.classifier.Restore(*s.Classifier)
+	}
+	if s.Sampler != nil && c.rec != nil {
+		c.sampleQuanta = s.Sampler.Quanta
+		c.sampleCycle = s.Sampler.Cycle
+		c.sampleNoC.Messages = s.Sampler.NoC.Messages
+		c.sampleNoC.Hops = s.Sampler.NoC.Hops
+		c.sampleMem.Requests = s.Sampler.Mem.Requests
+		c.sampleMem.QueueDelay = s.Sampler.Mem.QueueDelay
+	}
+	c.now = s.Now
+	c.Stats = Stats{
+		InvalLines:     s.Stats.InvalLines,
+		InvalWalks:     s.Stats.InvalWalks,
+		MaskFallbacks:  s.Stats.MaskFallbacks,
+		SharedInserts:  s.Stats.SharedInserts,
+		PageReclassify: s.Stats.PageReclassify,
+	}
+	c.events.Restore(s.Events, func(m sim.Msg) func(now uint64) {
+		return func(now uint64) { c.deliver(m, now) }
+	})
+	// Counter baselines restart from the restored values; the first check
+	// re-baselines instead of comparing against the pre-restore run.
+	if c.checkOn {
+		c.mono = invariant.NewMonotone()
+	}
+	c.ckptQuanta = 0
+	c.CheckInvariants("restore")
+	return nil
+}

@@ -1,0 +1,38 @@
+package coherence
+
+import (
+	"sort"
+
+	"delta/internal/snapshot"
+)
+
+// Snapshot serializes the page table sorted by page number so the encoding
+// is deterministic.
+func (c *Classifier) Snapshot() snapshot.Classifier {
+	s := snapshot.Classifier{
+		Pages: make([]snapshot.Page, 0, len(c.pages)),
+		Stats: snapshot.ClassifierStats{
+			PagesSeen:         c.Stats.PagesSeen,
+			SharedPages:       c.Stats.SharedPages,
+			Reclassifications: c.Stats.Reclassifications,
+		},
+	}
+	for page, info := range c.pages {
+		s.Pages = append(s.Pages, snapshot.Page{Page: page, Owner: info.owner, Shared: info.shared})
+	}
+	sort.Slice(s.Pages, func(i, j int) bool { return s.Pages[i].Page < s.Pages[j].Page })
+	return s
+}
+
+// Restore replaces the page table and stats.
+func (c *Classifier) Restore(s snapshot.Classifier) {
+	c.pages = make(map[uint64]pageInfo, len(s.Pages))
+	for _, p := range s.Pages {
+		c.pages[p.Page] = pageInfo{owner: p.Owner, shared: p.Shared}
+	}
+	c.Stats = Stats{
+		PagesSeen:         s.Stats.PagesSeen,
+		SharedPages:       s.Stats.SharedPages,
+		Reclassifications: s.Stats.Reclassifications,
+	}
+}

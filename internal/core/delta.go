@@ -351,13 +351,10 @@ func (d *Delta) interEpoch(i int, now uint64) {
 		if b == i {
 			continue
 		}
-		bank, core, g := b, i, d.gainAt(i, b)
 		d.Stats.GainUpdates++
 		d.rec.Count("core.gain_updates", 1)
-		d.c.SendControl(i, b, func(uint64) {
-			d.bankGain[bank][core] = g
-			d.gainDirty[bank] = true
-		})
+		d.c.SendControl(i, b, sim.Msg{Kind: MsgGain, A: i, B: b,
+			FBits: math.Float64bits(d.gainAt(i, b))})
 	}
 
 	// Challenge (Algorithm 1 lines 4-8).
@@ -379,10 +376,8 @@ func (d *Delta) interEpoch(i int, now uint64) {
 	d.rec.Count("core.challenges_sent", 1)
 	d.rec.Event(telemetry.Event{Cycle: now, Kind: telemetry.KindChallenge,
 		Core: i, Bank: target, GainTo: gain})
-	challenger, ch := i, target
-	d.c.SendControl(i, target, func(at uint64) {
-		d.handleChallenge(ch, challenger, gain, at)
-	})
+	d.c.SendControl(i, target, sim.Msg{Kind: MsgChallenge, A: i, B: target,
+		FBits: math.Float64bits(gain)})
 }
 
 // pickTarget returns the closest tile not yet challenged in the current
@@ -509,9 +504,8 @@ func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
 
 // respond sends the challenge response back (Algorithm 1 lines 13/15).
 func (d *Delta) respond(j, challenger int, success bool, ways int) {
-	d.c.SendControl(j, challenger, func(uint64) {
-		d.handleResponse(challenger, j, success, ways)
-	})
+	d.c.SendControl(j, challenger, sim.Msg{Kind: MsgResponse,
+		A: challenger, B: j, C: ways, Flag: success})
 }
 
 // handleResponse runs at the challenger (Algorithm 1 lines 17-22).
@@ -613,10 +607,10 @@ func (d *Delta) intraEpoch(b int, now uint64) {
 	// Feedback to the contending home tiles (Algorithm 2 line 6): the new
 	// allocation informs their next pain/gain computation.
 	if smallest != b {
-		d.c.SendControl(b, smallest, func(uint64) {})
+		d.c.SendControl(b, smallest, sim.Msg{Kind: sim.MsgNoop})
 	}
 	if largest != b {
-		d.c.SendControl(b, largest, func(uint64) {})
+		d.c.SendControl(b, largest, sim.Msg{Kind: sim.MsgNoop})
 	}
 }
 
@@ -653,7 +647,7 @@ func (d *Delta) transferWays(bank, from, to, w int, cause string) {
 		loser, b := from, bank
 		d.cooldownUntil[loser][b] = d.c.Now() +
 			uint64(d.p.RetreatCooldownEpochs)*d.p.InterInterval
-		d.c.SendControl(bank, loser, func(uint64) { d.handleRetreat(loser) })
+		d.c.SendControl(bank, loser, sim.Msg{Kind: MsgRetreat, A: loser})
 	}
 }
 

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delta/internal/cbt"
+	"delta/internal/sim"
+	"delta/internal/snapshot"
+	"delta/internal/umon"
+)
+
+// Control-message kinds for DELTA's distributed protocol. Field conventions
+// (on sim.Msg): see each constant.
+const (
+	// MsgGain updates bank B's gain register for core A (FBits = gain).
+	MsgGain = "delta.gain"
+	// MsgChallenge delivers core A's challenge to bank B (FBits = gain,
+	// distance-penalized at send time).
+	MsgChallenge = "delta.challenge"
+	// MsgResponse answers challenger A from defender bank B: Flag = success,
+	// C = ways ceded.
+	MsgResponse = "delta.response"
+	// MsgRetreat tells core A it lost its last way in the sending bank.
+	MsgRetreat = "delta.retreat"
+)
+
+// HandleControl implements chip.ControlHandler: the receive side of the
+// closures the protocol used to schedule directly, now reified so in-flight
+// messages survive checkpoint/restore.
+func (d *Delta) HandleControl(m sim.Msg, now uint64) {
+	switch m.Kind {
+	case MsgGain:
+		d.bankGain[m.B][m.A] = math.Float64frombits(m.FBits)
+		d.gainDirty[m.B] = true
+	case MsgChallenge:
+		d.handleChallenge(m.B, m.A, math.Float64frombits(m.FBits), now)
+	case MsgResponse:
+		d.handleResponse(m.A, m.B, m.Flag, m.C)
+	case MsgRetreat:
+		d.handleRetreat(m.A)
+	default:
+		panic(fmt.Sprintf("core: unknown control message kind %q", m.Kind))
+	}
+}
+
+// SnapshotPolicy implements chip.PolicySnapshotter. The legacy trace ring
+// (EnableTrace) is observability, not simulation state, and is not captured.
+func (d *Delta) SnapshotPolicy() (*snapshot.Policy, error) {
+	p := &snapshot.DeltaPolicy{
+		WayOwner:      copy2DInt16(d.wayOwner),
+		BankOrder:     copy2DInt(d.bankOrder),
+		Tables:        make([]snapshot.CBT, d.n),
+		Curves:        make([]snapshot.Curve, d.n),
+		MlpBits:       floatBits(d.mlp),
+		PainBits:      floatBits(d.pain),
+		BankGainBits:  make([][]uint64, d.n),
+		Challenged:    make([][]int, d.n),
+		Pid:           append([]int(nil), d.pid...),
+		InterNext:     make([]uint64, d.n),
+		IntraNext:     make([]uint64, d.n),
+		GrantedAt:     copy2DUint64(d.grantedAt),
+		CooldownUntil: copy2DUint64(d.cooldownUntil),
+		GainDirty:     append([]bool(nil), d.gainDirty...),
+		MaxTotal:      d.maxTotal,
+		Stats: snapshot.DeltaStats{
+			ChallengesSent:   d.Stats.ChallengesSent,
+			ChallengesWon:    d.Stats.ChallengesWon,
+			ChallengesFailed: d.Stats.ChallengesFailed,
+			GainUpdates:      d.Stats.GainUpdates,
+			IntraMoves:       d.Stats.IntraMoves,
+			Expansions:       d.Stats.Expansions,
+			Retreats:         d.Stats.Retreats,
+			IdleGrants:       d.Stats.IdleGrants,
+			InvalLines:       d.Stats.InvalLines,
+		},
+	}
+	for i := 0; i < d.n; i++ {
+		p.Tables[i] = d.tables[i].Snapshot()
+		p.Curves[i] = snapCurve(d.curve[i])
+		p.BankGainBits[i] = floatBits(d.bankGain[i])
+		members := make([]int, 0, len(d.challenged[i]))
+		for t := range d.challenged[i] {
+			members = append(members, t)
+		}
+		sort.Ints(members)
+		p.Challenged[i] = members
+		p.InterNext[i] = d.interTick[i].Next()
+		p.IntraNext[i] = d.intraTick[i].Next()
+	}
+	return &snapshot.Policy{Kind: d.Name(), Delta: p}, nil
+}
+
+// RestorePolicy implements chip.PolicySnapshotter: it overwrites the state
+// Attach initialized. alloc is recomputed from the restored wayOwner; the
+// policy self-check (CheckInvariants) revalidates the pair afterwards.
+func (d *Delta) RestorePolicy(s *snapshot.Policy) error {
+	if s.Kind != d.Name() || s.Delta == nil {
+		return fmt.Errorf("core: snapshot policy %q does not match %q", s.Kind, d.Name())
+	}
+	p := s.Delta
+	if len(p.WayOwner) != d.n || len(p.BankOrder) != d.n || len(p.Tables) != d.n ||
+		len(p.Curves) != d.n || len(p.MlpBits) != d.n || len(p.PainBits) != d.n ||
+		len(p.BankGainBits) != d.n || len(p.Challenged) != d.n || len(p.Pid) != d.n ||
+		len(p.InterNext) != d.n || len(p.IntraNext) != d.n || len(p.GrantedAt) != d.n ||
+		len(p.CooldownUntil) != d.n || len(p.GainDirty) != d.n {
+		return fmt.Errorf("core: snapshot policy state does not cover %d tiles", d.n)
+	}
+	for b := range p.WayOwner {
+		if len(p.WayOwner[b]) != d.w {
+			return fmt.Errorf("core: snapshot bank %d has %d ways, want %d", b, len(p.WayOwner[b]), d.w)
+		}
+	}
+	tables := make([]*cbt.Table, d.n)
+	for i := range p.Tables {
+		t, err := cbt.FromSnapshot(p.Tables[i])
+		if err != nil {
+			return fmt.Errorf("core: tile %d: %w", i, err)
+		}
+		tables[i] = t
+	}
+	for b := range p.WayOwner {
+		copy(d.wayOwner[b], p.WayOwner[b])
+	}
+	for i := 0; i < d.n; i++ {
+		for b := 0; b < d.n; b++ {
+			d.alloc[i][b] = 0
+		}
+	}
+	for b := range d.wayOwner {
+		for _, owner := range d.wayOwner[b] {
+			if int(owner) < 0 || int(owner) >= d.n {
+				return fmt.Errorf("core: snapshot way owner %d out of range", owner)
+			}
+			d.alloc[owner][b]++
+		}
+	}
+	for i := 0; i < d.n; i++ {
+		d.bankOrder[i] = append(d.bankOrder[i][:0], p.BankOrder[i]...)
+		d.tables[i] = tables[i]
+		d.curve[i] = unsnapCurve(p.Curves[i])
+		d.mlp[i] = math.Float64frombits(p.MlpBits[i])
+		d.pain[i] = math.Float64frombits(p.PainBits[i])
+		bitsInto(d.bankGain[i], p.BankGainBits[i])
+		d.challenged[i] = make(map[int]bool, len(p.Challenged[i]))
+		for _, t := range p.Challenged[i] {
+			d.challenged[i][t] = true
+		}
+		d.pid[i] = p.Pid[i]
+		d.interTick[i].Reset(p.InterNext[i])
+		d.intraTick[i].Reset(p.IntraNext[i])
+		copy(d.grantedAt[i], p.GrantedAt[i])
+		copy(d.cooldownUntil[i], p.CooldownUntil[i])
+		d.gainDirty[i] = p.GainDirty[i]
+	}
+	d.maxTotal = p.MaxTotal
+	d.Stats = Stats{
+		ChallengesSent:   p.Stats.ChallengesSent,
+		ChallengesWon:    p.Stats.ChallengesWon,
+		ChallengesFailed: p.Stats.ChallengesFailed,
+		GainUpdates:      p.Stats.GainUpdates,
+		IntraMoves:       p.Stats.IntraMoves,
+		Expansions:       p.Stats.Expansions,
+		Retreats:         p.Stats.Retreats,
+		IdleGrants:       p.Stats.IdleGrants,
+		InvalLines:       p.Stats.InvalLines,
+	}
+	return nil
+}
+
+func snapCurve(c umon.Curve) snapshot.Curve {
+	if c.CumHits == nil {
+		return snapshot.Curve{}
+	}
+	return snapshot.Curve{
+		Present:      true,
+		CumHitsBits:  floatBits(c.CumHits),
+		Granularity:  c.Granularity,
+		MaxWays:      c.MaxWays,
+		AccessesBits: math.Float64bits(c.Accesses),
+	}
+}
+
+func unsnapCurve(s snapshot.Curve) umon.Curve {
+	if !s.Present {
+		return umon.Curve{}
+	}
+	c := umon.Curve{
+		CumHits:     make([]float64, len(s.CumHitsBits)),
+		Granularity: s.Granularity,
+		MaxWays:     s.MaxWays,
+		Accesses:    math.Float64frombits(s.AccessesBits),
+	}
+	bitsInto(c.CumHits, s.CumHitsBits)
+	return c
+}
+
+func floatBits(fs []float64) []uint64 {
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+func bitsInto(dst []float64, bits []uint64) {
+	for i := range dst {
+		if i < len(bits) {
+			dst[i] = math.Float64frombits(bits[i])
+		}
+	}
+}
+
+func copy2DInt16(src [][]int16) [][]int16 {
+	out := make([][]int16, len(src))
+	for i, row := range src {
+		out[i] = append([]int16(nil), row...)
+	}
+	return out
+}
+
+func copy2DInt(src [][]int) [][]int {
+	out := make([][]int, len(src))
+	for i, row := range src {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+func copy2DUint64(src [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(src))
+	for i, row := range src {
+		out[i] = append([]uint64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package cpu
+
+import "delta/internal/snapshot"
+
+// Snapshot captures the core's clock, dispatch budget, open overlap epoch,
+// and both stat windows.
+func (c *Core) Snapshot() snapshot.CPU {
+	return snapshot.CPU{
+		Cycle:      c.cycle,
+		DispatchQ:  c.dispatchQ,
+		EpochOpen:  c.epochOpen,
+		EpochEnd:   c.epochEnd,
+		EpochCount: c.epochCount,
+		EpochInstr: c.epochInstr,
+		Stats:      toSnapStats(c.Stats),
+		Last:       toSnapStats(c.last),
+	}
+}
+
+// Restore overwrites the core's mutable state; the config is construction
+// time and untouched.
+func (c *Core) Restore(s snapshot.CPU) {
+	c.cycle = s.Cycle
+	c.dispatchQ = s.DispatchQ
+	c.epochOpen = s.EpochOpen
+	c.epochEnd = s.EpochEnd
+	c.epochCount = s.EpochCount
+	c.epochInstr = s.EpochInstr
+	c.Stats = fromSnapStats(s.Stats)
+	c.last = fromSnapStats(s.Last)
+}
+
+func toSnapStats(s Stats) snapshot.CPUStats {
+	return snapshot.CPUStats{
+		Instructions: s.Instructions,
+		MemAccesses:  s.MemAccesses,
+		LongMisses:   s.LongMisses,
+		Epochs:       s.Epochs,
+		MissLatSum:   s.MissLatSum,
+		MissStall:    s.MissStall,
+	}
+}
+
+func fromSnapStats(s snapshot.CPUStats) Stats {
+	return Stats{
+		Instructions: s.Instructions,
+		MemAccesses:  s.MemAccesses,
+		LongMisses:   s.LongMisses,
+		Epochs:       s.Epochs,
+		MissLatSum:   s.MissLatSum,
+		MissStall:    s.MissStall,
+	}
+}

@@ -1,0 +1,33 @@
+package mem
+
+import (
+	"fmt"
+
+	"delta/internal/snapshot"
+)
+
+// Snapshot captures each controller's channel-busy horizon and stats. The
+// controller-to-tile placement is derived from the topology and not stored.
+func (s *System) Snapshot() snapshot.Mem {
+	out := snapshot.Mem{
+		Busy:  append([]uint64(nil), s.busy...),
+		Stats: make([]snapshot.MemStats, len(s.stats)),
+	}
+	for i, st := range s.stats {
+		out.Stats[i] = snapshot.MemStats{Requests: st.Requests, QueueDelay: st.QueueDelay}
+	}
+	return out
+}
+
+// Restore overwrites the mutable state from a snapshot taken on a system
+// with the same controller count.
+func (s *System) Restore(snap snapshot.Mem) error {
+	if len(snap.Busy) != len(s.busy) || len(snap.Stats) != len(s.stats) {
+		return fmt.Errorf("mem: snapshot has %d controllers, system has %d", len(snap.Busy), len(s.busy))
+	}
+	copy(s.busy, snap.Busy)
+	for i, st := range snap.Stats {
+		s.stats[i] = Stats{Requests: st.Requests, QueueDelay: st.QueueDelay}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"delta/internal/snapshot"
+)
+
+// Snapshot captures the per-class message/hop counters and, when per-link
+// accounting is enabled, the link map sorted by (from, to).
+func (m *Mesh) Snapshot() snapshot.NoC {
+	s := snapshot.NoC{Stats: snapshot.NoCStats{Messages: m.Stats.Messages, Hops: m.Stats.Hops}}
+	if m.links != nil {
+		s.Links = make([]snapshot.Link, 0, len(m.links))
+		for k, v := range m.links {
+			s.Links = append(s.Links, snapshot.Link{A: k[0], B: k[1], Count: v})
+		}
+		sort.Slice(s.Links, func(i, j int) bool {
+			if s.Links[i].A != s.Links[j].A {
+				return s.Links[i].A < s.Links[j].A
+			}
+			return s.Links[i].B < s.Links[j].B
+		})
+	}
+	return s
+}
+
+// Restore overwrites the counters. A snapshot with link counts requires a
+// mesh built with link accounting; an empty link list is compatible either
+// way (JSON omits empty slices, so presence cannot signal the mode).
+func (m *Mesh) Restore(s snapshot.NoC) error {
+	if len(s.Links) > 0 && m.links == nil {
+		return fmt.Errorf("noc: snapshot carries link counts but link accounting is off")
+	}
+	m.Stats = Stats{Messages: s.Stats.Messages, Hops: s.Stats.Hops}
+	if m.links != nil {
+		clear(m.links)
+		for _, l := range s.Links {
+			m.links[[2]int{l.A, l.B}] = l.Count
+		}
+	}
+	return nil
+}

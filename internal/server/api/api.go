@@ -8,29 +8,57 @@
 // determines the simulation's output.
 package api
 
-// Status is a job's lifecycle state.
-type Status string
+// SchemaVersion is the wire-format version of this API. Clients may pin it
+// in SubmitRequest.SchemaVersion (zero means "current"); a mismatch is
+// rejected with a structured 400 whose code is "schema_version". Servers
+// stamp it on every SubmitResponse and Job document.
+const SchemaVersion = 1
+
+// JobState is a job's lifecycle state.
+type JobState string
 
 // Job lifecycle. Accepted jobs move queued → running → one of the three
 // terminal states; terminal jobs never change again and their results are
-// served from the content-addressed cache.
+// served from the content-addressed cache. Suspended is NOT terminal: a
+// suspended job checkpointed its simulation state and resubmitting the same
+// request resumes it from that checkpoint.
 const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
-	StatusDone     Status = "done"
-	StatusFailed   Status = "failed"
-	StatusCanceled Status = "canceled"
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateSuspended JobState = "suspended"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
 )
 
-// Terminal reports whether the status is final.
-func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+// Terminal reports whether the state is final. Suspended jobs are not
+// terminal — they resume on resubmission.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
 }
+
+// Status is a job's lifecycle state.
+//
+// Deprecated: Use JobState.
+type Status = JobState
+
+// Deprecated: Use the StateXxx constants.
+const (
+	StatusQueued   = StateQueued
+	StatusRunning  = StateRunning
+	StatusDone     = StateDone
+	StatusFailed   = StateFailed
+	StatusCanceled = StateCanceled
+)
 
 // SubmitRequest describes one simulation. Exactly one of Mix or Apps selects
 // the workload; zero-valued knobs take the simulator's defaults (policy
 // delta, 16 cores, the paper's compressed warmup/budget windows, seed 1).
 type SubmitRequest struct {
+	// SchemaVersion pins the wire-format version the client was built
+	// against. Zero means "current"; any other value that is not
+	// SchemaVersion is rejected with code "schema_version".
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Policy is one of snuca | private | delta | ideal.
 	Policy string `json:"policy,omitempty"`
 	// Cores is the tile count (power-of-two perfect square; mixes need a
@@ -57,12 +85,17 @@ type SubmitRequest struct {
 // SubmitResponse acknowledges a submission. ID is the content address of the
 // canonical request: resubmitting an equivalent request yields the same ID.
 type SubmitResponse struct {
-	ID     string `json:"id"`
-	Status Status `json:"status"`
+	SchemaVersion int      `json:"schema_version"`
+	ID            string   `json:"id"`
+	Status        JobState `json:"status"`
 	// Deduped is true when the submission attached to an existing job
 	// (in-flight single-flight hit or a finished cached result) instead of
 	// enqueueing a new simulation.
 	Deduped bool `json:"deduped,omitempty"`
+	// Resumed is true when the submission matched a suspended job (in memory
+	// or a checkpoint on disk) and the simulation continues from its
+	// checkpoint instead of starting over.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // CoreResult is one core's measured performance.
@@ -92,9 +125,10 @@ type Result struct {
 
 // Job is the status document served at /v1/simulations/{id}.
 type Job struct {
-	ID      string        `json:"id"`
-	Status  Status        `json:"status"`
-	Request SubmitRequest `json:"request"`
+	SchemaVersion int           `json:"schema_version"`
+	ID            string        `json:"id"`
+	Status        JobState      `json:"status"`
+	Request       SubmitRequest `json:"request"`
 	// Error describes why a failed/canceled job stopped.
 	Error string `json:"error,omitempty"`
 	// Result is set once the job is done (and, with partial data, on
@@ -109,8 +143,8 @@ type ErrorBody struct {
 
 // ErrorDetail carries a stable machine-readable code plus a human message.
 type ErrorDetail struct {
-	// Code is one of invalid_config | unknown_job | queue_full | draining |
-	// internal.
+	// Code is one of invalid_config | schema_version | unknown_job |
+	// not_suspendable | queue_full | draining | internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -130,7 +164,7 @@ type Health struct {
 type ProgressEvent struct {
 	Type string `json:"type"` // status | event | sample | done
 	// Status accompanies type=status and type=done.
-	Status Status `json:"status,omitempty"`
+	Status JobState `json:"status,omitempty"`
 	// Telemetry payload (type=event): the reconfiguration event kind and
 	// its chip coordinates.
 	Kind string `json:"kind,omitempty"`

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"delta"
+	"delta/internal/server/api"
+)
+
+// checkpointFile is the on-disk form of a suspended job, keyed by the job's
+// content address. The request travels with the snapshot so a restarted
+// server can resume a job it has never seen: resubmitting the same request
+// hashes to the same ID, which names this file.
+type checkpointFile struct {
+	SchemaVersion int               `json:"schema_version"`
+	Request       api.SubmitRequest `json:"request"`
+	Snapshot      json.RawMessage   `json:"snapshot"`
+}
+
+func (s *Server) checkpointPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt.json")
+}
+
+// writeCheckpoint persists a suspended job atomically (temp file + rename),
+// so a crash mid-write never leaves a truncated checkpoint under the job ID.
+func (s *Server) writeCheckpoint(id string, req api.SubmitRequest, snap *delta.Snapshot) error {
+	data, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(checkpointFile{
+		SchemaVersion: api.SchemaVersion,
+		Request:       req,
+		Snapshot:      data,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.cfg.CheckpointDir, id+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.checkpointPath(id))
+}
+
+// readCheckpoint loads a suspended job's checkpoint; (nil, nil) when none
+// exists. Version-skewed or corrupt files are reported as errors so the
+// caller can fall back to a fresh run.
+func (s *Server) readCheckpoint(id string) (*checkpointFile, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	body, err := os.ReadFile(s.checkpointPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(body, &cf); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", id, err)
+	}
+	if cf.SchemaVersion != api.SchemaVersion {
+		return nil, fmt.Errorf("checkpoint %s: schema version %d, want %d: %w",
+			id, cf.SchemaVersion, api.SchemaVersion, delta.ErrSnapshotVersion)
+	}
+	return &cf, nil
+}
+
+// removeCheckpoint deletes a resumed job's checkpoint once it completes.
+func (s *Server) removeCheckpoint(id string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := os.Remove(s.checkpointPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.cfg.Logf("delta-served: removing checkpoint %s: %v", id, err)
+	}
+}

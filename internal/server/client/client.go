@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,11 +26,92 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry, when non-nil, transparently retries transient failures
+	// (network errors, 429 queue-full honoring Retry-After, 503 draining)
+	// with exponential backoff, and resumes suspended jobs inside Wait/Run
+	// by resubmitting their content-addressed request.
+	Retry *RetryPolicy
 }
 
 // New builds a client for the server at baseURL.
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// RetryPolicy tunes the client's transient-failure handling. The zero value
+// (of the fields) picks sane defaults: 6 attempts, 200ms initial backoff
+// doubling to a 5s cap.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per operation; <= 0 means 6.
+	MaxAttempts int
+	// BaseDelay is the first backoff; <= 0 means 200ms. Each retry doubles
+	// it, capped at MaxDelay; a server Retry-After hint overrides when
+	// longer.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means 5s.
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 6
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	base, cap := 200*time.Millisecond, 5*time.Second
+	if p != nil && p.BaseDelay > 0 {
+		base = p.BaseDelay
+	}
+	if p != nil && p.MaxDelay > 0 {
+		cap = p.MaxDelay
+	}
+	d := base << attempt
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// retryable reports whether an error is worth another attempt: transport
+// failures (server restarting), queue backpressure, and draining windows.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	return err != nil // network-level failure
+}
+
+// withRetry runs f under the client's retry policy (or once without one).
+func (c *Client) withRetry(ctx context.Context, f func() error) error {
+	if c.Retry == nil {
+		return f()
+	}
+	var err error
+	for attempt := 0; attempt < c.Retry.attempts(); attempt++ {
+		if attempt > 0 {
+			var hint time.Duration
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.Retry.backoff(attempt-1, hint)):
+			}
+		}
+		if err = f(); err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // APIError is a non-2xx response: the HTTP status, the server's structured
@@ -95,22 +177,44 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // Submit enqueues a simulation (or attaches to an equivalent one: see
-// SubmitResponse.Deduped). Queue-full returns an *APIError with status 429
-// and a RetryAfter hint.
+// SubmitResponse.Deduped). The request is pinned to the client's schema
+// version unless the caller pinned one already. Queue-full returns an
+// *APIError with status 429 and a RetryAfter hint; with a Retry policy set,
+// transient failures are retried with backoff.
 func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResponse, error) {
+	if req.SchemaVersion == 0 {
+		req.SchemaVersion = api.SchemaVersion
+	}
 	var out api.SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/v1/simulations", req, &out)
+	err := c.withRetry(ctx, func() error {
+		return c.do(ctx, http.MethodPost, "/v1/simulations", req, &out)
+	})
 	return out, err
 }
 
 // Job fetches a job's status document.
 func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
 	var out api.Job
-	err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id, nil, &out)
+	err := c.withRetry(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/v1/simulations/"+id, nil, &out)
+	})
 	return out, err
 }
 
-// Wait polls until the job reaches a terminal state or ctx is done.
+// Suspend asks the server to checkpoint the job at its next quantum boundary
+// and release its worker. Suspension is asynchronous: the returned document
+// usually still reads "running"; poll (or Wait) for "suspended". Requires a
+// server with a checkpoint directory (409 not_suspendable otherwise).
+func (c *Client) Suspend(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/simulations/"+id+":suspend", nil, &out)
+	return out, err
+}
+
+// Wait polls until the job settles: a terminal state, or suspended. With a
+// Retry policy set, a suspended job is instead resumed transparently — its
+// content-addressed request is resubmitted (reattaching to the checkpoint)
+// and the wait continues until the resumed run finishes.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
@@ -122,6 +226,14 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.J
 		}
 		if j.Status.Terminal() {
 			return j, nil
+		}
+		if j.Status == api.StateSuspended {
+			if c.Retry == nil {
+				return j, nil
+			}
+			if _, err := c.Submit(ctx, j.Request); err != nil {
+				return j, err
+			}
 		}
 		select {
 		case <-ctx.Done():

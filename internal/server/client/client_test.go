@@ -46,7 +46,7 @@ func TestClientRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if job.Status != api.StatusDone || job.Result == nil || job.Result.GeomeanIPC <= 0 {
+	if job.Status != api.StateDone || job.Result == nil || job.Result.GeomeanIPC <= 0 {
 		t.Fatalf("job %+v", job)
 	}
 
@@ -71,7 +71,7 @@ func TestClientRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if last.Type != "done" || last.Status != api.StatusDone {
+	if last.Type != "done" || last.Status != api.StateDone {
 		t.Fatalf("last progress event %+v", last)
 	}
 
@@ -118,7 +118,7 @@ func TestClientQueueFullRetryAfter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if j.Status == api.StatusRunning {
+		if j.Status == api.StateRunning {
 			break
 		}
 		if time.Now().After(deadline) {

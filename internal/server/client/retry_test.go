@@ -1,0 +1,138 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"delta/internal/server"
+	"delta/internal/server/api"
+)
+
+// TestSubmitRetriesBackpressure: with a Retry policy, 429 responses are
+// retried (honoring Retry-After) until the server accepts.
+func TestSubmitRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: api.ErrorDetail{Code: "queue_full", Message: "full"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.SubmitResponse{SchemaVersion: api.SchemaVersion, ID: "job1", Status: api.StateQueued})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	sub, err := c.Submit(context.Background(), api.SubmitRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "job1" || calls.Load() != 3 {
+		t.Fatalf("sub %+v after %d calls", sub, calls.Load())
+	}
+}
+
+// TestSubmitNoRetryWithoutPolicy: the default client surfaces 429 directly.
+func TestSubmitNoRetryWithoutPolicy(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorBody{Error: api.ErrorDetail{Code: "queue_full", Message: "full"}})
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).Submit(context.Background(), api.SubmitRequest{})
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err %v after %d calls", err, calls.Load())
+	}
+}
+
+// TestSubmitDoesNotRetryInvalidConfig: 4xx rejections other than 429 are
+// permanent and must not be retried.
+func TestSubmitDoesNotRetryInvalidConfig(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorBody{Error: api.ErrorDetail{Code: "invalid_config", Message: "nope"}})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{BaseDelay: time.Millisecond}
+	_, err := c.Submit(context.Background(), api.SubmitRequest{})
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err %v after %d calls", err, calls.Load())
+	}
+}
+
+// TestWaitResumesSuspendedJob drives the full client-side resume loop against
+// a real server: submit, suspend mid-run, then Wait (with Retry set)
+// transparently resubmits and returns the completed result.
+func TestWaitResumesSuspendedJob(t *testing.T) {
+	_, c := newPair(t, server.Config{Workers: 1, QueueDepth: 4, CheckpointDir: t.TempDir()})
+	c.Retry = &RetryPolicy{BaseDelay: 5 * time.Millisecond}
+	ctx := context.Background()
+
+	req := api.SubmitRequest{
+		Policy:             "snuca",
+		Cores:              4,
+		Apps:               []string{"mcf"},
+		WarmupInstructions: 10_000,
+		BudgetInstructions: 600_000,
+	}
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the run to start, then suspend it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Suspend(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Wait(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != api.StateDone || job.Result == nil || job.Result.Partial {
+		t.Fatalf("resumed job %+v", job)
+	}
+}
+
+// TestWaitSurfacesSuspendedWithoutRetry: without a Retry policy, Wait returns
+// the suspended document instead of looping forever.
+func TestWaitSurfacesSuspendedWithoutRetry(t *testing.T) {
+	var state atomic.Value
+	state.Store(api.StateSuspended)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.Job{SchemaVersion: api.SchemaVersion, ID: "j", Status: state.Load().(api.JobState)})
+	}))
+	defer ts.Close()
+	job, err := New(ts.URL).Wait(context.Background(), "j", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != api.StateSuspended {
+		t.Fatalf("job %+v", job)
+	}
+}

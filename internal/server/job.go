@@ -19,6 +19,9 @@ import (
 // invalid_config. The returned request is canonical: byte-identical for any
 // two submissions that would run bit-identical simulations.
 func normalize(req api.SubmitRequest) (api.SubmitRequest, error) {
+	// The pinned schema version is transport metadata, not simulation
+	// identity: it must not perturb the content address.
+	req.SchemaVersion = 0
 	if req.Policy == "" {
 		req.Policy = string(delta.PolicyDelta)
 	}
@@ -137,28 +140,34 @@ const maxReplayEvents = 1024
 
 // job is one accepted simulation: its identity (the content address),
 // normalized request, lifecycle state, result, and progress subscribers.
+// Resumed jobs additionally carry the encoded snapshot they continue from.
 type job struct {
 	id  string
 	req api.SubmitRequest
+	// snapData, when non-nil, is an encoded delta.Snapshot the worker
+	// restores instead of building a fresh simulator.
+	snapData []byte
 
-	mu     sync.Mutex
-	status api.Status
-	errMsg string
-	result *api.Result
-	events []api.ProgressEvent
-	subs   []chan api.ProgressEvent
-	done   chan struct{}
+	mu         sync.Mutex
+	status     api.JobState
+	errMsg     string
+	result     *api.Result
+	events     []api.ProgressEvent
+	subs       []chan api.ProgressEvent
+	done       chan struct{}
+	cancel     func() // set while running; cancels the job's run context
+	suspendReq bool
 }
 
 func newJob(id string, req api.SubmitRequest) *job {
-	return &job{id: id, req: req, status: api.StatusQueued, done: make(chan struct{})}
+	return &job{id: id, req: req, status: api.StateQueued, done: make(chan struct{})}
 }
 
 // snapshot renders the job's current API document.
 func (j *job) snapshot() api.Job {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	doc := api.Job{ID: j.id, Status: j.status, Request: j.req, Error: j.errMsg}
+	doc := api.Job{SchemaVersion: api.SchemaVersion, ID: j.id, Status: j.status, Request: j.req, Error: j.errMsg}
 	if j.result != nil {
 		r := *j.result
 		doc.Result = &r
@@ -169,14 +178,48 @@ func (j *job) snapshot() api.Job {
 // setRunning transitions queued → running and notifies subscribers.
 func (j *job) setRunning() {
 	j.mu.Lock()
-	j.status = api.StatusRunning
-	j.publishLocked(api.ProgressEvent{Type: "status", Status: api.StatusRunning})
+	j.status = api.StateRunning
+	j.publishLocked(api.ProgressEvent{Type: "status", Status: api.StateRunning})
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state, publishes the final "done"
-// progress line, closes every subscriber, and wakes waiters.
-func (j *job) finish(status api.Status, errMsg string, result *api.Result) {
+// setCancel installs the running job's context cancel function; if a suspend
+// was requested before the run context existed, it fires immediately.
+func (j *job) setCancel(fn func()) {
+	j.mu.Lock()
+	j.cancel = fn
+	fire := j.suspendReq
+	j.mu.Unlock()
+	if fire && fn != nil {
+		fn()
+	}
+}
+
+// requestSuspend marks the job for checkpoint-instead-of-discard and stops
+// its run at the next quantum boundary. Safe to call in any state; terminal
+// jobs ignore it.
+func (j *job) requestSuspend() {
+	j.mu.Lock()
+	j.suspendReq = true
+	fn := j.cancel
+	j.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// suspendRequested reports whether requestSuspend was called.
+func (j *job) suspendRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.suspendReq
+}
+
+// finish moves the job to a settled state (terminal, or suspended awaiting
+// resubmission), publishes the final "done" progress line, closes every
+// subscriber, and wakes waiters. A suspended job never transitions again:
+// resuming replaces it with a fresh job under the same ID.
+func (j *job) finish(status api.JobState, errMsg string, result *api.Result) {
 	j.mu.Lock()
 	j.status = status
 	j.errMsg = errMsg
@@ -217,7 +260,9 @@ func (j *job) subscribe() ([]api.ProgressEvent, chan api.ProgressEvent) {
 	defer j.mu.Unlock()
 	replay := make([]api.ProgressEvent, len(j.events))
 	copy(replay, j.events)
-	if j.status.Terminal() {
+	// Suspended jobs have settled too: their replay ends with the "done"
+	// line and the resumed job (a fresh object) carries its own stream.
+	if j.status.Terminal() || j.status == api.StateSuspended {
 		return replay, nil
 	}
 	ch := make(chan api.ProgressEvent, 256)

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,15 @@ type Config struct {
 	// JobTimeout is the per-job deadline measured from dequeue; 0 disables
 	// deadlines. Expired jobs report canceled with partial results.
 	JobTimeout time.Duration
+	// CheckpointDir, when set, enables suspend/resume: suspended jobs
+	// persist their simulation snapshot here (keyed by content address),
+	// Shutdown checkpoints in-flight jobs instead of discarding their
+	// progress, and resubmitting a suspended request resumes from the
+	// checkpoint — across server restarts. Empty disables suspension.
+	CheckpointDir string
+	// SnapshotEvery auto-checkpoints each running simulation in memory
+	// every n quantum boundaries (see delta.WithSnapshotEvery); 0 disables.
+	SnapshotEvery int
 	// Version is reported by /healthz.
 	Version string
 	// Sink, when non-nil, receives every simulation's telemetry in
@@ -96,6 +106,10 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
+	// Custom-method URLs ("{id}:suspend") arrive as one path segment; the
+	// handler splits id from action (Go's ServeMux cannot pattern-match a
+	// ":" inside a segment).
+	s.mux.HandleFunc("POST /v1/simulations/{idAction}", s.handleAction)
 	s.mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/simulations/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -127,7 +141,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.draining = true
 		close(s.queue) // workers drain the backlog, then exit
 	}
+	var toSuspend []*job
+	if s.cfg.CheckpointDir != "" {
+		for _, j := range s.jobs {
+			toSuspend = append(toSuspend, j)
+		}
+	}
 	s.mu.Unlock()
+	// With a checkpoint directory, draining means suspending: every
+	// non-terminal job checkpoints at its next quantum boundary instead of
+	// running to completion, and resubmission resumes it. requestSuspend is
+	// a no-op on settled jobs.
+	for _, j := range toSuspend {
+		j.requestSuspend()
+	}
 	s.cfg.Logf("delta-served: draining (%d jobs in flight)", s.inflight.Load())
 
 	done := make(chan struct{})
@@ -161,16 +188,29 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one accepted job end to end.
+// runJob executes one accepted job end to end. A job whose suspend flag is
+// raised (client :suspend call, or a draining shutdown with a checkpoint
+// directory) stops at its next quantum boundary and persists a snapshot
+// instead of finishing; resubmitting the same request resumes it.
 func (s *Server) runJob(j *job) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	ctx := s.baseCtx
-	if s.cfg.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
-		defer cancel()
+	if j.suspendRequested() {
+		// Suspended before reaching a worker (drain of the queue backlog).
+		// A resume job's checkpoint is already on disk; a fresh job simply
+		// restarts from scratch when resumed.
+		s.shared.Count("served.jobs.suspended", 1)
+		j.finish(api.StateSuspended, "", nil)
+		return
 	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if s.cfg.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer tcancel()
+	}
+	j.setCancel(cancel)
 	j.setRunning()
 	s.cfg.Logf("delta-served: job %s running (%s)", j.id, j.req.Policy)
 	started := time.Now()
@@ -179,17 +219,31 @@ func (s *Server) runJob(j *job) {
 	if s.sink != nil {
 		rec = telemetry.NewMulti(rec, s.sink.Tag(j.id))
 	}
-	cfg := config(j.req)
-	cfg.Recorder = rec
-	sim, err := delta.NewSimulatorE(cfg)
-	if err == nil {
-		err = loadWorkloads(sim, j.req)
+	var sim *delta.Simulator
+	var err error
+	if j.snapData != nil {
+		var snap *delta.Snapshot
+		if snap, err = delta.DecodeSnapshot(j.snapData); err == nil {
+			sim, err = delta.Restore(snap,
+				delta.WithRecorder(rec), delta.WithSnapshotEvery(s.cfg.SnapshotEvery))
+			if err == nil {
+				s.shared.Count("served.jobs.resumed", 1)
+			}
+		}
+	} else {
+		cfg := config(j.req)
+		cfg.Recorder = rec
+		cfg.SnapshotEvery = s.cfg.SnapshotEvery
+		if sim, err = delta.New(delta.WithConfig(cfg)); err == nil {
+			err = loadWorkloads(sim, j.req)
+		}
 	}
 	if err != nil {
-		// normalize() vets submissions, so reaching here is a server bug;
-		// surface it as a failed job rather than a hung one.
+		// normalize() vets submissions, so reaching here is a server bug
+		// (or a corrupt checkpoint); surface it as a failed job rather than
+		// a hung one.
 		s.shared.Count("served.jobs.failed", 1)
-		j.finish(api.StatusFailed, err.Error(), nil)
+		j.finish(api.StateFailed, err.Error(), nil)
 		return
 	}
 	s.shared.Count("served.simulations.executed", 1)
@@ -197,16 +251,37 @@ func (s *Server) runJob(j *job) {
 	result := toAPIResult(res, runErr != nil, time.Since(started))
 	switch {
 	case runErr == nil:
+		s.removeCheckpoint(j.id)
 		s.shared.Count("served.jobs.completed", 1)
-		j.finish(api.StatusDone, "", result)
+		j.finish(api.StateDone, "", result)
+	case errors.Is(runErr, delta.ErrCanceled) && j.suspendRequested() && s.cfg.CheckpointDir != "":
+		if serr := s.suspendCheckpoint(j, sim); serr != nil {
+			s.cfg.Logf("delta-served: job %s suspend checkpoint failed: %v", j.id, serr)
+			s.shared.Count("served.jobs.canceled", 1)
+			j.finish(api.StateCanceled, "suspend checkpoint failed: "+serr.Error(), result)
+		} else {
+			s.shared.Count("served.jobs.suspended", 1)
+			j.finish(api.StateSuspended, "", nil)
+		}
 	case errors.Is(runErr, delta.ErrCanceled):
 		s.shared.Count("served.jobs.canceled", 1)
-		j.finish(api.StatusCanceled, runErr.Error(), result)
+		j.finish(api.StateCanceled, runErr.Error(), result)
 	default:
 		s.shared.Count("served.jobs.failed", 1)
-		j.finish(api.StatusFailed, runErr.Error(), nil)
+		j.finish(api.StateFailed, runErr.Error(), nil)
 	}
 	s.cfg.Logf("delta-served: job %s %s in %s", j.id, j.snapshot().Status, time.Since(started).Round(time.Millisecond))
+}
+
+// suspendCheckpoint captures the canceled simulation — RunCtx returned, so
+// the chip rests at an exact quantum boundary — and persists it under the
+// job's content address.
+func (s *Server) suspendCheckpoint(j *job, sim *delta.Simulator) error {
+	snap, err := sim.Snapshot()
+	if err != nil {
+		return err
+	}
+	return s.writeCheckpoint(j.id, j.req, snap)
 }
 
 // loadWorkloads applies the normalized workload spec to a simulator.
@@ -225,12 +300,15 @@ func loadWorkloads(sim *delta.Simulator, req api.SubmitRequest) error {
 // toAPIResult converts a facade result to the wire form.
 func toAPIResult(res delta.Result, partial bool, elapsed time.Duration) *api.Result {
 	out := &api.Result{
+		// GeoMeanIPC averages over the positive IPCs only (zero when none),
+		// so partial results of a canceled run encode cleanly — no NaN in
+		// the JSON, and byte-equal round trips for the result cache.
+		GeomeanIPC:             res.GeoMeanIPC(),
 		ControlMessageFraction: res.ControlMessageFraction,
 		InvalidatedLines:       res.InvalidatedLines,
 		Partial:                partial,
 		ElapsedMS:              elapsed.Milliseconds(),
 	}
-	allPositive := len(res.Cores) > 0
 	for _, c := range res.Cores {
 		out.Cores = append(out.Cores, api.CoreResult{
 			Core:         c.Core,
@@ -242,14 +320,6 @@ func toAPIResult(res delta.Result, partial bool, elapsed time.Duration) *api.Res
 			LocalHitFrac: c.LocalHitFrac,
 			MLP:          c.MLP,
 		})
-		if c.IPC <= 0 {
-			allPositive = false
-		}
-	}
-	if allPositive {
-		// GeoMeanIPC panics on non-positive IPCs, which partial results of
-		// a canceled run can contain.
-		out.GeomeanIPC = res.GeoMeanIPC()
 	}
 	return out
 }
@@ -265,6 +335,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_config", "malformed request body: "+err.Error())
 		return
 	}
+	if req.SchemaVersion != 0 && req.SchemaVersion != api.SchemaVersion {
+		s.shared.Count("served.rejected.schema", 1)
+		writeError(w, http.StatusBadRequest, "schema_version",
+			fmt.Sprintf("request pins schema version %d; this server speaks %d", req.SchemaVersion, api.SchemaVersion))
+		return
+	}
 	norm, err := normalize(req)
 	if err != nil {
 		s.shared.Count("served.rejected.invalid", 1)
@@ -277,11 +353,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A suspended match resumes instead of deduping; its checkpoint (written
+	// before the job settled into suspended, so visible here) is read
+	// outside the server lock.
 	s.mu.Lock()
-	if j := s.jobs[id]; j != nil {
+	j := s.jobs[id]
+	suspended := j != nil && j.snapshot().Status == api.StateSuspended
+	s.mu.Unlock()
+	if j != nil && !suspended {
+		s.shared.Count("served.singleflight.deduped", 1)
+		writeJSON(w, http.StatusOK, api.SubmitResponse{
+			SchemaVersion: api.SchemaVersion, ID: id, Status: j.snapshot().Status, Deduped: true})
+		return
+	}
+	var snapData []byte
+	resumed := suspended
+	if cf, cerr := s.readCheckpoint(id); cerr != nil {
+		// Corrupt or version-skewed checkpoint: log, run from scratch.
+		s.cfg.Logf("delta-served: job %s: %v (restarting fresh)", id, cerr)
+		s.removeCheckpoint(id)
+	} else if cf != nil {
+		snapData = cf.Snapshot
+		resumed = true
+	}
+
+	s.mu.Lock()
+	if cur := s.jobs[id]; cur != nil && cur != j {
+		// Lost a race with a concurrent resubmission that already replaced
+		// the suspended job; attach to the winner.
 		s.mu.Unlock()
 		s.shared.Count("served.singleflight.deduped", 1)
-		writeJSON(w, http.StatusOK, api.SubmitResponse{ID: id, Status: j.snapshot().Status, Deduped: true})
+		writeJSON(w, http.StatusOK, api.SubmitResponse{
+			SchemaVersion: api.SchemaVersion, ID: id, Status: cur.snapshot().Status, Deduped: true})
 		return
 	}
 	if s.draining {
@@ -289,14 +392,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new simulations")
 		return
 	}
-	j := newJob(id, norm)
+	nj := newJob(id, norm)
+	nj.snapData = snapData
 	select {
-	case s.queue <- j:
-		s.jobs[id] = j
+	case s.queue <- nj:
+		s.jobs[id] = nj
 		s.mu.Unlock()
 		s.shared.Count("served.jobs.accepted", 1)
+		if resumed {
+			s.shared.Count("served.jobs.resume_accepted", 1)
+		}
 		w.Header().Set("Location", "/v1/simulations/"+id)
-		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Status: api.StatusQueued})
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{
+			SchemaVersion: api.SchemaVersion, ID: id, Status: api.StateQueued, Resumed: resumed})
 	default:
 		queued := len(s.queue)
 		s.mu.Unlock()
@@ -309,6 +417,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("queue full (%d waiting); retry after %ds", queued, retry))
 	}
+}
+
+// handleAction dispatches custom-method URLs of the form
+// /v1/simulations/{id}:{action}. The only action is "suspend": stop the job
+// at its next quantum boundary and checkpoint it for later resumption.
+func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
+	id, action, ok := strings.Cut(r.PathValue("idAction"), ":")
+	if !ok || action != "suspend" {
+		writeError(w, http.StatusBadRequest, "invalid_config",
+			fmt.Sprintf("unknown action %q; only :suspend is supported", action))
+		return
+	}
+	if s.cfg.CheckpointDir == "" {
+		writeError(w, http.StatusConflict, "not_suspendable",
+			"server runs without a checkpoint directory; suspension is disabled")
+		return
+	}
+	j := s.lookup(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job", "no simulation with this id")
+		return
+	}
+	doc := j.snapshot()
+	switch {
+	case doc.Status.Terminal():
+		writeError(w, http.StatusConflict, "not_suspendable",
+			fmt.Sprintf("job is already %s", doc.Status))
+		return
+	case doc.Status == api.StateSuspended:
+		// Idempotent: already suspended.
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
+	j.requestSuspend()
+	s.shared.Count("served.suspend.requested", 1)
+	// Suspension is asynchronous — the simulation stops at its next quantum
+	// boundary; poll the job document for status "suspended".
+	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -104,7 +104,7 @@ func TestSubmitPollResult(t *testing.T) {
 		t.Fatalf("submit response %+v", sub)
 	}
 	j := waitDone(t, ts, sub.ID)
-	if j.Status != api.StatusDone || j.Result == nil {
+	if j.Status != api.StateDone || j.Result == nil {
 		t.Fatalf("job %+v", j)
 	}
 	if j.Result.GeomeanIPC <= 0 || len(j.Result.Cores) != 4 || j.Result.Partial {
@@ -180,7 +180,7 @@ func TestSingleFlightDeduplication(t *testing.T) {
 		}
 	}
 	j := waitDone(t, ts, ids[0])
-	if j.Status != api.StatusDone {
+	if j.Status != api.StateDone {
 		t.Fatalf("job %+v", j)
 	}
 	if got := srv.Telemetry().Counter("served.simulations.executed"); got != 1 {
@@ -195,7 +195,7 @@ func TestSingleFlightDeduplication(t *testing.T) {
 		t.Fatalf("cached resubmit status %d", resp.StatusCode)
 	}
 	sub := decode[api.SubmitResponse](t, resp)
-	if !sub.Deduped || sub.ID != ids[0] || sub.Status != api.StatusDone {
+	if !sub.Deduped || sub.ID != ids[0] || sub.Status != api.StateDone {
 		t.Fatalf("cached resubmit %+v", sub)
 	}
 	if got := srv.Telemetry().Counter("served.simulations.executed"); got != 1 {
@@ -211,7 +211,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit status %d", resp.StatusCode)
 	}
-	waitStatus(t, ts, running.ID, api.StatusRunning)
+	waitStatus(t, ts, running.ID, api.StateRunning)
 	if resp := postJSON(t, ts.URL+"/v1/simulations", slowReq(2)); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("second submit status %d", resp.StatusCode)
 	}
@@ -236,7 +236,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	_ = srv.Shutdown(ctx)
 	for _, id := range []string{running.ID} {
 		j := waitDone(t, ts, id)
-		if j.Status != api.StatusCanceled {
+		if j.Status != api.StateCanceled {
 			t.Fatalf("slow job after deadline shutdown: %+v", j.Status)
 		}
 		if j.Result == nil || !j.Result.Partial {
@@ -245,7 +245,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 }
 
-func waitStatus(t *testing.T, ts *httptest.Server, id string, want api.Status) {
+func waitStatus(t *testing.T, ts *httptest.Server, id string, want api.JobState) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
@@ -372,11 +372,11 @@ func TestEventsStream(t *testing.T) {
 	if len(events) < 2 {
 		t.Fatalf("only %d progress events", len(events))
 	}
-	if events[0].Type != "status" || events[0].Status != api.StatusRunning {
+	if events[0].Type != "status" || events[0].Status != api.StateRunning {
 		t.Fatalf("first event %+v", events[0])
 	}
 	last := events[len(events)-1]
-	if last.Type != "done" || last.Status != api.StatusDone {
+	if last.Type != "done" || last.Status != api.StateDone {
 		t.Fatalf("last event %+v", last)
 	}
 }
@@ -402,7 +402,7 @@ func TestDrainLosesNoAcceptedJob(t *testing.T) {
 	}
 	for i, id := range ids {
 		j := waitDone(t, ts, id)
-		if j.Status != api.StatusDone || j.Result == nil || j.Result.Partial {
+		if j.Status != api.StateDone || j.Result == nil || j.Result.Partial {
 			t.Fatalf("job %d lost in drain: %+v", i, j)
 		}
 	}

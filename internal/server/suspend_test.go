@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// newHTTPTest wraps a server whose Shutdown the test drives itself (unlike
+// newTestServer, no cleanup-time drain).
+func newHTTPTest(srv *Server) *httptest.Server {
+	return httptest.NewServer(srv.Handler())
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// mediumReq runs long enough to suspend mid-flight but completes in a couple
+// of seconds when left alone.
+func mediumReq(seed uint64) api.SubmitRequest {
+	r := quickReq(seed)
+	r.WarmupInstructions = 10_000
+	r.BudgetInstructions = 600_000
+	return r
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want api.JobState) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/simulations/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decode[api.Job](t, resp)
+		if j.Status == want {
+			return j
+		}
+		if j.Status.Terminal() {
+			t.Fatalf("job %s settled as %s while waiting for %s (error %q)", id, j.Status, want, j.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return api.Job{}
+}
+
+func TestSchemaVersionRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	req := quickReq(1)
+	req.SchemaVersion = 99
+	resp := postJSON(t, ts.URL+"/v1/simulations", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	body := decode[api.ErrorBody](t, resp)
+	if body.Error.Code != "schema_version" {
+		t.Fatalf("error code %q", body.Error.Code)
+	}
+
+	// Pinning the current version is accepted.
+	req.SchemaVersion = api.SchemaVersion
+	resp = postJSON(t, ts.URL+"/v1/simulations", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pinned-current status %d", resp.StatusCode)
+	}
+	sub := decode[api.SubmitResponse](t, resp)
+	if sub.SchemaVersion != api.SchemaVersion {
+		t.Fatalf("response schema version %d", sub.SchemaVersion)
+	}
+	waitDone(t, ts, sub.ID)
+}
+
+func TestSuspendWithoutCheckpointDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	resp := postJSON(t, ts.URL+"/v1/simulations", quickReq(2))
+	sub := decode[api.SubmitResponse](t, resp)
+	resp = postJSON(t, ts.URL+"/v1/simulations/"+sub.ID+":suspend", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409", resp.StatusCode)
+	}
+	body := decode[api.ErrorBody](t, resp)
+	if body.Error.Code != "not_suspendable" {
+		t.Fatalf("error code %q", body.Error.Code)
+	}
+}
+
+// TestSuspendResume: a running job suspends at a quantum boundary, persists a
+// checkpoint, and resubmitting resumes it to a result identical (modulo
+// wall-clock) to an uninterrupted reference run.
+func TestSuspendResume(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CheckpointDir: dir})
+
+	// Reference: same request, run to completion on a second server.
+	_, ref := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	refSub := decode[api.SubmitResponse](t, postJSON(t, ref.URL+"/v1/simulations", mediumReq(3)))
+	refJob := waitDone(t, ref, refSub.ID)
+	if refJob.Status != api.StateDone {
+		t.Fatalf("reference job %s: %s", refSub.ID, refJob.Error)
+	}
+
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", mediumReq(3)))
+	waitState(t, ts, sub.ID, api.StateRunning)
+	resp := postJSON(t, ts.URL+"/v1/simulations/"+sub.ID+":suspend", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("suspend status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, ts, sub.ID, api.StateSuspended)
+
+	ckpt := filepath.Join(dir, sub.ID+".ckpt.json")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not persisted: %v", err)
+	}
+
+	// Resubmit: resumes from the checkpoint.
+	resp = postJSON(t, ts.URL+"/v1/simulations", mediumReq(3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume submit status %d", resp.StatusCode)
+	}
+	re := decode[api.SubmitResponse](t, resp)
+	if re.ID != sub.ID || !re.Resumed {
+		t.Fatalf("resume response %+v", re)
+	}
+	j := waitDone(t, ts, re.ID)
+	if j.Status != api.StateDone || j.Result == nil {
+		t.Fatalf("resumed job %+v", j)
+	}
+	if j.Result.Partial {
+		t.Fatal("resumed run reported partial results")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up after completion: %v", err)
+	}
+
+	// Bit-identical to the uninterrupted run, modulo wall-clock.
+	got, want := *j.Result, *refJob.Result
+	got.ElapsedMS, want.ElapsedMS = 0, 0
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result diverged\n got %s\nwant %s", gb, wb)
+	}
+}
+
+// TestDrainSuspendsAndRestartResumes: SIGTERM-style Shutdown with a
+// checkpoint directory suspends in-flight jobs; a new server over the same
+// directory resumes them from disk on resubmission.
+func TestDrainSuspendsAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+
+	srv := New(Config{Workers: 1, QueueDepth: 4, CheckpointDir: dir})
+	ts := newHTTPTest(srv)
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", mediumReq(4)))
+	waitState(t, ts, sub.ID, api.StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j := decode[api.Job](t, get(t, ts.URL+"/v1/simulations/"+sub.ID))
+	if j.Status != api.StateSuspended {
+		t.Fatalf("drained job state %s (error %q)", j.Status, j.Error)
+	}
+	ts.Close()
+	if _, err := os.Stat(filepath.Join(dir, sub.ID+".ckpt.json")); err != nil {
+		t.Fatalf("drain wrote no checkpoint: %v", err)
+	}
+
+	// "Restart": a fresh server over the same checkpoint directory has never
+	// seen the job, but the resubmission's content address finds the file.
+	_, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CheckpointDir: dir})
+	re := decode[api.SubmitResponse](t, postJSON(t, ts2.URL+"/v1/simulations", mediumReq(4)))
+	if re.ID != sub.ID || !re.Resumed {
+		t.Fatalf("restart resume response %+v", re)
+	}
+	j = waitDone(t, ts2, re.ID)
+	if j.Status != api.StateDone || j.Result == nil || j.Result.Partial {
+		t.Fatalf("restart-resumed job %+v", j)
+	}
+}
+
+// TestDrainWithoutCheckpointDirStillCompletes: the pre-existing drain
+// semantics are preserved when suspension is disabled — accepted jobs run to
+// completion.
+func TestDrainWithoutCheckpointDirStillCompletes(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	ts := newHTTPTest(srv)
+	defer ts.Close()
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", quickReq(5)))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j := decode[api.Job](t, get(t, ts.URL+"/v1/simulations/"+sub.ID))
+	if j.Status != api.StateDone {
+		t.Fatalf("drained job state %s", j.Status)
+	}
+}
+
+func TestSuspendUnknownActionAndJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CheckpointDir: t.TempDir()})
+	resp := postJSON(t, ts.URL+"/v1/simulations/abc:explode", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/simulations/doesnotexist:suspend", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
+	"sort"
 )
 
 // mathLog exists so rng.go does not import math directly in its hot path
@@ -20,6 +22,38 @@ type Event struct {
 	Fn   func(now Cycle)
 	seq  uint64
 	idx  int
+	// msg, when hasMsg is set, is the serializable payload this event's
+	// closure was bound from. Only events scheduled through ScheduleMsg can
+	// survive a checkpoint; plain Schedule events make Pending fail.
+	msg    Msg
+	hasMsg bool
+}
+
+// Msg is a reified control message: the serializable payload an in-flight
+// event is rebuilt from after a checkpoint/restore. Field meanings are
+// per-Kind conventions owned by the scheduling policy; FBits carries a
+// float64 as IEEE-754 bits so ±Inf and exact values survive JSON.
+type Msg struct {
+	Kind  string `json:"kind"`
+	A     int    `json:"a,omitempty"`
+	B     int    `json:"b,omitempty"`
+	C     int    `json:"c,omitempty"`
+	FBits uint64 `json:"f_bits,omitempty"`
+	Flag  bool   `json:"flag,omitempty"`
+}
+
+// MsgNoop is the Kind of a message whose delivery has no semantic effect: it
+// exists only to account for NoC control traffic. Deliverers drop it without
+// consulting any handler.
+const MsgNoop = "noop"
+
+// PendingEvent is one in-flight event in serializable form: its due cycle,
+// its exact sequence number (the deterministic tie-breaker), and the message
+// payload to rebind on restore.
+type PendingEvent struct {
+	When Cycle  `json:"when"`
+	Seq  uint64 `json:"seq"`
+	Msg  Msg    `json:"msg"`
 }
 
 // EventQueue is a deterministic min-heap of events keyed by (cycle, sequence).
@@ -40,6 +74,54 @@ func NewEventQueue() *EventQueue { return &EventQueue{} }
 func (q *EventQueue) Schedule(when Cycle, fn func(now Cycle)) {
 	q.seq++
 	heap.Push(&q.h, &Event{When: when, Fn: fn, seq: q.seq})
+}
+
+// ScheduleMsg enqueues fn like Schedule, additionally recording the message
+// the closure was bound from so the event can be serialized by Pending and
+// rebound by Restore.
+func (q *EventQueue) ScheduleMsg(when Cycle, m Msg, fn func(now Cycle)) {
+	q.seq++
+	heap.Push(&q.h, &Event{When: when, Fn: fn, seq: q.seq, msg: m, hasMsg: true})
+}
+
+// Pending returns every in-flight event in deterministic (When, seq) order
+// without disturbing the queue. It fails if any pending event was scheduled
+// through the closure-only Schedule path, because such an event cannot be
+// serialized.
+func (q *EventQueue) Pending() ([]PendingEvent, error) {
+	out := make([]PendingEvent, 0, len(q.h))
+	for _, ev := range q.h {
+		if !ev.hasMsg {
+			return nil, fmt.Errorf("sim: pending event at cycle %d has no serializable message", ev.When)
+		}
+		out = append(out, PendingEvent{When: ev.When, Seq: ev.seq, Msg: ev.msg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].When != out[j].When {
+			return out[i].When < out[j].When
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, nil
+}
+
+// Restore discards the queue's current contents and rebuilds it from pending
+// events, rebinding each message to a closure via bind. Sequence numbers are
+// preserved verbatim so tie-breaking is bit-identical to the original run;
+// the internal counter resumes past the largest restored value so new events
+// order after the restored ones.
+func (q *EventQueue) Restore(pending []PendingEvent, bind func(m Msg) func(now Cycle)) {
+	q.h = q.h[:0]
+	q.seq = 0
+	for _, pe := range pending {
+		ev := &Event{When: pe.When, Fn: bind(pe.Msg), seq: pe.Seq, msg: pe.Msg, hasMsg: true}
+		ev.idx = len(q.h)
+		q.h = append(q.h, ev)
+		if pe.Seq > q.seq {
+			q.seq = pe.Seq
+		}
+	}
+	heap.Init(&q.h)
 }
 
 // Len reports the number of pending events.

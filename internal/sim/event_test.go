@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestPendingRejectsClosureEvents(t *testing.T) {
+	var q EventQueue
+	q.Schedule(5, func(Cycle) {})
+	if _, err := q.Pending(); err == nil {
+		t.Fatal("Pending succeeded with a closure-only event in the queue")
+	}
+}
+
+func TestPendingRestoreRoundTrip(t *testing.T) {
+	var q EventQueue
+	q.ScheduleMsg(20, Msg{Kind: "delta.gain", A: 3, B: 1, FBits: 42}, func(Cycle) {})
+	q.ScheduleMsg(10, Msg{Kind: MsgNoop}, func(Cycle) {})
+	q.ScheduleMsg(20, Msg{Kind: "delta.retreat", A: 7}, func(Cycle) {})
+	pending, err := q.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 3 {
+		t.Fatalf("%d pending events", len(pending))
+	}
+	// Sorted by (when, seq): the noop at cycle 10 first, then the two
+	// cycle-20 events in scheduling order.
+	if pending[0].Msg.Kind != MsgNoop || pending[1].Msg.Kind != "delta.gain" || pending[2].Msg.Kind != "delta.retreat" {
+		t.Fatalf("pending order %+v", pending)
+	}
+
+	var q2 EventQueue
+	var got []Msg
+	q2.Restore(pending, func(m Msg) func(Cycle) {
+		return func(Cycle) { got = append(got, m) }
+	})
+	q2.RunUntil(30)
+	if len(got) != 3 {
+		t.Fatalf("%d delivered", len(got))
+	}
+	if got[0].Kind != MsgNoop || got[1].Kind != "delta.gain" || got[2].Kind != "delta.retreat" {
+		t.Fatalf("restored delivery order %+v", got)
+	}
+	if got[1].A != 3 || got[1].B != 1 || got[1].FBits != 42 {
+		t.Fatalf("payload lost: %+v", got[1])
+	}
+
+	// New events scheduled after a restore must sequence after the restored
+	// ones, even at equal timestamps.
+	var q3 EventQueue
+	q3.Restore(pending, func(m Msg) func(Cycle) { return func(Cycle) {} })
+	var order []string
+	q3.ScheduleMsg(20, Msg{Kind: "late"}, func(Cycle) { order = append(order, "late") })
+	if p, err := q3.Pending(); err != nil || len(p) != 4 {
+		t.Fatalf("pending after restore+schedule: %d events, err %v", len(p), err)
+	}
+}

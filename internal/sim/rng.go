@@ -47,6 +47,20 @@ func NewStream(seed uint64, stream uint64) *Rng {
 	return NewRng(splitMix64(seed^splitMix64(stream+0x632be59bd9b4e019)) + stream)
 }
 
+// State returns the generator's internal state so a checkpoint can capture
+// the stream position exactly.
+func (r *Rng) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// captured by State. The all-zero state is rejected (it is a fixed point of
+// xoshiro and can never be produced by NewRng).
+func (r *Rng) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("sim: SetState with all-zero state")
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rng) Uint64() uint64 {
 	s := &r.s

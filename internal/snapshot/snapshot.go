@@ -1,0 +1,388 @@
+// Package snapshot defines the versioned, deterministic serialization format
+// for full simulator state: per-tile cache contents and way masks, CBTs,
+// UMON shadow tags, policy state (DELTA or the centralized baselines),
+// core/trace-generator cursors, RNG streams, in-flight control messages, and
+// the quantum clock.
+//
+// The package holds only *format* types plus Encode/Decode; every simulated
+// component implements its own Snapshot/Restore against the mirror type
+// defined here, so this package never imports the packages it describes
+// (only internal/sim, for the reified control-message type).
+//
+// Determinism: Go's encoding/json marshals struct fields in declaration
+// order and the format contains no maps, so encoding the same state twice
+// yields byte-identical output. All floating-point state is stored as
+// IEEE-754 bit patterns (uint64 fields with a Bits suffix) so ±Inf and exact
+// values survive the round trip.
+//
+// Versioning policy: Version is bumped on any incompatible change to the
+// types in this file; Decode rejects any other version with a *VersionError
+// wrapping ErrSnapshotVersion. There is no cross-version migration — a
+// snapshot is a resume token for the build that wrote it, not an archival
+// format.
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"delta/internal/sim"
+)
+
+// Version is the current snapshot schema version.
+const Version = 1
+
+// ErrSnapshotVersion is the sentinel wrapped by *VersionError when Decode
+// meets an envelope written under a different schema version.
+var ErrSnapshotVersion = errors.New("snapshot: schema version mismatch")
+
+// ErrNotSnapshotable marks state that the format cannot capture: custom
+// user-supplied trace generators and the validation-only StackDistGen.
+var ErrNotSnapshotable = errors.New("snapshot: state is not snapshotable")
+
+// VersionError reports a schema-version mismatch. It wraps
+// ErrSnapshotVersion so callers can errors.Is against the sentinel.
+type VersionError struct {
+	Got, Want int
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: schema version %d, want %d", e.Got, e.Want)
+}
+
+// Unwrap lets errors.Is(err, ErrSnapshotVersion) succeed.
+func (e *VersionError) Unwrap() error { return ErrSnapshotVersion }
+
+// Envelope is the top-level snapshot document. Facade snapshots carry the
+// canonical simulator config and the workload assignment needed to rebuild
+// the generator tree before restoring cursor state; chip-level snapshots
+// (tests, goldens) may leave those empty.
+type Envelope struct {
+	SchemaVersion int             `json:"schema_version"`
+	Kind          string          `json:"kind"`
+	Config        json.RawMessage `json:"config,omitempty"`
+	Workloads     *Workloads      `json:"workloads,omitempty"`
+	Chip          *Chip           `json:"chip"`
+}
+
+// Workloads records what was loaded onto the cores, by name, so a restore
+// can rebuild the exact generator tree (same specs, same derived seeds) and
+// then overwrite its cursors from the per-tile Gen states.
+type Workloads struct {
+	// Mix names a workload mix loaded via LoadMix; empty when apps were
+	// assigned individually.
+	Mix string `json:"mix,omitempty"`
+	// Apps lists per-core assignments (unset cores are idle).
+	Apps []AppAssignment `json:"apps,omitempty"`
+}
+
+// AppAssignment is one core's named workload.
+type AppAssignment struct {
+	Core   int    `json:"core"`
+	App    string `json:"app"`
+	Shared bool   `json:"shared,omitempty"`
+}
+
+// Chip is the full chip state at a quantum boundary.
+type Chip struct {
+	Now        uint64             `json:"now"`
+	Tiles      []Tile             `json:"tiles"`
+	Events     []sim.PendingEvent `json:"events,omitempty"`
+	Policy     Policy             `json:"policy"`
+	NoC        NoC                `json:"noc"`
+	Mem        Mem                `json:"mem"`
+	Classifier *Classifier        `json:"classifier,omitempty"`
+	Sampler    *Sampler           `json:"sampler,omitempty"`
+	Stats      ChipStats          `json:"stats"`
+}
+
+// ChipStats mirrors chip.Stats.
+type ChipStats struct {
+	InvalLines     uint64 `json:"inval_lines"`
+	InvalWalks     uint64 `json:"inval_walks"`
+	MaskFallbacks  uint64 `json:"mask_fallbacks"`
+	SharedInserts  uint64 `json:"shared_inserts"`
+	PageReclassify uint64 `json:"page_reclassify"`
+}
+
+// Tile is one tile's state: core pipeline, cache hierarchy, UMON, trace
+// cursor, and the measurement-window latches.
+type Tile struct {
+	Core CPU    `json:"core"`
+	L1   Cache  `json:"l1"`
+	L2   Cache  `json:"l2"`
+	LLC  Cache  `json:"llc"`
+	Mon  Umon   `json:"mon"`
+	Gen  *Gen   `json:"gen,omitempty"`
+	Base uint64 `json:"base"`
+
+	LLCAccesses   uint64 `json:"llc_accesses"`
+	LLCRemoteHits uint64 `json:"llc_remote_hits"`
+	LLCLocalHits  uint64 `json:"llc_local_hits"`
+	MemFetches    uint64 `json:"mem_fetches"`
+
+	Warmed      bool   `json:"warmed"`
+	StartCycle  uint64 `json:"start_cycle"`
+	StartInstr  uint64 `json:"start_instr"`
+	StartLLCAcc uint64 `json:"start_llc_acc"`
+	StartMemF   uint64 `json:"start_mem_f"`
+	DoneCycle   uint64 `json:"done_cycle"`
+	DoneInstr   uint64 `json:"done_instr"`
+	DoneLLCAcc  uint64 `json:"done_llc_acc"`
+	DoneMemF    uint64 `json:"done_mem_f"`
+
+	LastLLCAccesses uint64 `json:"last_llc_accesses"`
+	IdleStreak      int    `json:"idle_streak"`
+
+	SampInstr    uint64 `json:"samp_instr"`
+	SampCycle    uint64 `json:"samp_cycle"`
+	SampLLCAcc   uint64 `json:"samp_llc_acc"`
+	SampBankAcc  uint64 `json:"samp_bank_acc"`
+	SampBankHits uint64 `json:"samp_bank_hits"`
+}
+
+// CPU mirrors cpu.Core.
+type CPU struct {
+	Cycle      uint64   `json:"cycle"`
+	DispatchQ  uint64   `json:"dispatch_q"`
+	EpochOpen  bool     `json:"epoch_open"`
+	EpochEnd   uint64   `json:"epoch_end"`
+	EpochCount int      `json:"epoch_count"`
+	EpochInstr uint64   `json:"epoch_instr"`
+	Stats      CPUStats `json:"stats"`
+	Last       CPUStats `json:"last"`
+}
+
+// CPUStats mirrors cpu.Stats.
+type CPUStats struct {
+	Instructions uint64 `json:"instructions"`
+	MemAccesses  uint64 `json:"mem_accesses"`
+	LongMisses   uint64 `json:"long_misses"`
+	Epochs       uint64 `json:"epochs"`
+	MissLatSum   uint64 `json:"miss_lat_sum"`
+	MissStall    uint64 `json:"miss_stall"`
+}
+
+// Cache is a positional dump of one cache array: parallel slices of length
+// Sets×Ways in (set-major, way-minor) order. Invalid ways are included —
+// victim choice depends on exact line layout and LRU stamps.
+type Cache struct {
+	Sets      int        `json:"sets"`
+	Ways      int        `json:"ways"`
+	Clk       uint64     `json:"clk"`
+	Addrs     []uint64   `json:"addrs"`
+	Flags     []byte     `json:"flags"` // bit0 valid, bit1 dirty
+	Owners    []int16    `json:"owners"`
+	Sharers   []uint64   `json:"sharers"`
+	Used      []uint64   `json:"used"`
+	Occupancy []uint64   `json:"occupancy"`
+	Stats     CacheStats `json:"stats"`
+}
+
+// CacheStats mirrors cache.Stats.
+type CacheStats struct {
+	Accesses    uint64 `json:"accesses"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	DirtyEvicts uint64 `json:"dirty_evicts"`
+	Invals      uint64 `json:"invals"`
+	BulkWalks   uint64 `json:"bulk_walks"`
+}
+
+// Umon mirrors umon.Monitor: the sampled LRU shadow stacks plus the scaled
+// hit/miss counters (floats as bits).
+type Umon struct {
+	Stacks           [][]uint64 `json:"stacks"`
+	HitsBits         []uint64   `json:"hits_bits"`
+	MissesBits       uint64     `json:"misses_bits"`
+	AccessesBits     uint64     `json:"accesses_bits"`
+	LastHitsBits     []uint64   `json:"last_hits_bits"`
+	LastMissesBits   uint64     `json:"last_misses_bits"`
+	LastAccessesBits uint64     `json:"last_accesses_bits"`
+}
+
+// Gen is a trace generator's cursor state, mirroring the generator tree
+// shape: a type tag, a flat word vector (RNG state, positions, counters —
+// layout is per-Kind), and child cursors in tree order.
+type Gen struct {
+	Kind  string   `json:"kind"`
+	Words []uint64 `json:"words,omitempty"`
+	Kids  []Gen    `json:"kids,omitempty"`
+}
+
+// Policy is the partitioning policy's state. Kind is the policy's Name();
+// exactly one of the payload pointers is set for stateful policies, none for
+// the stateless S-NUCA/private baselines.
+type Policy struct {
+	Kind  string       `json:"kind"`
+	Delta *DeltaPolicy `json:"delta,omitempty"`
+	Ideal *IdealPolicy `json:"ideal,omitempty"`
+}
+
+// DeltaPolicy mirrors core.Delta's mutable state. alloc is derived from
+// WayOwner on restore; the legacy trace ring is observability and is not
+// captured.
+type DeltaPolicy struct {
+	WayOwner      [][]int16  `json:"way_owner"`
+	BankOrder     [][]int    `json:"bank_order"`
+	Tables        []CBT      `json:"tables"`
+	Curves        []Curve    `json:"curves"`
+	MlpBits       []uint64   `json:"mlp_bits"`
+	PainBits      []uint64   `json:"pain_bits"`
+	BankGainBits  [][]uint64 `json:"bank_gain_bits"`
+	Challenged    [][]int    `json:"challenged"` // sorted member lists
+	Pid           []int      `json:"pid"`
+	InterNext     []uint64   `json:"inter_next"` // ticker re-arm cycles
+	IntraNext     []uint64   `json:"intra_next"`
+	GrantedAt     [][]uint64 `json:"granted_at"`
+	CooldownUntil [][]uint64 `json:"cooldown_until"`
+	GainDirty     []bool     `json:"gain_dirty"`
+	MaxTotal      int        `json:"max_total"`
+	Stats         DeltaStats `json:"stats"`
+}
+
+// DeltaStats mirrors core.Stats.
+type DeltaStats struct {
+	ChallengesSent   uint64 `json:"challenges_sent"`
+	ChallengesWon    uint64 `json:"challenges_won"`
+	ChallengesFailed uint64 `json:"challenges_failed"`
+	GainUpdates      uint64 `json:"gain_updates"`
+	IntraMoves       uint64 `json:"intra_moves"`
+	Expansions       uint64 `json:"expansions"`
+	Retreats         uint64 `json:"retreats"`
+	IdleGrants       uint64 `json:"idle_grants"`
+	InvalLines       uint64 `json:"inval_lines"`
+}
+
+// Curve mirrors umon.Curve. Present distinguishes the pre-first-epoch nil
+// curve from an empty one.
+type Curve struct {
+	Present      bool     `json:"present"`
+	CumHitsBits  []uint64 `json:"cum_hits_bits,omitempty"`
+	Granularity  int      `json:"granularity,omitempty"`
+	MaxWays      int      `json:"max_ways,omitempty"`
+	AccessesBits uint64   `json:"accesses_bits,omitempty"`
+}
+
+// IdealPolicy mirrors central.Ideal's mutable state. masks are derived from
+// Assign on restore.
+type IdealPolicy struct {
+	TickNext       uint64     `json:"tick_next"`
+	Alloc          []int      `json:"alloc"`
+	Assign         [][]int    `json:"assign"`
+	Tables         []CBT      `json:"tables"`
+	HasSmooth      bool       `json:"has_smooth"`
+	SmoothBits     [][]uint64 `json:"smooth_bits,omitempty"` // nil rows allowed
+	HistorySumBits []uint64   `json:"history_sum_bits"`
+	HistoryCount   []uint64   `json:"history_count"`
+	Stats          IdealStats `json:"stats"`
+}
+
+// IdealStats mirrors central.IdealStats.
+type IdealStats struct {
+	Epochs      uint64 `json:"epochs"`
+	Reallocs    uint64 `json:"reallocs"`
+	InvalLines  uint64 `json:"inval_lines"`
+	CollectMsgs uint64 `json:"collect_msgs"`
+}
+
+// CBT is a cluster bank table in range form; the dense bucket array is
+// rebuilt (and re-validated) on restore.
+type CBT struct {
+	Ranges []CBTRange `json:"ranges"`
+}
+
+// CBTRange mirrors cbt.Range.
+type CBTRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Bank  int `json:"bank"`
+}
+
+// NoC mirrors noc.Mesh's mutable state.
+type NoC struct {
+	Stats NoCStats `json:"stats"`
+	// Links, present only when per-link accounting is enabled, is sorted by
+	// (A, B).
+	Links []Link `json:"links,omitempty"`
+}
+
+// NoCStats mirrors noc.Stats.
+type NoCStats struct {
+	Messages [3]uint64 `json:"messages"`
+	Hops     [3]uint64 `json:"hops"`
+}
+
+// Link is one directed mesh link's traversal count.
+type Link struct {
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	Count uint64 `json:"count"`
+}
+
+// Mem mirrors mem.System: per-controller channel horizons and stats.
+type Mem struct {
+	Busy  []uint64   `json:"busy"`
+	Stats []MemStats `json:"stats"`
+}
+
+// MemStats mirrors mem.Stats.
+type MemStats struct {
+	Requests   uint64 `json:"requests"`
+	QueueDelay uint64 `json:"queue_delay"`
+}
+
+// Classifier mirrors coherence.Classifier, with the page map serialized
+// sorted by page number for determinism.
+type Classifier struct {
+	Pages []Page          `json:"pages"`
+	Stats ClassifierStats `json:"stats"`
+}
+
+// Page is one classified page.
+type Page struct {
+	Page   uint64 `json:"page"`
+	Owner  int32  `json:"owner"`
+	Shared bool   `json:"shared,omitempty"`
+}
+
+// ClassifierStats mirrors coherence.Stats.
+type ClassifierStats struct {
+	PagesSeen         uint64 `json:"pages_seen"`
+	SharedPages       uint64 `json:"shared_pages"`
+	Reclassifications uint64 `json:"reclassifications"`
+}
+
+// Sampler is the telemetry sampling window's cursor, captured so restored
+// runs emit the same sample boundaries.
+type Sampler struct {
+	Quanta int      `json:"quanta"`
+	Cycle  uint64   `json:"cycle"`
+	NoC    NoCStats `json:"noc"`
+	Mem    MemStats `json:"mem"`
+}
+
+// Encode serializes an envelope, stamping the current schema version.
+func Encode(env *Envelope) ([]byte, error) {
+	env.SchemaVersion = Version
+	return json.Marshal(env)
+}
+
+// Decode parses an envelope, rejecting any schema version other than the
+// current one with a *VersionError.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if env.SchemaVersion != Version {
+		return nil, &VersionError{Got: env.SchemaVersion, Want: Version}
+	}
+	if env.Chip == nil {
+		return nil, errors.New("snapshot: envelope has no chip state")
+	}
+	return &env, nil
+}

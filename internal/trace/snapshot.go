@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"fmt"
+
+	"delta/internal/sim"
+	"delta/internal/snapshot"
+)
+
+// Snapshotter is implemented by generators whose cursor state can be
+// captured and restored. Restores always run against a generator tree
+// rebuilt from the same workload spec and seed, so implementations only
+// carry *mutable* cursor state (RNG positions, stream offsets, phase
+// counters) — the immutable shape (bases, sizes, weights) is re-derived.
+//
+// StackDistGen deliberately does not implement this: it is a validation-only
+// tool whose Fenwick-tree + map state is not worth a wire format. Custom
+// user generators that do not implement Snapshotter make SnapshotGen fail
+// with snapshot.ErrNotSnapshotable.
+type Snapshotter interface {
+	SnapshotState() (snapshot.Gen, error)
+	RestoreState(snapshot.Gen) error
+}
+
+// SnapshotGen captures g's cursor state, failing with a
+// snapshot.ErrNotSnapshotable-wrapped error when g (or any child) cannot be
+// serialized.
+func SnapshotGen(g Generator) (*snapshot.Gen, error) {
+	ss, ok := g.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("trace: generator %T: %w", g, snapshot.ErrNotSnapshotable)
+	}
+	s, err := ss.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// RestoreGen restores g's cursor state from a snapshot taken on an
+// identically shaped generator tree.
+func RestoreGen(g Generator, s snapshot.Gen) error {
+	ss, ok := g.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("trace: generator %T: %w", g, snapshot.ErrNotSnapshotable)
+	}
+	return ss.RestoreState(s)
+}
+
+func checkGen(s snapshot.Gen, kind string, words, kids int) error {
+	if s.Kind != kind {
+		return fmt.Errorf("trace: restoring %q state into a %q generator", s.Kind, kind)
+	}
+	if len(s.Words) != words {
+		return fmt.Errorf("trace: %s state has %d words, want %d", kind, len(s.Words), words)
+	}
+	if len(s.Kids) != kids {
+		return fmt.Errorf("trace: %s state has %d children, want %d", kind, len(s.Kids), kids)
+	}
+	return nil
+}
+
+func rngWords(r *sim.Rng) []uint64 {
+	s := r.State()
+	return []uint64{s[0], s[1], s[2], s[3]}
+}
+
+func setRngWords(r *sim.Rng, w []uint64) {
+	r.SetState([4]uint64{w[0], w[1], w[2], w[3]})
+}
+
+// SnapshotState implements Snapshotter.
+func (g *RegionGen) SnapshotState() (snapshot.Gen, error) {
+	return snapshot.Gen{Kind: "region", Words: rngWords(g.rng)}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *RegionGen) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "region", 4, 0); err != nil {
+		return err
+	}
+	setRngWords(g.rng, s.Words)
+	return nil
+}
+
+// SnapshotState implements Snapshotter.
+func (g *StreamGen) SnapshotState() (snapshot.Gen, error) {
+	return snapshot.Gen{Kind: "stream", Words: []uint64{g.pos}}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *StreamGen) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "stream", 1, 0); err != nil {
+		return err
+	}
+	g.pos = s.Words[0]
+	return nil
+}
+
+// SnapshotState implements Snapshotter.
+func (g *MixtureGen) SnapshotState() (snapshot.Gen, error) {
+	out := snapshot.Gen{Kind: "mixture", Words: rngWords(g.rng), Kids: make([]snapshot.Gen, len(g.comps))}
+	for i, c := range g.comps {
+		kid, err := SnapshotGen(c.Gen)
+		if err != nil {
+			return snapshot.Gen{}, err
+		}
+		out.Kids[i] = *kid
+	}
+	return out, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *MixtureGen) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "mixture", 4, len(g.comps)); err != nil {
+		return err
+	}
+	setRngWords(g.rng, s.Words)
+	for i, c := range g.comps {
+		if err := RestoreGen(c.Gen, s.Kids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotState implements Snapshotter.
+func (g *Shaper) SnapshotState() (snapshot.Gen, error) {
+	inner, err := SnapshotGen(g.inner)
+	if err != nil {
+		return snapshot.Gen{}, err
+	}
+	words := append(rngWords(g.rng), uint64(g.left))
+	return snapshot.Gen{Kind: "shaper", Words: words, Kids: []snapshot.Gen{*inner}}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *Shaper) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "shaper", 5, 1); err != nil {
+		return err
+	}
+	setRngWords(g.rng, s.Words[:4])
+	g.left = int(s.Words[4])
+	return RestoreGen(g.inner, s.Kids[0])
+}
+
+// SnapshotState implements Snapshotter.
+func (g *PhasedGen) SnapshotState() (snapshot.Gen, error) {
+	out := snapshot.Gen{
+		Kind:  "phased",
+		Words: []uint64{uint64(g.idx), g.done, g.Cycles},
+		Kids:  make([]snapshot.Gen, len(g.phases)),
+	}
+	for i, p := range g.phases {
+		kid, err := SnapshotGen(p.Gen)
+		if err != nil {
+			return snapshot.Gen{}, err
+		}
+		out.Kids[i] = *kid
+	}
+	return out, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *PhasedGen) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "phased", 3, len(g.phases)); err != nil {
+		return err
+	}
+	if int(s.Words[0]) >= len(g.phases) {
+		return fmt.Errorf("trace: phased state index %d out of range", s.Words[0])
+	}
+	g.idx = int(s.Words[0])
+	g.done = s.Words[1]
+	g.Cycles = s.Words[2]
+	for i, p := range g.phases {
+		if err := RestoreGen(p.Gen, s.Kids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotState implements Snapshotter.
+func (IdleGen) SnapshotState() (snapshot.Gen, error) {
+	return snapshot.Gen{Kind: "idle"}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (IdleGen) RestoreState(s snapshot.Gen) error {
+	return checkGen(s, "idle", 0, 0)
+}
+
+// SnapshotState implements Snapshotter. Only the thread's RNG cursor is
+// mutable; the shared-app structure is rebuilt from the spec on restore.
+func (g *sharedThreadGen) SnapshotState() (snapshot.Gen, error) {
+	return snapshot.Gen{Kind: "shared-thread", Words: rngWords(g.rng)}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (g *sharedThreadGen) RestoreState(s snapshot.Gen) error {
+	if err := checkGen(s, "shared-thread", 4, 0); err != nil {
+		return err
+	}
+	setRngWords(g.rng, s.Words)
+	return nil
+}

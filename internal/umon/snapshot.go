@@ -1,0 +1,64 @@
+package umon
+
+import (
+	"fmt"
+	"math"
+
+	"delta/internal/snapshot"
+)
+
+// Snapshot captures the shadow-tag LRU stacks and the scaled hit/miss
+// counters. Floats are stored as IEEE-754 bits for exact round-tripping.
+func (m *Monitor) Snapshot() snapshot.Umon {
+	s := snapshot.Umon{
+		Stacks:           make([][]uint64, len(m.stacks)),
+		HitsBits:         floatsToBits(m.hits),
+		MissesBits:       math.Float64bits(m.misses),
+		AccessesBits:     math.Float64bits(m.accesses),
+		LastHitsBits:     floatsToBits(m.lastHits),
+		LastMissesBits:   math.Float64bits(m.lastMisses),
+		LastAccessesBits: math.Float64bits(m.lastAccesses),
+	}
+	for i, st := range m.stacks {
+		s.Stacks[i] = append([]uint64{}, st...)
+	}
+	return s
+}
+
+// Restore overwrites the monitor's mutable state from a snapshot taken on a
+// monitor with the same configuration.
+func (m *Monitor) Restore(s snapshot.Umon) error {
+	if len(s.Stacks) != len(m.stacks) {
+		return fmt.Errorf("umon: snapshot has %d sampled sets, monitor has %d", len(s.Stacks), len(m.stacks))
+	}
+	if len(s.HitsBits) != m.buckets || len(s.LastHitsBits) != m.buckets {
+		return fmt.Errorf("umon: snapshot has %d hit buckets, monitor has %d", len(s.HitsBits), m.buckets)
+	}
+	for i, st := range s.Stacks {
+		if len(st) > m.cfg.MaxWays {
+			return fmt.Errorf("umon: snapshot stack %d deeper than MaxWays %d", i, m.cfg.MaxWays)
+		}
+		m.stacks[i] = append(m.stacks[i][:0], st...)
+	}
+	bitsToFloats(m.hits, s.HitsBits)
+	bitsToFloats(m.lastHits, s.LastHitsBits)
+	m.misses = math.Float64frombits(s.MissesBits)
+	m.accesses = math.Float64frombits(s.AccessesBits)
+	m.lastMisses = math.Float64frombits(s.LastMissesBits)
+	m.lastAccesses = math.Float64frombits(s.LastAccessesBits)
+	return nil
+}
+
+func floatsToBits(fs []float64) []uint64 {
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+func bitsToFloats(dst []float64, bits []uint64) {
+	for i, b := range bits {
+		dst[i] = math.Float64frombits(b)
+	}
+}

@@ -1,0 +1,100 @@
+package delta
+
+import (
+	"delta/internal/central"
+	"delta/internal/core"
+)
+
+// Option configures a Simulator built by New. Options apply in order over a
+// zero Config, so later options win and New() alone yields the canonical
+// 16-core DELTA experiment.
+type Option func(*Config)
+
+// New builds a simulator from functional options:
+//
+//	sim, err := delta.New(delta.WithCores(16), delta.WithPolicy(delta.PolicyDelta))
+//
+// It returns an error (never panics) on invalid configuration, making it the
+// constructor for both programmatic use and untrusted input such as the
+// serving layer.
+func New(opts ...Option) (*Simulator, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newSimulator(cfg)
+}
+
+// WithConfig replaces the whole configuration; options after it adjust
+// individual fields.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithPolicy selects the partitioning scheme.
+func WithPolicy(p PolicyKind) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithCores sets the tile count (must be a square power of two).
+func WithCores(n int) Option {
+	return func(c *Config) { c.Cores = n }
+}
+
+// WithTimeCompression divides the paper's reconfiguration intervals
+// (DESIGN.md §3).
+func WithTimeCompression(tc uint64) Option {
+	return func(c *Config) { c.TimeCompression = tc }
+}
+
+// WithWarmup sets the per-core fast-forward window, in instructions.
+func WithWarmup(instructions uint64) Option {
+	return func(c *Config) { c.WarmupInstructions = instructions }
+}
+
+// WithBudget sets the per-core measured window, in instructions.
+func WithBudget(instructions uint64) Option {
+	return func(c *Config) { c.BudgetInstructions = instructions }
+}
+
+// WithMultithreaded enables R-NUCA-style shared-page handling.
+func WithMultithreaded(on bool) Option {
+	return func(c *Config) { c.Multithreaded = on }
+}
+
+// WithSeed sets the workload randomness seed.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithRecorder attaches a telemetry recorder.
+func WithRecorder(r Recorder) Option {
+	return func(c *Config) { c.Recorder = r }
+}
+
+// WithSampleEvery sets the telemetry sampling period, in quanta.
+func WithSampleEvery(quanta int) Option {
+	return func(c *Config) { c.SampleEvery = quanta }
+}
+
+// WithCheck enables the runtime invariant harness.
+func WithCheck(on bool) Option {
+	return func(c *Config) { c.Check = on }
+}
+
+// WithSnapshotEvery auto-checkpoints every n quantum boundaries during
+// Run/RunCtx; the latest checkpoint is available through LastSnapshot.
+func WithSnapshotEvery(n int) Option {
+	return func(c *Config) { c.SnapshotEvery = n }
+}
+
+// WithDeltaParams overrides DELTA's knobs (PolicyDelta only).
+func WithDeltaParams(p core.Params) Option {
+	return func(c *Config) { c.DeltaParams = &p }
+}
+
+// WithIdealConfig overrides the centralized policy's knobs (PolicyIdeal
+// only).
+func WithIdealConfig(ic central.IdealConfig) Option {
+	return func(c *Config) { c.IdealConfig = &ic }
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Enforce that first-party code under internal/ and cmd/ does not use the
+# deprecated surface kept only for external compatibility:
+#
+#   - delta.NewSimulator / delta.NewSimulatorE  (use delta.New + options)
+#   - api.Status and the StatusQueued/... constant aliases (use api.JobState
+#     and the StateQueued/... constants)
+#
+# The defining files (delta.go, internal/server/api/api.go) are exempt, as
+# are the root-package tests and examples/ which deliberately exercise the
+# compatibility wrappers. Also runs staticcheck when it is installed;
+# absence is not a failure so the script works in minimal containers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAIL=0
+
+check() { # pattern description
+  local hits
+  hits=$(grep -rn --include='*.go' -E "$1" internal/ cmd/ \
+    | grep -v '^internal/server/api/api\.go:' || true)
+  if [ -n "${hits}" ]; then
+    echo "deprecated API in first-party code ($2):"
+    echo "${hits}"
+    FAIL=1
+  fi
+}
+
+check '\bNewSimulatorE?\(' 'use delta.New with options'
+check '\bapi\.Status\b|\bStatusQueued\b|\bStatusRunning\b|\bStatusDone\b|\bStatusFailed\b|\bStatusCanceled\b' \
+  'use api.JobState / api.StateX'
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  # SA1019 flags uses of deprecated identifiers; the full default suite runs
+  # too so new code keeps to the same bar.
+  staticcheck ./internal/... ./cmd/... || FAIL=1
+else
+  echo "staticcheck not installed; skipping (grep checks above still apply)"
+fi
+
+[ "${FAIL}" -eq 0 ] || exit 1
+echo "deprecation check: OK"

@@ -87,4 +87,120 @@ wait "${SRV_PID}" || EXIT_CODE=$?
 grep -q "drained" "${LOG}"
 SRV_PID=""
 
+# --- checkpoint/restore lane -------------------------------------------------
+# Submit a longer job against a checkpoint-enabled server, suspend it
+# mid-run, kill the server, restart it over the same checkpoint directory,
+# resubmit to resume, and require the resumed result to be byte-equal to an
+# uninterrupted reference run (after stripping wall-clock fields).
+
+CKPT_DIR="$(mktemp -d)"
+LOG2="$(mktemp)"
+cleanup2() {
+  [ -n "${SRV_PID:-}" ] && kill -9 "${SRV_PID}" 2>/dev/null || true
+  rm -f "${LOG}" "${LOG2}"
+  rm -rf "${CKPT_DIR}"
+}
+trap cleanup2 EXIT
+
+# Medium-sized job: long enough to still be running when we suspend it.
+CKPT_REQ='{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":10000,"budget_instructions":1000000}'
+
+strip_elapsed() {
+  # elapsed_ms is wall-clock, the only legitimately nondeterministic field.
+  sed 's/"elapsed_ms":[0-9]*/"elapsed_ms":0/'
+}
+
+start_server() {
+  "${BIN}" -addr "${ADDR}" -workers 2 -queue-depth 8 -job-timeout 120s \
+    -checkpoint-dir "${CKPT_DIR}" >"$1" 2>&1 &
+  SRV_PID=$!
+  for i in $(seq 1 50); do
+    if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "${SRV_PID}" 2>/dev/null; then
+      echo "server died during startup:"; cat "$1"; return 1
+    fi
+    sleep 0.2
+  done
+  echo "server never became healthy"; return 1
+}
+
+echo "== checkpoint lane: reference run"
+start_server "${LOG2}"
+REF_SUBMIT=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${CKPT_REQ}")
+REF_ID=$(echo "${REF_SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "${REF_ID}" ] || { echo "no job id: ${REF_SUBMIT}"; exit 1; }
+for i in $(seq 1 300); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${REF_ID}")
+  case "${JOB}" in *'"status":"done"'*) break ;; esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "reference never finished: ${JOB}"; exit 1; }
+REF_RESULT=$(echo "${JOB}" | strip_elapsed)
+kill -TERM "${SRV_PID}"; wait "${SRV_PID}" || true; SRV_PID=""
+rm -f "${CKPT_DIR}"/*.ckpt.json 2>/dev/null || true
+
+echo "== checkpoint lane: submit, suspend mid-run"
+start_server "${LOG2}"
+SUBMIT=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${CKPT_REQ}")
+ID=$(echo "${SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ "${ID}" = "${REF_ID}" ] || { echo "content address changed: ${ID} vs ${REF_ID}"; exit 1; }
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${ID}")
+  case "${JOB}" in *'"status":"running"'*) break ;; esac
+  sleep 0.1
+done
+echo "${JOB}" | grep -q '"status":"running"' || { echo "job never started: ${JOB}"; exit 1; }
+curl -sf -X POST "http://${ADDR}/v1/simulations/${ID}:suspend" >/dev/null
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${ID}")
+  case "${JOB}" in *'"status":"suspended"'*) break ;; esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"suspended"' || { echo "job never suspended: ${JOB}"; exit 1; }
+[ -f "${CKPT_DIR}/${ID}.ckpt.json" ] || { echo "no checkpoint file on disk"; exit 1; }
+
+echo "== checkpoint lane: kill server, restart over the same directory"
+kill -TERM "${SRV_PID}"
+for i in $(seq 1 100); do
+  if ! kill -0 "${SRV_PID}" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+wait "${SRV_PID}" || true
+SRV_PID=""
+start_server "${LOG2}"
+
+echo "== checkpoint lane: resubmit resumes from the checkpoint"
+RESUME=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${CKPT_REQ}")
+echo "${RESUME}"
+echo "${RESUME}" | grep -q '"resumed":true' || { echo "resubmission did not resume"; exit 1; }
+for i in $(seq 1 300); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${ID}")
+  case "${JOB}" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'*|*'"status":"canceled"'*) echo "resumed job ended badly: ${JOB}"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "resumed job never finished: ${JOB}"; exit 1; }
+if echo "${JOB}" | grep -q '"partial":true'; then
+  echo "resumed result is partial: ${JOB}"; exit 1
+fi
+
+echo "== checkpoint lane: resumed result is byte-equal to the reference"
+RESUMED_RESULT=$(echo "${JOB}" | strip_elapsed)
+if [ "${RESUMED_RESULT}" != "${REF_RESULT}" ]; then
+  echo "resumed result diverged from reference:"
+  echo "  ref:     ${REF_RESULT}"
+  echo "  resumed: ${RESUMED_RESULT}"
+  exit 1
+fi
+if [ -f "${CKPT_DIR}/${ID}.ckpt.json" ]; then
+  echo "checkpoint not cleaned up"; exit 1
+fi
+
+kill -TERM "${SRV_PID}"; wait "${SRV_PID}" || true; SRV_PID=""
+
 echo "service smoke: OK"

@@ -1,0 +1,190 @@
+package delta
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"delta/internal/central"
+	"delta/internal/core"
+	"delta/internal/snapshot"
+)
+
+// SnapshotSchemaVersion is the snapshot wire-format version this build reads
+// and writes. Decoding any other version fails with ErrSnapshotVersion.
+const SnapshotSchemaVersion = snapshot.Version
+
+// ErrSnapshotVersion is returned (wrapped) by DecodeSnapshot when the data
+// was written under a different schema version.
+var ErrSnapshotVersion = snapshot.ErrSnapshotVersion
+
+// ErrNotSnapshotable is returned (wrapped) by Simulator.Snapshot when the
+// simulator state cannot be captured: a custom Generator workload, or a
+// generator type without cursor serialization (trace.StackDistGen).
+var ErrNotSnapshotable = snapshot.ErrNotSnapshotable
+
+// Snapshot is a deterministic, versioned capture of a Simulator at a quantum
+// boundary. Restore rebuilds a simulator that continues bit-identically:
+// run-to-completion equals run→Snapshot→Restore→run.
+type Snapshot struct {
+	env *snapshot.Envelope
+}
+
+// Encode serializes the snapshot. Encoding is deterministic: the same state
+// always yields the same bytes.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	return snapshot.Encode(sn.env)
+}
+
+// DecodeSnapshot parses bytes produced by Encode, rejecting other schema
+// versions with an error wrapping ErrSnapshotVersion.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	env, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if env.Kind != snapshotKind {
+		return nil, fmt.Errorf("delta: snapshot kind %q, want %q", env.Kind, snapshotKind)
+	}
+	if len(env.Config) == 0 {
+		return nil, errors.New("delta: snapshot has no configuration")
+	}
+	return &Snapshot{env: env}, nil
+}
+
+const snapshotKind = "delta.simulator"
+
+// Snapshot captures the simulator's complete state. It is valid before the
+// run, after Run/RunCtx returns (including cancellation, which stops at a
+// quantum boundary), and from a checkpoint hook; it must not race a
+// concurrently executing RunCtx. It fails, wrapping ErrNotSnapshotable, when
+// a workload was loaded from a custom Generator — restore needs named specs
+// to rebuild the generator tree.
+func (s *Simulator) Snapshot() (*Snapshot, error) {
+	if s.hasCustom {
+		return nil, fmt.Errorf("delta: custom Generator workloads: %w", ErrNotSnapshotable)
+	}
+	if s.loaded == 0 {
+		return nil, errors.New("delta: no workloads assigned")
+	}
+	cfgJSON, err := s.cfg.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	chipSnap, err := s.chip.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	w := &snapshot.Workloads{Mix: s.mixName}
+	for _, a := range s.appByCore {
+		w.Apps = append(w.Apps, a)
+	}
+	sort.Slice(w.Apps, func(i, j int) bool { return w.Apps[i].Core < w.Apps[j].Core })
+	return &Snapshot{env: &snapshot.Envelope{
+		Kind:      snapshotKind,
+		Config:    cfgJSON,
+		Workloads: w,
+		Chip:      chipSnap,
+	}}, nil
+}
+
+// LastSnapshot returns the most recent auto-checkpoint (SnapshotEvery > 0,
+// or the stop-point checkpoint of a canceled run), or nil if none was taken.
+// Safe to call from other goroutines.
+func (s *Simulator) LastSnapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSnap
+}
+
+// storeCheckpoint captures the current state into lastSnap; failures
+// (e.g. custom generators) leave the previous checkpoint in place.
+func (s *Simulator) storeCheckpoint() {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.lastSnap = snap
+	s.mu.Unlock()
+}
+
+// Fingerprint returns a deterministic digest string of the full simulator
+// state (per-core results, per-bank reports, chip/NoC/memory counters) used
+// by the equivalence tests and the checkpoint smoke lane.
+func (s *Simulator) Fingerprint() string { return s.chip.Fingerprint() }
+
+// Restore rebuilds a simulator from a snapshot: the recorded configuration
+// and workload specs reconstruct the chip, then every cursor, counter, cache
+// line and in-flight control message is overwritten from the captured state.
+// The restored simulator continues bit-identically to the original.
+//
+// opts apply on top of the recorded configuration and are meant for the
+// observability knobs (WithRecorder, WithCheck, WithSnapshotEvery, ...);
+// overriding result-affecting fields breaks the equivalence guarantee and
+// usually fails geometry validation.
+func Restore(sn *Snapshot, opts ...Option) (*Simulator, error) {
+	if sn == nil || sn.env == nil || sn.env.Chip == nil {
+		return nil, errors.New("delta: nil snapshot")
+	}
+	cfg, err := configFromCanonicalJSON(sn.env.Config)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := newSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sn.env.Workloads != nil {
+		if sn.env.Workloads.Mix != "" {
+			if err := s.LoadMixE(sn.env.Workloads.Mix); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range sn.env.Workloads.Apps {
+			if err := s.SetWorkloadE(a.Core, Workload{App: a.App, SharedAddressSpace: a.Shared}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.loaded == 0 {
+		return nil, errors.New("delta: snapshot records no workloads")
+	}
+	if err := s.chip.Restore(sn.env.Chip); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// configFromCanonicalJSON inverts Config.CanonicalJSON.
+func configFromCanonicalJSON(data []byte) (Config, error) {
+	var cc struct {
+		Cores           int
+		Policy          PolicyKind
+		TimeCompression uint64
+		Warmup          uint64
+		Budget          uint64
+		Multithreaded   bool
+		Seed            uint64
+		DeltaParams     *core.Params
+		IdealConfig     *central.IdealConfig
+	}
+	if err := json.Unmarshal(data, &cc); err != nil {
+		return Config{}, fmt.Errorf("delta: snapshot config: %w", err)
+	}
+	return Config{
+		Cores:              cc.Cores,
+		Policy:             cc.Policy,
+		TimeCompression:    cc.TimeCompression,
+		WarmupInstructions: cc.Warmup,
+		BudgetInstructions: cc.Budget,
+		Multithreaded:      cc.Multithreaded,
+		Seed:               cc.Seed,
+		DeltaParams:        cc.DeltaParams,
+		IdealConfig:        cc.IdealConfig,
+	}, nil
+}

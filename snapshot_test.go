@@ -1,0 +1,341 @@
+package delta
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"delta/internal/server/api"
+	"delta/internal/trace"
+)
+
+// runToBoundary runs sim until the k-th quantum boundary, then cancels; the
+// chip rests at an exact boundary when RunCtx returns.
+func runToBoundary(t *testing.T, sim *Simulator, k int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	sim.chip.SetCheckpoint(1, func(uint64) {
+		n++
+		if n == k {
+			cancel()
+		}
+	})
+	if _, err := sim.RunCtx(ctx); err == nil {
+		t.Fatalf("run finished before boundary %d; shrink the budget", k)
+	}
+}
+
+func newTestSim(t *testing.T, pol PolicyKind, opts ...Option) *Simulator {
+	t.Helper()
+	// Sized so the full matrix (4 policies × 2 boundaries, each a reference
+	// run plus a restored run) stays tractable under -race on a 1-CPU host;
+	// a 1000-cycle quantum still gives well over 4 boundaries per run.
+	sim, err := New(append([]Option{
+		WithCores(16), WithPolicy(pol), WithWarmup(1000), WithBudget(16000), WithSeed(7),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSnapshotRestoreEquivalence is the correctness bar of the snapshot
+// subsystem: for every policy, run-to-completion must produce bit-identical
+// state to run→snapshot→restore→run, at more than one interruption point.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for _, pol := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			t.Parallel()
+			ref := newTestSim(t, pol)
+			ref.LoadMix("w1")
+			if _, err := ref.RunCtx(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Fingerprint()
+			wantRes, _ := json.Marshal(ref.chip.Results())
+
+			for _, k := range []int{1, 4} {
+				a := newTestSim(t, pol)
+				a.LoadMix("w1")
+				runToBoundary(t, a, k)
+				snap, err := a.Snapshot()
+				if err != nil {
+					t.Fatalf("boundary %d: snapshot: %v", k, err)
+				}
+				data, err := snap.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := DecodeSnapshot(data)
+				if err != nil {
+					t.Fatalf("boundary %d: decode: %v", k, err)
+				}
+				b, err := Restore(decoded, WithCheck(true))
+				if err != nil {
+					t.Fatalf("boundary %d: restore: %v", k, err)
+				}
+				if _, err := b.RunCtx(context.Background()); err != nil {
+					t.Fatalf("boundary %d: resumed run: %v", k, err)
+				}
+				if got := b.Fingerprint(); got != want {
+					t.Errorf("boundary %d: fingerprint diverged\n got %s\nwant %s", k, got, want)
+				}
+				gotRes, _ := json.Marshal(b.chip.Results())
+				if !bytes.Equal(gotRes, wantRes) {
+					t.Errorf("boundary %d: results diverged\n got %s\nwant %s", k, gotRes, wantRes)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotEncodeDeterministic: the same state must always serialize to
+// the same bytes (the service compares cached results and checkpoints
+// byte-for-byte).
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	sim := newTestSim(t, PolicyDelta)
+	sim.LoadMix("w2")
+	runToBoundary(t, sim, 2)
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two Encode calls of one snapshot differ")
+	}
+	// And a decode→re-encode round trip is stable too.
+	decoded, err := DecodeSnapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("decode→encode round trip changed the bytes")
+	}
+}
+
+// TestSnapshotVersionSkew: snapshots from another schema version are rejected
+// with the typed sentinel.
+func TestSnapshotVersionSkew(t *testing.T) {
+	sim := newTestSim(t, PolicySnuca)
+	sim.SetWorkload(0, Workload{App: "mcf"})
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := bytes.Replace(data, []byte(`"schema_version":1`), []byte(`"schema_version":99`), 1)
+	if bytes.Equal(skewed, data) {
+		t.Fatal("version field not found in encoding")
+	}
+	if _, err := DecodeSnapshot(skewed); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("skewed decode error = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// TestSnapshotEveryAutoCheckpoint: WithSnapshotEvery publishes checkpoints
+// through LastSnapshot, and a canceled run's final auto-checkpoint resumes to
+// the reference result.
+func TestSnapshotEveryAutoCheckpoint(t *testing.T) {
+	ref := newTestSim(t, PolicyDelta)
+	ref.LoadMix("w1")
+	if _, err := ref.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fingerprint()
+
+	sim := newTestSim(t, PolicyDelta, WithSnapshotEvery(2))
+	sim.LoadMix("w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunCtx(ctx); err == nil {
+		t.Fatal("pre-canceled run reported success")
+	}
+	snap := sim.LastSnapshot()
+	if snap == nil {
+		t.Fatal("no auto-checkpoint after canceled run")
+	}
+	resumed, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Fingerprint(); got != want {
+		t.Fatalf("resumed fingerprint diverged\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSnapshotCustomGenerator: workloads built from caller-supplied
+// generators cannot be rebuilt by Restore and must be refused up front.
+func TestSnapshotCustomGenerator(t *testing.T) {
+	sim := newTestSim(t, PolicySnuca)
+	sim.SetWorkload(0, Workload{Generator: trace.NewStreamGen(0, 4096)})
+	if _, err := sim.Snapshot(); !errors.Is(err, ErrNotSnapshotable) {
+		t.Fatalf("custom-generator snapshot error = %v, want ErrNotSnapshotable", err)
+	}
+}
+
+// TestRestoreRejectsMismatches covers the structured failure paths.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	if _, err := Restore(nil); err == nil {
+		t.Fatal("Restore(nil) succeeded")
+	}
+	sim := newTestSim(t, PolicySnuca)
+	sim.SetWorkload(0, Workload{App: "mcf"})
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overriding a result-affecting knob changes the chip the snapshot no
+	// longer fits.
+	if _, err := Restore(snap, WithPolicy(PolicyDelta)); err == nil {
+		t.Fatal("policy-mismatched restore succeeded")
+	}
+	if _, err := Restore(snap, WithCores(64)); err == nil {
+		t.Fatal("geometry-mismatched restore succeeded")
+	}
+}
+
+// TestResultJSONRoundTrip: the wire Result must round-trip byte-equal, with
+// no NaN leaking from idle cores (satellite: stable cached-result compare).
+func TestResultJSONRoundTrip(t *testing.T) {
+	sim := newTestSim(t, PolicySnuca)
+	// One busy core, the rest idle: idle cores retire no instructions and
+	// historically produced NaN geomeans.
+	sim.SetWorkload(0, Workload{App: "mcf"})
+	res, err := sim.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.GeoMeanIPC(); g != res.GeoMeanIPC() { // NaN check
+		t.Fatal("GeoMeanIPC is NaN")
+	}
+	wire := api.Result{GeomeanIPC: res.GeoMeanIPC(), InvalidatedLines: res.InvalidatedLines}
+	for _, c := range res.Cores {
+		wire.Cores = append(wire.Cores, api.CoreResult{
+			Core: c.Core, Instructions: c.Instructions, Cycles: c.Cycles,
+			IPC: c.IPC, MPKI: c.MPKI, MemMPKI: c.MemMPKI,
+			LocalHitFrac: c.LocalHitFrac, MLP: c.MLP,
+		})
+	}
+	a, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back api.Result
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Result JSON round trip not byte-stable\n a %s\n b %s", a, b)
+	}
+}
+
+// TestDeprecatedConstructorsMatchNew: the legacy constructors are thin
+// wrappers and must build identical simulators.
+func TestDeprecatedConstructorsMatchNew(t *testing.T) {
+	run := func(sim *Simulator) string {
+		sim.LoadMix("w1")
+		if _, err := sim.RunCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Fingerprint()
+	}
+	cfg := Config{Cores: 16, Policy: PolicyDelta, WarmupInstructions: 2000, BudgetInstructions: 40000, Seed: 3}
+	legacy, err := NewSimulatorE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := New(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := run(legacy), run(modern); a != b {
+		t.Fatalf("NewSimulatorE and New diverge:\n %s\n %s", a, b)
+	}
+}
+
+// FuzzSnapshotRestore drives the equivalence property from fuzzed inputs:
+// policy choice, interruption boundary, and seed.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(7))
+	f.Add(uint8(3), uint8(3), uint8(1))
+	f.Add(uint8(0), uint8(2), uint8(42))
+	f.Fuzz(func(t *testing.T, polByte, boundary, seed uint8) {
+		pols := []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal}
+		pol := pols[int(polByte)%len(pols)]
+		k := 1 + int(boundary)%4
+		build := func() *Simulator {
+			sim, err := New(WithCores(16), WithPolicy(pol), WithWarmup(1000),
+				WithBudget(20000), WithSeed(uint64(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.LoadMix("w3")
+			return sim
+		}
+		ref := build()
+		if _, err := ref.RunCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		a := build()
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		a.chip.SetCheckpoint(1, func(uint64) {
+			n++
+			if n == k {
+				cancel()
+			}
+		})
+		if _, err := a.RunCtx(ctx); err == nil {
+			return // budget crossed before the fuzzed boundary: nothing to resume
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Restore(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RunCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := b.Fingerprint(), ref.Fingerprint(); got != want {
+			t.Fatalf("policy %s boundary %d seed %d: fingerprint diverged\n got %s\nwant %s",
+				pol, k, seed, got, want)
+		}
+	})
+}
