@@ -8,12 +8,15 @@ package delta
 
 import (
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"delta/internal/central"
 	"delta/internal/chip"
 	"delta/internal/experiments"
 	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
 	"delta/internal/workloads"
 )
 
@@ -194,6 +197,43 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("nop", func(b *testing.B) { run(b, telemetry.Nop{}) })
+}
+
+// BenchmarkColumnarSinkOverhead compares the same Fig. 5-style DELTA run
+// through the no-op recorder against the columnar segment sink: the full
+// sampling path executes in both, but the columnar case also delta-encodes,
+// downsamples, checksums and writes every point. The ISSUE acceptance bound
+// is <3% over nop; bench_results.txt records the measurements.
+func BenchmarkColumnarSinkOverhead(b *testing.B) {
+	mix := workloads.MixByName("w2")
+	run := func(b *testing.B, mk func(i int) (telemetry.Recorder, func() error)) {
+		sc := benchScale()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec, done := mk(i)
+			sc.Recorder = rec
+			sc.RunMix("delta", mix, 16)
+			if err := done(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nop", func(b *testing.B) {
+		run(b, func(int) (telemetry.Recorder, func() error) {
+			return telemetry.Nop{}, func() error { return nil }
+		})
+	})
+	b.Run("columnar", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, func(i int) (telemetry.Recorder, func() error) {
+			w, err := columnar.NewWriter(columnar.Config{
+				Dir: filepath.Join(dir, strconv.Itoa(i)), Job: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return w, w.Close
+		})
+	})
 }
 
 // BenchmarkCampaign measures the parallel campaign engine: one fixed 8-job

@@ -10,6 +10,9 @@
 //	POST /v1/simulations/{id}:suspend checkpoint a job for later resumption
 //	GET  /v1/simulations/{id}         job status and result
 //	GET  /v1/simulations/{id}/events  JSONL progress stream
+//	GET  /v1/simulations/{id}/telemetry  NDJSON range query over the columnar
+//	                                  time series (from/to/res/tags); needs
+//	                                  -telemetry-dir, survives restarts
 //	GET  /healthz                     liveness + version
 //	GET  /readyz                      admission state (503 while draining)
 //	GET  /metrics                     Prometheus text exposition
@@ -47,6 +50,8 @@ func main() {
 	jsonl := flag.String("jsonl", "", "append every simulation's telemetry to this JSONL file (flushed on shutdown)")
 	checkpointDir := flag.String("checkpoint-dir", "", "persist suspended jobs' simulation snapshots here; enables :suspend, resume-on-resubmit, and checkpoint-instead-of-discard drains")
 	snapshotEvery := flag.Int("snapshot-every", 0, "auto-checkpoint each running simulation in memory every N quantum boundaries (0 = off)")
+	telemetryDir := flag.String("telemetry-dir", "", "stream each job's samples into columnar segments under this directory (one subdirectory per job) and serve range queries at /v1/simulations/{id}/telemetry")
+	telemetryRetain := flag.Int64("telemetry-retain-bytes", 0, "per-job cap on columnar segment bytes; oldest segments deleted first (0 = unlimited)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -76,6 +81,9 @@ func main() {
 		Version:       version.String(),
 		Sink:          sink,
 		Logf:          log.Printf,
+
+		TelemetryDir:         *telemetryDir,
+		TelemetryRetainBytes: *telemetryRetain,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -7,22 +7,42 @@
 //	delta-trace -mix w13 -events 40
 //	delta-trace -mix w2 -jsonl | jq 'select(.kind=="cede")'
 //	delta-trace -mix w2 -timeline
+//
+// The merge subcommand k-way merges the columnar segment directories of
+// several nodes (each a delta-served -telemetry-dir job directory) into one
+// stream ordered by (job, tag, quantum), as NDJSON or CSV:
+//
+//	delta-trace merge node-a/jobdir node-b/jobdir
+//	delta-trace merge -res 10 -from 1000000 -csv node-*/jobdir
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"delta/internal/chip"
 	"delta/internal/experiments"
 	"delta/internal/metrics"
 	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
 	"delta/internal/version"
 	"delta/internal/workloads"
 )
 
 func main() {
+	// Subcommands dispatch before flag parsing ("delta-trace merge <dirs>").
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		if err := runMerge(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-trace merge:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	mixName := flag.String("mix", "w2", "Table IV mix")
 	cores := flag.Int("cores", 16, "core count")
 	events := flag.Int("events", 20, "max reconfiguration events to print")
@@ -112,6 +132,77 @@ func main() {
 			ev.Cycle, ev.Kind, ev.Core, slots[ev.Core].Name, ev.Bank, ev.Ways)
 	}
 }
+
+// runMerge implements the merge subcommand: k-way merge the given segment
+// directories into one (job, tag, cycle, tile)-ordered stream on stdout.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	from := fs.Uint64("from", 0, "first cycle, inclusive")
+	to := fs.Uint64("to", 0, "last cycle, inclusive (0 = unbounded)")
+	res := fs.Int("res", 1, "resolution factor: 1 (raw), 10 or 100; tiers without data fall back to finer ones")
+	tags := fs.String("tags", "", "comma-separated emitter tags to keep (default all)")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of NDJSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: delta-trace merge [flags] <segment-dir> [<segment-dir>...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no segment directories given")
+	}
+	if _, err := columnar.TierOf(*res); err != nil {
+		return err
+	}
+	q := columnar.Query{From: *from, To: *to, Res: *res}
+	if *tags != "" {
+		q.Tags = strings.Split(*tags, ",")
+	}
+
+	var emit func(columnar.Row) bool
+	var finish func() error
+	if *asCSV {
+		cw := csv.NewWriter(os.Stdout)
+		if err := cw.Write([]string{"job", "tag", "res", "cycle", "tile",
+			"ipc", "mpki", "fill", "hit_rate", "noc_util", "mcu_queue"}); err != nil {
+			return err
+		}
+		var werr error
+		emit = func(r columnar.Row) bool {
+			werr = cw.Write([]string{
+				r.Job, r.Tag, strconv.Itoa(r.Res),
+				strconv.FormatUint(r.Cycle, 10), strconv.Itoa(r.Tile),
+				fmtFloat(r.IPC), fmtFloat(r.MPKI), fmtFloat(r.BankFill),
+				fmtFloat(r.BankHitRate), fmtFloat(r.NoCLinkUtil), fmtFloat(r.MCUQueue),
+			})
+			return werr == nil
+		}
+		finish = func() error {
+			cw.Flush()
+			if werr != nil {
+				return werr
+			}
+			return cw.Error()
+		}
+	} else {
+		enc := json.NewEncoder(os.Stdout)
+		var werr error
+		emit = func(r columnar.Row) bool {
+			werr = enc.Encode(r)
+			return werr == nil
+		}
+		finish = func() error { return werr }
+	}
+	if err := columnar.Merge(dirs, q, emit); err != nil {
+		return err
+	}
+	return finish()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // printTimeline renders the sampled series: per sample window, the mean of
 // the per-tile points plus the chip-wide NoC/MCU point, then an event-count

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
+)
+
+// genDir writes a small segment directory for one node of a job.
+func genDir(t *testing.T, dir, job, tag string, quanta int, offset uint64) {
+	t.Helper()
+	w, err := columnar.NewWriter(columnar.Config{Dir: dir, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < quanta; q++ {
+		w.Sample(telemetry.Sample{
+			Cycle: uint64(q+1)*1000 + offset, Tile: 0, Tag: tag, IPC: 1.5,
+		})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("runMerge: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestMergeSubcommandNDJSON(t *testing.T) {
+	root := t.TempDir()
+	d0 := filepath.Join(root, "node-0")
+	d1 := filepath.Join(root, "node-1")
+	genDir(t, d0, "job-x", "node-0", 5, 0)
+	genDir(t, d1, "job-x", "node-1", 5, 100)
+
+	out := captureStdout(t, func() error { return runMerge([]string{d1, d0}) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines, want 10:\n%s", len(lines), out)
+	}
+	var prev columnar.Row
+	for i, ln := range lines {
+		var row columnar.Row
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, ln)
+		}
+		if i > 0 && (row.Tag < prev.Tag || (row.Tag == prev.Tag && row.Cycle < prev.Cycle)) {
+			t.Fatalf("merge order violated at line %d: %+v after %+v", i, row, prev)
+		}
+		prev = row
+	}
+	// All node-0 rows sort before node-1 (same job, tag order).
+	if !strings.Contains(lines[0], `"tag":"node-0"`) || !strings.Contains(lines[9], `"tag":"node-1"`) {
+		t.Fatalf("tags not grouped:\nfirst %s\nlast  %s", lines[0], lines[9])
+	}
+}
+
+func TestMergeSubcommandCSVAndFilters(t *testing.T) {
+	root := t.TempDir()
+	d0 := filepath.Join(root, "a")
+	d1 := filepath.Join(root, "b")
+	genDir(t, d0, "job-x", "node-0", 8, 0)
+	genDir(t, d1, "job-x", "node-1", 8, 0)
+
+	out := captureStdout(t, func() error {
+		return runMerge([]string{"-csv", "-from", "3000", "-to", "6000", "-tags", "node-1", d0, d1})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "job,tag,res,cycle,tile,ipc,mpki,fill,hit_rate,noc_util,mcu_queue" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 1+4 { // cycles 3000..6000 of node-1
+		t.Fatalf("%d rows, want 4:\n%s", len(lines)-1, out)
+	}
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, "node-1") {
+			t.Fatalf("tag filter leaked: %s", ln)
+		}
+	}
+}
+
+func TestMergeSubcommandErrors(t *testing.T) {
+	if err := runMerge([]string{}); err == nil {
+		t.Fatal("no dirs must error")
+	}
+	if err := runMerge([]string{"-res", "7", t.TempDir()}); err == nil {
+		t.Fatal("bad res must error")
+	}
+	if err := runMerge([]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing dir must error")
+	}
+}

@@ -124,3 +124,48 @@ func TestFacadeCheckedRunAllPolicies(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeColumnarRecorder runs a simulation into a columnar segment sink
+// through the facade's WithRecorders option and reads the series back.
+func TestFacadeColumnarRecorder(t *testing.T) {
+	dir := t.TempDir()
+	cw, err := NewColumnarRecorder(ColumnarConfig{Dir: dir, Job: "facade-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemoryRecorder(0)
+	sim, err := New(
+		WithCores(16),
+		WithPolicy(PolicyDelta),
+		WithWarmup(10_000),
+		WithBudget(10_000),
+		WithRecorders(mem, cw),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.LoadMixE("w2"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Samples()) == 0 {
+		t.Fatal("WithRecorders dropped the memory recorder")
+	}
+	d, err := OpenColumnarDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	if err := d.Range(ColumnarQuery{}, func(ColumnarRow) bool { rows++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != len(mem.Samples()) {
+		t.Fatalf("columnar raw rows %d != memory samples %d", rows, len(mem.Samples()))
+	}
+	if d.Job() != "facade-test" {
+		t.Fatalf("job %q", d.Job())
+	}
+}

@@ -6,8 +6,12 @@ package chip
 // the markSharer duplicate-set-walk fix on this number.
 
 import (
+	"path/filepath"
+	"strconv"
 	"testing"
 
+	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
 	"delta/internal/trace"
 )
 
@@ -85,6 +89,41 @@ func BenchmarkChipRun(b *testing.B) {
 		c := benchChip(NewSnuca(), "mixed")
 		c.Run(30_000, 20_000)
 	}
+}
+
+// BenchmarkChipRunColumnar is BenchmarkChipRun with its telemetry streamed
+// into a columnar segment sink, against the same run through the no-op
+// recorder. The recorder only runs at quantum boundaries, so the ISSUE
+// acceptance bound is <3% over nop; bench_results.txt records the numbers.
+func BenchmarkChipRunColumnar(b *testing.B) {
+	run := func(b *testing.B, mk func(i int) telemetry.Recorder) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := DefaultConfig(16)
+			cfg.UmonSampleEvery = 4
+			cfg.Recorder = mk(i)
+			c := New(cfg, NewSnuca())
+			for j := 0; j < 16; j++ {
+				c.SetWorkload(j, benchGen("mixed", j), true)
+			}
+			c.Run(30_000, 20_000)
+		}
+	}
+	b.Run("nop", func(b *testing.B) {
+		run(b, func(int) telemetry.Recorder { return telemetry.Nop{} })
+	})
+	b.Run("columnar", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, func(i int) telemetry.Recorder {
+			w, err := columnar.NewWriter(columnar.Config{
+				Dir: filepath.Join(dir, strconv.Itoa(i)), Job: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = w.Close() })
+			return w
+		})
+	})
 }
 
 // BenchmarkChipRunChecked is the same Run with the invariant sweep armed;

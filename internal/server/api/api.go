@@ -144,9 +144,36 @@ type ErrorBody struct {
 // ErrorDetail carries a stable machine-readable code plus a human message.
 type ErrorDetail struct {
 	// Code is one of invalid_config | schema_version | unknown_job |
-	// not_suspendable | queue_full | draining | internal.
+	// not_suspendable | queue_full | draining | invalid_range | unknown_tag |
+	// no_telemetry | internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
+}
+
+// TelemetryRow is one line of the /v1/simulations/{id}/telemetry NDJSON
+// stream: a decoded columnar time-series point. Rows arrive in on-disk order
+// (cycles non-decreasing within each tag).
+type TelemetryRow struct {
+	// Job is the owning job's content address.
+	Job string `json:"job,omitempty"`
+	// Tag is the emitter tag (empty for a single-chip simulation).
+	Tag string `json:"tag,omitempty"`
+	// Res is the resolution factor actually served: 1 (raw per-quantum), 10
+	// or 100. It may be finer than requested when a downsampling tier holds
+	// no data.
+	Res int `json:"res"`
+	// Cycle is the sample's simulated time; downsampled rows carry the last
+	// cycle of their window.
+	Cycle uint64 `json:"cycle"`
+	// Tile is the tile index, or -1 for chip-wide samples.
+	Tile int `json:"tile"`
+
+	IPC         float64 `json:"ipc,omitempty"`
+	MPKI        float64 `json:"mpki,omitempty"`
+	BankFill    float64 `json:"fill,omitempty"`
+	BankHitRate float64 `json:"hit_rate,omitempty"`
+	NoCLinkUtil float64 `json:"noc_util,omitempty"`
+	MCUQueue    float64 `json:"mcu_queue,omitempty"`
 }
 
 // Health is the /healthz body.

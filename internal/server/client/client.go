@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -282,6 +283,73 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.ProgressEven
 			return fmt.Errorf("delta-served: bad progress line: %w", err)
 		}
 		if !fn(ev) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// TelemetryOpts selects a window of a job's columnar telemetry.
+type TelemetryOpts struct {
+	// From and To bound the cycle range, inclusive; To == 0 means unbounded.
+	From, To uint64
+	// Res requests a resolution factor: 1 (raw, default for 0), 10 or 100.
+	// A tier with no data falls back to the next finer one; each row reports
+	// the resolution actually served.
+	Res int
+	// Tags restricts to the given emitter tags; empty means all.
+	Tags []string
+}
+
+// Telemetry streams the job's columnar time series, invoking fn per row
+// until the range is exhausted or ctx cancels; fn returning false stops
+// early. Requires a server running with a telemetry directory (409
+// no_telemetry otherwise); unknown tags and malformed ranges surface as
+// *APIError with codes unknown_tag / invalid_range.
+func (c *Client) Telemetry(ctx context.Context, id string, opts TelemetryOpts, fn func(api.TelemetryRow) bool) error {
+	vals := url.Values{}
+	if opts.From > 0 {
+		vals.Set("from", strconv.FormatUint(opts.From, 10))
+	}
+	if opts.To > 0 {
+		vals.Set("to", strconv.FormatUint(opts.To, 10))
+	}
+	if opts.Res > 0 {
+		vals.Set("res", strconv.Itoa(opts.Res))
+	}
+	if len(opts.Tags) > 0 {
+		vals.Set("tags", strings.Join(opts.Tags, ","))
+	}
+	u := c.BaseURL + "/v1/simulations/" + id + "/telemetry"
+	if len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope api.ErrorBody
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		}
+		return apiErr
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var row api.TelemetryRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fmt.Errorf("delta-served: bad telemetry line: %w", err)
+		}
+		if !fn(row) {
 			return nil
 		}
 	}

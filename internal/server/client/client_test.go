@@ -140,3 +140,52 @@ func TestClientQueueFullRetryAfter(t *testing.T) {
 		t.Fatalf("queue-full error detail %+v", apiErr)
 	}
 }
+
+// TestClientTelemetryIterator streams a finished job's columnar rows through
+// the typed iterator, including early stop and typed errors.
+func TestClientTelemetryIterator(t *testing.T) {
+	_, c := newPair(t, server.Config{Workers: 1, QueueDepth: 4, TelemetryDir: t.TempDir()})
+	ctx := context.Background()
+	job, err := c.Run(ctx, api.SubmitRequest{
+		Policy:             "snuca",
+		Cores:              4,
+		Apps:               []string{"mcf"},
+		WarmupInstructions: 4_000,
+		BudgetInstructions: 4_000,
+	}, 10*time.Millisecond)
+	if err != nil || job.Status != api.StateDone {
+		t.Fatalf("run: %v (%+v)", err, job)
+	}
+
+	var rows []api.TelemetryRow
+	if err := c.Telemetry(ctx, job.ID, TelemetryOpts{}, func(r api.TelemetryRow) bool {
+		rows = append(rows, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no telemetry rows")
+	}
+	for _, r := range rows {
+		if r.Job != job.ID || r.Res != 1 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+
+	// Early stop: fn returning false ends the stream without error.
+	var n int
+	if err := c.Telemetry(ctx, job.ID, TelemetryOpts{}, func(api.TelemetryRow) bool {
+		n++
+		return n < 3
+	}); err != nil || n != 3 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+
+	// A bounded window with an unknown tag surfaces the typed error.
+	err = c.Telemetry(ctx, job.ID, TelemetryOpts{Tags: []string{"nope"}}, func(api.TelemetryRow) bool { return true })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "unknown_tag" {
+		t.Fatalf("unknown tag error %v", err)
+	}
+}

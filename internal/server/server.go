@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,6 +29,7 @@ import (
 	"delta"
 	"delta/internal/server/api"
 	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
 )
 
 // Config tunes the service.
@@ -56,6 +59,15 @@ type Config struct {
 	// It is flushed during Shutdown and may be single-goroutine-only: the
 	// server serializes access.
 	Sink telemetry.Recorder
+	// TelemetryDir, when set, streams each job's per-quantum samples into a
+	// columnar segment directory (TelemetryDir/<job-id>) and enables
+	// GET /v1/simulations/{id}/telemetry range queries over them — including
+	// for suspended and completed jobs, across server restarts. Empty
+	// disables the columnar sink and the endpoint answers 409 no_telemetry.
+	TelemetryDir string
+	// TelemetryRetainBytes caps each job's segment directory; oldest closed
+	// segments are deleted first. 0 retains everything.
+	TelemetryRetainBytes int64
 	// Logf receives one line per lifecycle transition; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -112,6 +124,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulations/{idAction}", s.handleAction)
 	s.mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/simulations/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/simulations/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -219,6 +232,37 @@ func (s *Server) runJob(j *job) {
 	if s.sink != nil {
 		rec = telemetry.NewMulti(rec, s.sink.Tag(j.id))
 	}
+	closeSink := func() {}
+	if s.cfg.TelemetryDir != "" {
+		cw, werr := columnar.NewWriter(columnar.Config{
+			Dir:         filepath.Join(s.cfg.TelemetryDir, j.id),
+			Job:         j.id,
+			RetainBytes: s.cfg.TelemetryRetainBytes,
+		})
+		if werr != nil {
+			// The simulation is worth more than its telemetry: log and run
+			// without the columnar sink rather than failing the job.
+			s.cfg.Logf("delta-served: job %s: columnar sink: %v", j.id, werr)
+			s.shared.Count("served.telemetry.sink_errors", 1)
+		} else {
+			rec = telemetry.NewMulti(rec, cw)
+			var closed bool
+			// Closed explicitly before the job settles (so a client that
+			// sees a terminal status reads fully-flushed segments) and again
+			// from the defer for the early error paths.
+			closeSink = func() {
+				if closed {
+					return
+				}
+				closed = true
+				if cerr := cw.Close(); cerr != nil {
+					s.cfg.Logf("delta-served: job %s: columnar close: %v", j.id, cerr)
+					s.shared.Count("served.telemetry.sink_errors", 1)
+				}
+			}
+			defer closeSink()
+		}
+	}
 	var sim *delta.Simulator
 	var err error
 	if j.snapData != nil {
@@ -248,6 +292,7 @@ func (s *Server) runJob(j *job) {
 	}
 	s.shared.Count("served.simulations.executed", 1)
 	res, runErr := sim.RunCtx(ctx)
+	closeSink()
 	result := toAPIResult(res, runErr != nil, time.Since(started))
 	switch {
 	case runErr == nil:
@@ -505,6 +550,99 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTelemetry streams a job's columnar time series as NDJSON, one
+// api.TelemetryRow per line. Query parameters: from/to bound the cycle range
+// (inclusive; to=0 or absent means unbounded), res selects the resolution
+// (1, 10 or 100; a tier with no data falls back to the next finer one, and
+// each row reports the resolution actually served), tags restricts to a
+// comma-separated list of emitter tags. Segments outlive jobs: suspended and
+// completed jobs — and jobs from before a server restart — stay queryable as
+// long as their segment directory exists.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TelemetryDir == "" {
+		writeError(w, http.StatusConflict, "no_telemetry",
+			"server runs without a telemetry directory; columnar telemetry is disabled")
+		return
+	}
+	id := r.PathValue("id")
+	q, err := parseTelemetryQuery(r)
+	if err != nil {
+		s.shared.Count("served.rejected.invalid", 1)
+		writeError(w, http.StatusBadRequest, "invalid_range", err.Error())
+		return
+	}
+	dir, err := columnar.OpenDir(filepath.Join(s.cfg.TelemetryDir, id))
+	if errors.Is(err, fs.ErrNotExist) {
+		// No segments on disk: distinguish a job this server has never heard
+		// of from a known job whose telemetry was never written (sink error,
+		// retention, or a job accepted before -telemetry-dir was set).
+		if s.lookup(id) == nil {
+			writeError(w, http.StatusNotFound, "unknown_job", "no simulation with this id")
+		} else {
+			writeError(w, http.StatusNotFound, "no_telemetry", "no telemetry recorded for this simulation")
+		}
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	for _, tag := range q.Tags {
+		if !dir.HasTag(tag) {
+			writeError(w, http.StatusBadRequest, "unknown_tag",
+				fmt.Sprintf("tag %q not present in this simulation's telemetry (have %q)", tag, dir.Tags()))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := dir.Range(q, func(row columnar.Row) bool {
+		return enc.Encode(row) == nil && r.Context().Err() == nil
+	}); err != nil {
+		// Mid-stream failure: the status line is gone; truncate the stream.
+		s.cfg.Logf("delta-served: telemetry stream for %s: %v", id, err)
+	}
+	s.shared.Count("served.telemetry.queries", 1)
+}
+
+// parseTelemetryQuery validates the range-query parameters.
+func parseTelemetryQuery(r *http.Request) (columnar.Query, error) {
+	var q columnar.Query
+	vals := r.URL.Query()
+	if v := vals.Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("from must be a non-negative cycle number: %q", v)
+		}
+		q.From = n
+	}
+	if v := vals.Get("to"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("to must be a non-negative cycle number: %q", v)
+		}
+		q.To = n
+	}
+	if q.To > 0 && q.From > q.To {
+		return q, fmt.Errorf("empty range: from (%d) exceeds to (%d)", q.From, q.To)
+	}
+	if v := vals.Get("res"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("res must be 1, 10 or 100: %q", v)
+		}
+		if _, err := columnar.TierOf(n); err != nil {
+			return q, err
+		}
+		q.Res = n
+	}
+	if v := vals.Get("tags"); v != "" {
+		q.Tags = strings.Split(v, ",")
+	}
+	return q, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

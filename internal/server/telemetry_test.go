@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// telemetryRows fetches the endpoint and decodes every NDJSON line, failing
+// on a non-200 status.
+func telemetryRows(t *testing.T, ts *httptest.Server, id, query string) []api.TelemetryRow {
+	t.Helper()
+	body, status := telemetryRaw(t, ts, id, query)
+	if status != http.StatusOK {
+		t.Fatalf("telemetry status %d: %s", status, body)
+	}
+	var rows []api.TelemetryRow
+	sc := bufio.NewScanner(newStringReader(body))
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var row api.TelemetryRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad telemetry line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func newStringReader(s string) io.Reader { return &stringReader{s: s} }
+
+type stringReader struct{ s string }
+
+func (r *stringReader) Read(p []byte) (int, error) {
+	if len(r.s) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.s)
+	r.s = r.s[n:]
+	return n, nil
+}
+
+// telemetryRaw fetches the endpoint, returning the raw body and status.
+func telemetryRaw(t *testing.T, ts *httptest.Server, id, query string) (string, int) {
+	t.Helper()
+	u := ts.URL + "/v1/simulations/" + id + "/telemetry"
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
+}
+
+// telemetryErr fetches the endpoint expecting a structured error.
+func telemetryErr(t *testing.T, ts *httptest.Server, id, query string, wantStatus int, wantCode string) {
+	t.Helper()
+	body, status := telemetryRaw(t, ts, id, query)
+	if status != wantStatus {
+		t.Fatalf("status %d, want %d: %s", status, wantStatus, body)
+	}
+	var envelope api.ErrorBody
+	if err := json.Unmarshal([]byte(body), &envelope); err != nil {
+		t.Fatalf("error body does not parse: %v\n%s", err, body)
+	}
+	if envelope.Error.Code != wantCode {
+		t.Fatalf("error code %q, want %q (%s)", envelope.Error.Code, wantCode, envelope.Error.Message)
+	}
+}
+
+func TestTelemetryRangeQueries(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, TelemetryDir: dir})
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", quickReq(1)))
+	waitDone(t, ts, sub.ID)
+
+	rows := telemetryRows(t, ts, sub.ID, "")
+	if len(rows) == 0 {
+		t.Fatal("no telemetry rows for a completed job")
+	}
+	var maxCycle uint64
+	for _, r := range rows {
+		if r.Job != sub.ID {
+			t.Fatalf("row job %q, want %q", r.Job, sub.ID)
+		}
+		if r.Res != 1 {
+			t.Fatalf("default query must serve raw rows, got res %d", r.Res)
+		}
+		if r.Cycle > maxCycle {
+			maxCycle = r.Cycle
+		}
+	}
+
+	// Bounded range: every row inside, and strictly fewer than the full set
+	// when the bounds exclude the stream's edges.
+	mid := maxCycle / 2
+	bounded := telemetryRows(t, ts, sub.ID,
+		url.Values{"from": {strconv.FormatUint(mid, 10)}, "to": {strconv.FormatUint(maxCycle, 10)}}.Encode())
+	for _, r := range bounded {
+		if r.Cycle < mid || r.Cycle > maxCycle {
+			t.Fatalf("row cycle %d outside [%d, %d]", r.Cycle, mid, maxCycle)
+		}
+	}
+
+	// Out-of-bounds from/to: far beyond the data is an empty 200, not an
+	// error.
+	if rows := telemetryRows(t, ts, sub.ID, "from="+strconv.FormatUint(maxCycle*10+1, 10)); len(rows) != 0 {
+		t.Fatalf("out-of-bounds range served %d rows", len(rows))
+	}
+
+	// Resolution fallback: the quick run is far too short to fill a 1/100
+	// tier window, so res=100 serves a finer resolution and each row says so.
+	fb := telemetryRows(t, ts, sub.ID, "res=100")
+	if len(fb) == 0 {
+		t.Fatal("resolution fallback served nothing")
+	}
+	for _, r := range fb {
+		if r.Res == 100 {
+			t.Fatalf("a %d-cycle run cannot have a 1/100 tier; fallback failed", maxCycle)
+		}
+	}
+
+	// Structured errors.
+	telemetryErr(t, ts, sub.ID, "from=oops", http.StatusBadRequest, "invalid_range")
+	telemetryErr(t, ts, sub.ID, "from=500&to=100", http.StatusBadRequest, "invalid_range")
+	telemetryErr(t, ts, sub.ID, "res=7", http.StatusBadRequest, "invalid_range")
+	telemetryErr(t, ts, sub.ID, "tags=no-such-tag", http.StatusBadRequest, "unknown_tag")
+	telemetryErr(t, ts, "not-a-job", "", http.StatusNotFound, "unknown_job")
+}
+
+func TestTelemetryDisabledWithoutDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", quickReq(1)))
+	waitDone(t, ts, sub.ID)
+	telemetryErr(t, ts, sub.ID, "", http.StatusConflict, "no_telemetry")
+}
+
+// TestTelemetrySurvivesRestart pins the durability contract: the same range
+// query returns byte-identical output before and after the serving process is
+// replaced, with the segments on disk as the only carried-over state.
+func TestTelemetrySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := New(Config{Workers: 1, QueueDepth: 4, TelemetryDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts1.URL+"/v1/simulations", quickReq(7)))
+	waitDone(t, ts1, sub.ID)
+	before, status := telemetryRaw(t, ts1, sub.ID, "to=2000000000")
+	if status != http.StatusOK || len(before) == 0 {
+		t.Fatalf("pre-restart telemetry: status %d, %d bytes", status, len(before))
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(shutdownCtx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Fresh process, same telemetry directory; the job is not in its memory.
+	_, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, TelemetryDir: dir})
+	after, status := telemetryRaw(t, ts2, sub.ID, "to=2000000000")
+	if status != http.StatusOK {
+		t.Fatalf("post-restart telemetry status %d: %s", status, after)
+	}
+	if before != after {
+		t.Fatalf("telemetry changed across restart:\nbefore %d bytes\nafter  %d bytes", len(before), len(after))
+	}
+}

@@ -1,0 +1,557 @@
+package columnar
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"delta/internal/telemetry"
+)
+
+// emitSamples feeds a deterministic sample stream: per "quantum" q, tiles
+// 0..tiles-1 plus a chip-wide point, for the given tags in order.
+func emitSamples(rec telemetry.Recorder, tags []string, quanta, tiles int) {
+	for q := 0; q < quanta; q++ {
+		cycle := uint64((q + 1) * 1000)
+		for _, tag := range tags {
+			for tile := 0; tile < tiles; tile++ {
+				rec.Sample(telemetry.Sample{
+					Cycle: cycle, Tile: tile, Tag: tag,
+					IPC:      0.5 + float64(tile)/10 + float64(q)/1000,
+					MPKI:     12.25 + float64(q),
+					BankFill: 0.5, BankHitRate: 0.75,
+				})
+			}
+			rec.Sample(telemetry.Sample{
+				Cycle: cycle, Tile: telemetry.ChipWide, Tag: tag,
+				NoCLinkUtil: 0.04 + float64(q)/100, MCUQueue: 1.5,
+			})
+		}
+	}
+}
+
+func newTestWriter(t *testing.T, dir string, cfg Config) *Writer {
+	t.Helper()
+	cfg.Dir = dir
+	if cfg.Job == "" {
+		cfg.Job = "testjob"
+	}
+	w, err := NewWriter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func collect(t *testing.T, dir string, q Query) []Row {
+	t.Helper()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	if err := d.Range(q, func(r Row) bool { rows = append(rows, r); return true }); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestRoundTripExactValues(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	emitSamples(w, []string{"", "w2"}, 7, 3)
+	w.Count("chip.llc_accesses", 12345)
+	w.Count("chip.mem_fetches", 99)
+	w.Gauge("bank00.fill", 0.971)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := collect(t, dir, Query{})
+	// 7 quanta x 2 tags x (3 tiles + chip-wide) raw rows.
+	if want := 7 * 2 * 4; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Job != "testjob" || r.Res != 1 {
+			t.Fatalf("row provenance wrong: %+v", r)
+		}
+	}
+	// Spot-check exact float round-trip on a known row: q=3 (cycle 4000),
+	// tag "w2", tile 2.
+	var hit *Row
+	for i, r := range rows {
+		if r.Tag == "w2" && r.Cycle == 4000 && r.Tile == 2 {
+			hit = &rows[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("expected row not found")
+	}
+	if want := 0.5 + 0.2 + 3.0/1000; hit.IPC != want {
+		t.Fatalf("IPC = %v, want exactly %v", hit.IPC, want)
+	}
+	if hit.MPKI != 15.25 || hit.BankFill != 0.5 || hit.BankHitRate != 0.75 {
+		t.Fatalf("float columns did not round-trip: %+v", hit)
+	}
+
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, gauges, err := d.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters["chip.llc_accesses"] != 12345 || counters["chip.mem_fetches"] != 99 {
+		t.Fatalf("counters = %v", counters)
+	}
+	if gauges["bank00.fill"] != 0.971 {
+		t.Fatalf("gauges = %v", gauges)
+	}
+}
+
+func TestRangeBoundsAndTags(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	emitSamples(w, []string{"a", "b"}, 10, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := collect(t, dir, Query{From: 3000, To: 5000, Tags: []string{"b"}})
+	if len(rows) == 0 {
+		t.Fatal("no rows in range")
+	}
+	for _, r := range rows {
+		if r.Tag != "b" || r.Cycle < 3000 || r.Cycle > 5000 {
+			t.Fatalf("row outside filter: %+v", r)
+		}
+	}
+	// Cycles non-decreasing (single tag).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycle < rows[i-1].Cycle {
+			t.Fatalf("cycle order violated at %d: %d < %d", i, rows[i].Cycle, rows[i-1].Cycle)
+		}
+	}
+	// Out-of-bounds range: beyond the data, empty but no error.
+	if rows := collect(t, dir, Query{From: 1 << 40}); len(rows) != 0 {
+		t.Fatalf("out-of-bounds range returned %d rows", len(rows))
+	}
+}
+
+func TestDownsamplingTiersDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	// 250 quanta, 1 tile: 250 raw rows per series, 25 tier-10 rows, 2
+	// tier-100 rows (per tile series and chip-wide series).
+	emitSamples(w, []string{""}, 250, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := collect(t, dir, Query{Res: 1})
+	if want := 250 * 2; len(raw) != want {
+		t.Fatalf("raw rows = %d, want %d", len(raw), want)
+	}
+	t10 := collect(t, dir, Query{Res: 10})
+	if want := 25 * 2; len(t10) != want {
+		t.Fatalf("tier-10 rows = %d, want %d", len(t10), want)
+	}
+	t100 := collect(t, dir, Query{Res: 100})
+	if want := 2 * 2; len(t100) != want {
+		t.Fatalf("tier-100 rows = %d, want %d", len(t100), want)
+	}
+	// First tier-10 window for tile 0 covers q=0..9 (cycles 1000..10000):
+	// stamped with the window's last cycle and the mean of the IPC series.
+	var first *Row
+	for i, r := range t10 {
+		if r.Tile == 0 {
+			first = &t10[i]
+			break
+		}
+	}
+	if first == nil || first.Cycle != 10000 {
+		t.Fatalf("first tier-10 row = %+v, want cycle 10000", first)
+	}
+	var sum float64
+	for q := 0; q < 10; q++ {
+		sum += 0.5 + float64(q)/1000
+	}
+	if want := sum / 10; first.IPC != want {
+		t.Fatalf("tier-10 IPC = %v, want %v", first.IPC, want)
+	}
+	if first.Res != 10 {
+		t.Fatalf("tier-10 res = %d", first.Res)
+	}
+}
+
+func TestResolutionFallback(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	// Too few samples for any tier-100 window (and with NoDownsample the
+	// tiers would not exist at all): 15 quanta yields tier-10 but not 100.
+	emitSamples(w, []string{""}, 15, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows := collect(t, dir, Query{Res: 100})
+	if len(rows) == 0 {
+		t.Fatal("fallback returned nothing")
+	}
+	for _, r := range rows {
+		if r.Res != 10 {
+			t.Fatalf("expected fallback to res 10, got %d", r.Res)
+		}
+	}
+
+	dir2 := t.TempDir()
+	w2 := newTestWriter(t, dir2, Config{NoDownsample: true})
+	emitSamples(w2, []string{""}, 15, 1)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows = collect(t, dir2, Query{Res: 100})
+	for _, r := range rows {
+		if r.Res != 1 {
+			t.Fatalf("expected fallback to raw, got %d", r.Res)
+		}
+	}
+	if want := 15 * 2; len(rows) != want {
+		t.Fatalf("fallback rows = %d, want %d", len(rows), want)
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{
+		BlockRows:    16,
+		SegmentBytes: 2 << 10,
+		RetainBytes:  8 << 10,
+	})
+	emitSamples(w, []string{""}, 2000, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.size
+	}
+	// Retention allows RetainBytes plus at most one segment of slop (the
+	// current segment is never deleted).
+	if total > (8<<10)+(4<<10) {
+		t.Fatalf("retention not enforced: %d bytes on disk", total)
+	}
+	// The oldest segments must be gone.
+	if segs[0].seq == 0 {
+		t.Fatal("segment 0 survived retention")
+	}
+	// The retained window still decodes cleanly.
+	rows := collect(t, dir, Query{})
+	if len(rows) == 0 {
+		t.Fatal("no rows after retention")
+	}
+}
+
+func TestCycleRotation(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{BlockRows: 8, SegmentQuanta: 5000})
+	emitSamples(w, []string{""}, 40, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("cycle-span rotation did not trigger: %d segments", len(segs))
+	}
+}
+
+func TestResumeAppendsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	emitSamples(w, []string{""}, 5, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := newTestWriter(t, dir, Config{})
+	emitSamples(w2, []string{""}, 5, 1)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].seq != 0 || segs[1].seq != 1 {
+		t.Fatalf("resume did not append a fresh segment: %+v", segs)
+	}
+	if rows := collect(t, dir, Query{}); len(rows) != 2*5*2 {
+		t.Fatalf("rows across resumed segments = %d", len(rows))
+	}
+}
+
+// goldenConfig pins the writer knobs behind the golden segment. Changing the
+// encoding requires bumping Version and regenerating the golden alongside a
+// new version-skew case — never weakening this test.
+func goldenConfig(dir string) Config {
+	return Config{Dir: dir, Job: "golden", BlockRows: 32}
+}
+
+func writeGoldenStream(w *Writer) {
+	emitSamples(w, []string{"", "node-b"}, 25, 2)
+	w.Count("chip.llc_accesses", 424242)
+	w.Count("noc.hops", 7)
+	w.Gauge("noc.control_fraction", 0.00111)
+}
+
+func TestGoldenSegmentByteStable(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, goldenConfig(dir))
+	writeGoldenStream(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(segPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_segment_v1.dseg")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden segment regenerated")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("segment bytes differ from golden: got %d bytes, want %d — "+
+			"an encoding change must bump columnar.Version and regenerate the golden",
+			len(got), len(want))
+	}
+
+	// The golden decodes, and a second decode of the same bytes is
+	// identical (byte-stable re-decode).
+	dir2 := t.TempDir()
+	if err := os.WriteFile(segPath(dir2, 0), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r1 := collect(t, dir2, Query{})
+	r2 := collect(t, dir2, Query{})
+	if len(r1) == 0 || len(r1) != len(r2) {
+		t.Fatalf("golden decode unstable: %d vs %d rows", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("row %d differs between decodes", i)
+		}
+	}
+}
+
+func TestVersionSkewRejected(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	emitSamples(w, []string{""}, 3, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := append([]byte{}, data...)
+	skewed[len(magic)] = Version + 1
+	dir2 := t.TempDir()
+	if err := os.WriteFile(segPath(dir2, 0), skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir2); !errors.Is(err, ErrVersion) {
+		t.Fatalf("skewed open error = %v, want ErrVersion", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{})
+	emitSamples(w, []string{""}, 20, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the first frame's payload (header is
+	// magic+version+uvarint(len(job))+job, then a 4-byte frame length): the
+	// frame CRC must catch it.
+	hdrLen := len(magic) + 1 + 1 + len("testjob")
+	corrupt := append([]byte{}, data...)
+	corrupt[hdrLen+4+2] ^= 0xff
+	dir2 := t.TempDir()
+	if err := os.WriteFile(segPath(dir2, 0), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt open error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedTailIsCleanEnd(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, dir, Config{BlockRows: 4})
+	emitSamples(w, []string{""}, 20, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-frame: a reader racing a writer sees this.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(segPath(dir2, 0), data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir2)
+	if err != nil {
+		t.Fatalf("truncated tail should open cleanly: %v", err)
+	}
+	var n int
+	if err := d.Range(Query{}, func(Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rows decoded before the truncation point")
+	}
+}
+
+func TestMergeOrdersAcrossDirs(t *testing.T) {
+	mk := func(job string, tags []string, quanta int) string {
+		dir := filepath.Join(t.TempDir(), job)
+		w, err := NewWriter(Config{Dir: dir, Job: job})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitSamples(w, tags, quanta, 2)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	d1 := mk("job-a", []string{"node-1"}, 12)
+	d2 := mk("job-a", []string{"node-2"}, 9)
+	d3 := mk("job-b", []string{"node-1"}, 5)
+
+	var rows []Row
+	if err := Merge([]string{d3, d1, d2}, Query{}, func(r Row) bool {
+		rows = append(rows, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := (12 + 9 + 5) * 3
+	if len(rows) != want {
+		t.Fatalf("merged rows = %d, want %d", len(rows), want)
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.Job > b.Job ||
+			(a.Job == b.Job && a.Tag > b.Tag) ||
+			(a.Job == b.Job && a.Tag == b.Tag && a.Cycle > b.Cycle) {
+			t.Fatalf("merge order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Range constraints apply inside the merge too.
+	var bounded int
+	if err := Merge([]string{d1, d2}, Query{From: 2000, To: 4000}, func(r Row) bool {
+		if r.Cycle < 2000 || r.Cycle > 4000 {
+			t.Fatalf("row outside bounds: %+v", r)
+		}
+		bounded++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bounded == 0 {
+		t.Fatal("bounded merge empty")
+	}
+}
+
+func TestWriterDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		dir := t.TempDir()
+		w := newTestWriter(t, dir, Config{BlockRows: 10})
+		emitSamples(w, []string{"x", "y"}, 37, 3)
+		w.Count("c.a", 1)
+		w.Count("c.b", 2)
+		w.Gauge("g", 3.5)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(segPath(dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical streams produced different segment bytes")
+	}
+}
+
+func TestMissingDirErrNotExist(t *testing.T) {
+	_, err := OpenDir(filepath.Join(t.TempDir(), "nope"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestTierOf(t *testing.T) {
+	for tier, res := range Resolutions {
+		got, err := TierOf(res)
+		if err != nil || got != tier {
+			t.Fatalf("TierOf(%d) = %d, %v", res, got, err)
+		}
+	}
+	if _, err := TierOf(42); err == nil {
+		t.Fatal("TierOf(42) should fail")
+	}
+}
+
+func BenchmarkWriterSample(b *testing.B) {
+	dir := b.TempDir()
+	w, err := NewWriter(Config{Dir: dir, Job: "bench", RetainBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	s := telemetry.Sample{Tile: 3, IPC: 0.5, MPKI: 12.5, BankFill: 0.9, BankHitRate: 0.6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cycle = uint64(i) * 1000
+		w.Sample(s)
+	}
+}

@@ -1,0 +1,442 @@
+// Package columnar is the scalable on-disk telemetry sink: a binary,
+// length-prefixed, schema-versioned segment format holding per-(job, tag)
+// column blocks of the simulator's per-quantum time series plus end-of-run
+// counters and gauges. It replaces the unbounded in-memory sample slice as
+// the path that scales to fleet-sized campaigns: a Writer (a
+// telemetry.Recorder) streams samples into rotating, retention-capped
+// segment files with deterministic downsampling tiers, a Dir reader answers
+// range queries over them, and Merge k-way merges the segment directories of
+// many nodes into one (job, tag, quantum)-ordered stream.
+//
+// # Segment format (schema version 1)
+//
+// A segment file ("seg-NNNNNN.dseg") is a header followed by CRC-framed
+// blocks until EOF:
+//
+//	header := "DCOL" | version u8 | uvarint(len(job)) | job bytes
+//	frame  := u32le(len(payload)) | payload | u32le(crc32c(payload))
+//
+// Each frame payload is one column block:
+//
+//	block  := kind u8 | uvarint(len(tag)) | tag | tier u8 | uvarint(rows) | columns
+//
+// Sample blocks (kind 1) carry seven columns, each rows long, in order:
+// cycle (zigzag varint deltas), tile (zigzag varint deltas), then the six
+// float series (IPC, MPKI, bank fill, bank hit rate, NoC link utilization,
+// MCU queue depth) as uvarints of IEEE-754 bits XORed against the previous
+// row's bits. Counter blocks (kind 2) carry sorted names (uvarint-length-
+// prefixed) then uvarint values; gauge blocks (kind 3) carry sorted names
+// then XOR-delta float bits. The encoding is fully deterministic: identical
+// record streams produce byte-identical segments, which the golden-segment
+// test pins.
+//
+// Tier 0 is the raw per-quantum resolution; tiers 1 and 2 are deterministic
+// 1/10 and 1/100 downsamples (the mean of each float column over 10 / 100
+// consecutive raw samples of one (tag, tile) series, stamped with the
+// window's last cycle).
+//
+// Any version byte other than Version fails decoding with ErrVersion,
+// mirroring the snapshot codec's skew rule: formats change by bumping the
+// version, never by silently reinterpreting bytes.
+package columnar
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the segment schema version this package reads and writes.
+const Version = 1
+
+// magic opens every segment file.
+const magic = "DCOL"
+
+// Block kinds.
+const (
+	blockSamples  = 1
+	blockCounters = 2
+	blockGauges   = 3
+)
+
+// Tier indices and their resolution factors.
+const (
+	tierRaw  = 0 // every sample
+	tier10   = 1 // mean of 10 raw samples
+	tier100  = 2 // mean of 100 raw samples
+	numTiers = 3
+)
+
+// Resolutions lists the resolution factors of the downsampling tiers,
+// indexed by tier: raw, 1/10, 1/100.
+var Resolutions = [numTiers]int{1, 10, 100}
+
+// TierOf maps a resolution factor (1, 10, 100) to its tier index.
+func TierOf(res int) (int, error) {
+	for t, r := range Resolutions {
+		if r == res {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("columnar: unknown resolution %d (want 1, 10 or 100)", res)
+}
+
+// ErrVersion is returned (wrapped) when a segment pins a schema version this
+// package does not speak.
+var ErrVersion = errors.New("columnar: unsupported segment version")
+
+// ErrCorrupt is returned (wrapped) when a segment fails structural
+// validation: bad magic, a checksum mismatch, or an overlong frame.
+var ErrCorrupt = errors.New("columnar: corrupt segment")
+
+// maxFrameBytes bounds a single frame so a corrupted length prefix cannot
+// drive an absurd allocation.
+const maxFrameBytes = 16 << 20
+
+// castagnoli is the CRC-32C table used to frame every block.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Row is one decoded time-series point: a telemetry.Sample plus its
+// provenance (job, tag) and the resolution factor of the tier it came from.
+type Row struct {
+	Job string `json:"job,omitempty"`
+	Tag string `json:"tag,omitempty"`
+	// Res is the resolution factor: 1 (raw), 10 or 100.
+	Res   int    `json:"res"`
+	Cycle uint64 `json:"cycle"`
+	Tile  int    `json:"tile"`
+
+	IPC         float64 `json:"ipc,omitempty"`
+	MPKI        float64 `json:"mpki,omitempty"`
+	BankFill    float64 `json:"fill,omitempty"`
+	BankHitRate float64 `json:"hit_rate,omitempty"`
+	NoCLinkUtil float64 `json:"noc_util,omitempty"`
+	MCUQueue    float64 `json:"mcu_queue,omitempty"`
+}
+
+// row is the storage form of a sample inside one (tag, tier) block.
+type row struct {
+	cycle uint64
+	tile  int
+	f     [numFloatCols]float64
+}
+
+// Float column order inside a sample block.
+const (
+	colIPC = iota
+	colMPKI
+	colFill
+	colHitRate
+	colNoCUtil
+	colMCUQueue
+	numFloatCols
+)
+
+// encodeHeader renders the segment file header.
+func encodeHeader(job string) []byte {
+	b := make([]byte, 0, len(magic)+1+binary.MaxVarintLen64+len(job))
+	b = append(b, magic...)
+	b = append(b, Version)
+	b = binary.AppendUvarint(b, uint64(len(job)))
+	b = append(b, job...)
+	return b
+}
+
+// readHeader consumes and validates a segment header, returning the job.
+func readHeader(r *byteReader) (string, error) {
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return "", fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return "", fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:len(magic)])
+	}
+	if v := head[len(magic)]; v != Version {
+		return "", fmt.Errorf("%w: segment version %d, this build speaks %d", ErrVersion, v, Version)
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil || n > maxFrameBytes {
+		return "", fmt.Errorf("%w: bad job length", ErrCorrupt)
+	}
+	job := make([]byte, n)
+	if _, err := io.ReadFull(r, job); err != nil {
+		return "", fmt.Errorf("%w: short job name", ErrCorrupt)
+	}
+	return string(job), nil
+}
+
+// appendFrame wraps one block payload in the length + CRC framing.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// readFrame reads one frame, verifying the checksum. It returns (nil, io.EOF)
+// at a clean end of file and (nil, nil) when the file ends mid-frame — a
+// truncated tail, which a reader racing an in-flight writer treats as the
+// current end of the stream rather than corruption.
+func readFrame(r *byteReader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, nil // truncated length prefix
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, nil // truncated payload or checksum
+	}
+	payload := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// encodeSampleBlock renders one (tag, tier) run of rows as a block payload.
+func encodeSampleBlock(tag string, tier uint8, rows []row) []byte {
+	b := make([]byte, 0, 16+len(tag)+len(rows)*12)
+	b = append(b, blockSamples)
+	b = binary.AppendUvarint(b, uint64(len(tag)))
+	b = append(b, tag...)
+	b = append(b, tier)
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	var prevCycle uint64
+	for _, r := range rows {
+		b = binary.AppendVarint(b, int64(r.cycle)-int64(prevCycle))
+		prevCycle = r.cycle
+	}
+	prevTile := 0
+	for _, r := range rows {
+		b = binary.AppendVarint(b, int64(r.tile)-int64(prevTile))
+		prevTile = r.tile
+	}
+	for col := 0; col < numFloatCols; col++ {
+		var prevBits uint64
+		for _, r := range rows {
+			bits := math.Float64bits(r.f[col])
+			b = binary.AppendUvarint(b, bits^prevBits)
+			prevBits = bits
+		}
+	}
+	return b
+}
+
+// blockHeader is the common prefix of every block payload.
+type blockHeader struct {
+	kind uint8
+	tag  string
+	tier uint8
+	rows int
+}
+
+// decodeBlockHeader splits a payload into its header and the column bytes.
+func decodeBlockHeader(payload []byte) (blockHeader, []byte, error) {
+	var h blockHeader
+	if len(payload) < 1 {
+		return h, nil, fmt.Errorf("%w: empty block", ErrCorrupt)
+	}
+	h.kind = payload[0]
+	rest := payload[1:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || uint64(len(rest)-sz) < n {
+		return h, nil, fmt.Errorf("%w: bad tag length", ErrCorrupt)
+	}
+	h.tag = string(rest[sz : sz+int(n)])
+	rest = rest[sz+int(n):]
+	if len(rest) < 1 {
+		return h, nil, fmt.Errorf("%w: missing tier", ErrCorrupt)
+	}
+	h.tier = rest[0]
+	if h.tier >= numTiers {
+		return h, nil, fmt.Errorf("%w: tier %d out of range", ErrCorrupt, h.tier)
+	}
+	rest = rest[1:]
+	rows, sz := binary.Uvarint(rest)
+	if sz <= 0 || rows > maxFrameBytes {
+		return h, nil, fmt.Errorf("%w: bad row count", ErrCorrupt)
+	}
+	h.rows = int(rows)
+	return h, rest[sz:], nil
+}
+
+// decodeSampleRows decodes the column bytes of a sample block.
+func decodeSampleRows(h blockHeader, cols []byte) ([]row, error) {
+	rows := make([]row, h.rows)
+	rd := &sliceReader{b: cols}
+	var prevCycle int64
+	for i := range rows {
+		d, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cycle column: %v", ErrCorrupt, err)
+		}
+		prevCycle += d
+		rows[i].cycle = uint64(prevCycle)
+	}
+	var prevTile int64
+	for i := range rows {
+		d, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tile column: %v", ErrCorrupt, err)
+		}
+		prevTile += d
+		rows[i].tile = int(prevTile)
+	}
+	for col := 0; col < numFloatCols; col++ {
+		var prevBits uint64
+		for i := range rows {
+			x, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return nil, fmt.Errorf("%w: float column %d: %v", ErrCorrupt, col, err)
+			}
+			prevBits ^= x
+			rows[i].f[col] = math.Float64frombits(prevBits)
+		}
+	}
+	return rows, nil
+}
+
+// encodeCounterBlock renders the sorted counter names and values.
+func encodeCounterBlock(tag string, names []string, values map[string]uint64) []byte {
+	b := make([]byte, 0, 16+len(tag)+len(names)*16)
+	b = append(b, blockCounters)
+	b = binary.AppendUvarint(b, uint64(len(tag)))
+	b = append(b, tag...)
+	b = append(b, tierRaw)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = binary.AppendUvarint(b, uint64(len(n)))
+		b = append(b, n...)
+	}
+	for _, n := range names {
+		b = binary.AppendUvarint(b, values[n])
+	}
+	return b
+}
+
+// encodeGaugeBlock renders the sorted gauge names and XOR-delta values.
+func encodeGaugeBlock(tag string, names []string, values map[string]float64) []byte {
+	b := make([]byte, 0, 16+len(tag)+len(names)*16)
+	b = append(b, blockGauges)
+	b = binary.AppendUvarint(b, uint64(len(tag)))
+	b = append(b, tag...)
+	b = append(b, tierRaw)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = binary.AppendUvarint(b, uint64(len(n)))
+		b = append(b, n...)
+	}
+	var prevBits uint64
+	for _, n := range names {
+		bits := math.Float64bits(values[n])
+		b = binary.AppendUvarint(b, bits^prevBits)
+		prevBits = bits
+	}
+	return b
+}
+
+// decodeNames reads the name column shared by counter and gauge blocks.
+func decodeNames(h blockHeader, rd *sliceReader) ([]string, error) {
+	names := make([]string, h.rows)
+	for i := range names {
+		n, err := binary.ReadUvarint(rd)
+		if err != nil || n > maxFrameBytes {
+			return nil, fmt.Errorf("%w: name length", ErrCorrupt)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, fmt.Errorf("%w: short name", ErrCorrupt)
+		}
+		names[i] = string(buf)
+	}
+	return names, nil
+}
+
+// decodeCounterRows decodes a counter block's names and values.
+func decodeCounterRows(h blockHeader, cols []byte) ([]string, []uint64, error) {
+	rd := &sliceReader{b: cols}
+	names, err := decodeNames(h, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	values := make([]uint64, h.rows)
+	for i := range values {
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: counter value: %v", ErrCorrupt, err)
+		}
+		values[i] = v
+	}
+	return names, values, nil
+}
+
+// decodeGaugeRows decodes a gauge block's names and values.
+func decodeGaugeRows(h blockHeader, cols []byte) ([]string, []float64, error) {
+	rd := &sliceReader{b: cols}
+	names, err := decodeNames(h, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	values := make([]float64, h.rows)
+	var prevBits uint64
+	for i := range values {
+		x, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: gauge value: %v", ErrCorrupt, err)
+		}
+		prevBits ^= x
+		values[i] = math.Float64frombits(prevBits)
+	}
+	return names, values, nil
+}
+
+// sliceReader is an io.ByteReader/io.Reader over a byte slice (bytes.Reader
+// without the rune bookkeeping).
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	c := s.b[s.i]
+	s.i++
+	return c, nil
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+// byteReader adapts a buffered file to the uvarint readers.
+type byteReader struct {
+	r io.Reader
+	// one-byte scratch for ReadByte
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}

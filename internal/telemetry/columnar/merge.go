@@ -1,0 +1,109 @@
+package columnar
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Merge k-way merges the segment directories of several nodes into one
+// stream ordered by (job, tag, cycle, tile): each directory's rows matching
+// q are loaded and sorted, then a heap interleaves the directories. Ties
+// across directories resolve by argument order, so the merge is
+// deterministic for any input. fn returning false stops the merge.
+//
+// Each dir is one job's segment directory (the unit a Writer owns), so
+// merging the same job's directory from two workers — or every job directory
+// of a whole campaign — is the same call.
+func Merge(dirs []string, q Query, fn func(Row) bool) error {
+	streams := make([][]Row, 0, len(dirs))
+	for _, dir := range dirs {
+		d, err := OpenDir(dir)
+		if err != nil {
+			return err
+		}
+		var rows []Row
+		if err := d.Range(q, func(r Row) bool {
+			rows = append(rows, r)
+			return true
+		}); err != nil {
+			return err
+		}
+		sortRows(rows)
+		streams = append(streams, rows)
+	}
+	h := &mergeHeap{}
+	for i, rows := range streams {
+		if len(rows) > 0 {
+			h.items = append(h.items, mergeItem{rows: rows, src: i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := &h.items[0]
+		if !fn(it.rows[0]) {
+			return nil
+		}
+		it.rows = it.rows[1:]
+		if len(it.rows) == 0 {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return nil
+}
+
+// rowLess orders rows by (job, tag, cycle, tile).
+func rowLess(a, b Row) bool {
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	if a.Cycle != b.Cycle {
+		return a.Cycle < b.Cycle
+	}
+	return a.Tile < b.Tile
+}
+
+// sortRows sorts in place by the merge order, stably preserving on-disk
+// order for equal keys (duplicate (job, tag, cycle, tile) rows keep their
+// decoded order).
+func sortRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rowLess(rows[i], rows[j]) })
+}
+
+type mergeItem struct {
+	rows []Row
+	src  int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if rowLess(a.rows[0], b.rows[0]) {
+		return true
+	}
+	if rowLess(b.rows[0], a.rows[0]) {
+		return false
+	}
+	return a.src < b.src
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

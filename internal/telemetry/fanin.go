@@ -9,12 +9,24 @@ import "sync"
 // FanIn whenever more than one chip may be in flight.
 //
 // Tagging scheme: events and samples carry the tag in their Tag field
-// (serialized by Stream as a "tag" JSON key / CSV column); counter and gauge
-// names are prefixed with "tag." so per-chip aggregates do not collide in
-// the shared recorder.
+// (serialized by Stream as a "tag" JSON key / CSV column). Counters and
+// gauges go through TaggedRecorder when the wrapped recorder implements it,
+// keeping the tag a first-class dimension (exposed as a Prometheus "tag"
+// label); recorders that do not are fed "tag."-prefixed names so per-chip
+// aggregates still cannot collide.
 type FanIn struct {
 	mu    sync.Mutex
 	inner Recorder
+}
+
+// TaggedRecorder is the optional extension a Recorder implements to receive
+// counter and gauge updates with the emitter tag as a separate dimension
+// instead of folded into the metric name. Memory and Shared implement it.
+type TaggedRecorder interface {
+	// CountTagged adds delta to the (tag, name) counter.
+	CountTagged(tag, name string, delta uint64)
+	// GaugeTagged sets the (tag, name) gauge.
+	GaugeTagged(tag, name string, v float64)
 }
 
 // NewFanIn wraps inner. The wrapped recorder itself need not be safe for
@@ -63,17 +75,27 @@ func (t tagged) Sample(s Sample) {
 	t.f.mu.Unlock()
 }
 
-// Count implements Recorder.
+// Count implements Recorder. Tag-aware recorders receive the tag as its own
+// dimension; others get the deprecated "tag."-prefixed name.
 func (t tagged) Count(name string, delta uint64) {
 	t.f.mu.Lock()
-	t.f.inner.Count(t.name(name), delta)
+	if tr, ok := t.f.inner.(TaggedRecorder); ok && t.tag != "" {
+		tr.CountTagged(t.tag, name, delta)
+	} else {
+		t.f.inner.Count(t.name(name), delta)
+	}
 	t.f.mu.Unlock()
 }
 
-// Gauge implements Recorder.
+// Gauge implements Recorder. Tag-aware recorders receive the tag as its own
+// dimension; others get the deprecated "tag."-prefixed name.
 func (t tagged) Gauge(name string, v float64) {
 	t.f.mu.Lock()
-	t.f.inner.Gauge(t.name(name), v)
+	if tr, ok := t.f.inner.(TaggedRecorder); ok && t.tag != "" {
+		tr.GaugeTagged(t.tag, name, v)
+	} else {
+		t.f.inner.Gauge(t.name(name), v)
+	}
 	t.f.mu.Unlock()
 }
 

@@ -124,3 +124,35 @@ func TestFanInSerializesConcurrentEmitters(t *testing.T) {
 func tagName(e int) string {
 	return "chip" + strings.Repeat("i", e+1)
 }
+
+// TestFanInTaggedRecorder drives a tag-aware inner recorder: counters and
+// gauges must land in the (tag, name) series, with the "tag.name" prefixed
+// alias still present for the deprecation window.
+func TestFanInTaggedRecorder(t *testing.T) {
+	inner := NewMemory(0)
+	rec := NewFanIn(inner).Tag("w2")
+	rec.Count("core.challenges_sent", 7)
+	rec.Gauge("bank00.fill", 0.9)
+
+	if got := inner.TaggedCounter("w2", "core.challenges_sent"); got != 7 {
+		t.Fatalf("tagged counter = %d, want 7", got)
+	}
+	if v, ok := inner.TaggedGaugeValue("w2", "bank00.fill"); !ok || v != 0.9 {
+		t.Fatalf("tagged gauge = %v,%v, want 0.9,true", v, ok)
+	}
+	// Deprecated aliases remain readable.
+	if got := inner.Counter("w2.core.challenges_sent"); got != 7 {
+		t.Fatalf("prefixed alias counter = %d, want 7", got)
+	}
+	if v, ok := inner.GaugeValue("w2.bank00.fill"); !ok || v != 0.9 {
+		t.Fatalf("prefixed alias gauge = %v,%v", v, ok)
+	}
+	// An empty tag stays a plain passthrough even on a tag-aware recorder.
+	NewFanIn(inner).Tag("").Count("plain", 1)
+	if got := inner.Counter("plain"); got != 1 {
+		t.Fatalf("empty-tag counter = %d, want 1", got)
+	}
+	if got := inner.TaggedCounter("", "plain"); got != 0 {
+		t.Fatalf("empty tag must not create a tagged series (got %d)", got)
+	}
+}

@@ -6,19 +6,34 @@ import "sort"
 // timeline: events in a bounded ring, samples in order, counters and gauges
 // in maps with deterministic (sorted) snapshot accessors.
 type Memory struct {
-	ring     *EventRing
-	samples  []Sample
-	counters map[string]uint64
-	gauges   map[string]float64
+	ring           *EventRing
+	samples        []Sample
+	counters       map[string]uint64
+	gauges         map[string]float64
+	taggedCounters map[TaggedKey]uint64
+	taggedGauges   map[TaggedKey]float64
+}
+
+// TaggedKey identifies one (emitter tag, metric name) series in a tag-aware
+// recorder.
+type TaggedKey struct {
+	Tag  string
+	Name string
 }
 
 // NewMemory builds a memory recorder retaining up to eventCap events
-// (<= 0 uses DefaultEventCap).
+// (<= 0 uses DefaultEventCap; pass a ring built with NewEventRing(0) via
+// Shared if you need the drop-all behavior).
 func NewMemory(eventCap int) *Memory {
+	if eventCap <= 0 {
+		eventCap = DefaultEventCap
+	}
 	return &Memory{
-		ring:     NewEventRing(eventCap),
-		counters: make(map[string]uint64),
-		gauges:   make(map[string]float64),
+		ring:           NewEventRing(eventCap),
+		counters:       make(map[string]uint64),
+		gauges:         make(map[string]float64),
+		taggedCounters: make(map[TaggedKey]uint64),
+		taggedGauges:   make(map[TaggedKey]float64),
 	}
 }
 
@@ -33,6 +48,32 @@ func (m *Memory) Count(name string, delta uint64) { m.counters[name] += delta }
 
 // Gauge implements Recorder.
 func (m *Memory) Gauge(name string, v float64) { m.gauges[name] = v }
+
+// CountTagged implements TaggedRecorder: the delta lands in the (tag, name)
+// series and, for one deprecation release, also in the legacy "tag.name"
+// prefixed counter so existing readers keep seeing it.
+func (m *Memory) CountTagged(tag, name string, delta uint64) {
+	m.taggedCounters[TaggedKey{Tag: tag, Name: name}] += delta
+	m.counters[tag+"."+name] += delta
+}
+
+// GaugeTagged implements TaggedRecorder; like CountTagged it also maintains
+// the deprecated "tag.name" alias.
+func (m *Memory) GaugeTagged(tag, name string, v float64) {
+	m.taggedGauges[TaggedKey{Tag: tag, Name: name}] = v
+	m.gauges[tag+"."+name] = v
+}
+
+// TaggedCounter returns the (tag, name) counter (0 when never counted).
+func (m *Memory) TaggedCounter(tag, name string) uint64 {
+	return m.taggedCounters[TaggedKey{Tag: tag, Name: name}]
+}
+
+// TaggedGaugeValue returns the (tag, name) gauge and whether it was set.
+func (m *Memory) TaggedGaugeValue(tag, name string) (float64, bool) {
+	v, ok := m.taggedGauges[TaggedKey{Tag: tag, Name: name}]
+	return v, ok
+}
 
 // Flush implements Recorder.
 func (m *Memory) Flush() error { return nil }

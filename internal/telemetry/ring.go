@@ -14,17 +14,24 @@ type EventRing struct {
 // DefaultEventCap bounds recorders that do not choose their own capacity.
 const DefaultEventCap = 4096
 
-// NewEventRing returns a ring holding up to capacity events; capacity <= 0
-// uses DefaultEventCap.
+// NewEventRing returns a ring holding up to capacity events. A capacity of
+// exactly 0 means "retain nothing": every pushed event is dropped (and
+// counted), which lets a caller keep event accounting while opting out of
+// event storage entirely. A negative capacity uses DefaultEventCap.
 func NewEventRing(capacity int) *EventRing {
-	if capacity <= 0 {
+	if capacity < 0 {
 		capacity = DefaultEventCap
 	}
 	return &EventRing{buf: make([]Event, capacity)}
 }
 
-// Push appends an event, evicting the oldest when full.
+// Push appends an event, evicting the oldest when full. A zero-capacity ring
+// drops the event immediately.
 func (r *EventRing) Push(ev Event) {
+	if len(r.buf) == 0 {
+		r.dropped++
+		return
+	}
 	if r.n < len(r.buf) {
 		r.buf[(r.start+r.n)%len(r.buf)] = ev
 		r.n++

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -14,6 +15,11 @@ import (
 type Snapshot struct {
 	Counters map[string]uint64
 	Gauges   map[string]float64
+	// TaggedCounters and TaggedGauges hold the per-emitter series recorded
+	// through TaggedRecorder. The plain maps still carry the deprecated
+	// "tag.name" aliases for these during the deprecation window.
+	TaggedCounters map[TaggedKey]uint64
+	TaggedGauges   map[TaggedKey]float64
 }
 
 // Snapshot copies the recorder's counters and gauges. Memory is not safe for
@@ -21,14 +27,22 @@ type Snapshot struct {
 // use Shared, whose Snapshot takes the recorder's lock.
 func (m *Memory) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: make(map[string]uint64, len(m.counters)),
-		Gauges:   make(map[string]float64, len(m.gauges)),
+		Counters:       make(map[string]uint64, len(m.counters)),
+		Gauges:         make(map[string]float64, len(m.gauges)),
+		TaggedCounters: make(map[TaggedKey]uint64, len(m.taggedCounters)),
+		TaggedGauges:   make(map[TaggedKey]float64, len(m.taggedGauges)),
 	}
 	for k, v := range m.counters {
 		s.Counters[k] = v
 	}
 	for k, v := range m.gauges {
 		s.Gauges[k] = v
+	}
+	for k, v := range m.taggedCounters {
+		s.TaggedCounters[k] = v
+	}
+	for k, v := range m.taggedGauges {
+		s.TaggedGauges[k] = v
 	}
 	return s
 }
@@ -80,6 +94,20 @@ func (s *Shared) Gauge(name string, v float64) {
 // Flush implements Recorder.
 func (s *Shared) Flush() error { return nil }
 
+// CountTagged implements TaggedRecorder.
+func (s *Shared) CountTagged(tag, name string, delta uint64) {
+	s.mu.Lock()
+	s.mem.CountTagged(tag, name, delta)
+	s.mu.Unlock()
+}
+
+// GaugeTagged implements TaggedRecorder.
+func (s *Shared) GaugeTagged(tag, name string, v float64) {
+	s.mu.Lock()
+	s.mem.GaugeTagged(tag, name, v)
+	s.mu.Unlock()
+}
+
 // Counter returns the named counter (0 when never counted).
 func (s *Shared) Counter(name string) uint64 {
 	s.mu.Lock()
@@ -115,11 +143,24 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// promLabelEscape escapes a label value per the exposition format.
+func promLabelEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters as TYPE counter, gauges as TYPE gauge,
 // names sanitized by PromName and emitted in sorted order so the output is
 // deterministic. Colliding sanitized counter names are summed; colliding
 // gauges keep the last value in sorted source order.
+//
+// Per-emitter series recorded through TaggedRecorder are emitted as labeled
+// samples — name{tag="w2"} — under the base metric name, the tag a proper
+// Prometheus dimension. The plain map still carries their "tag.name" aliases
+// (sanitized to "tag_name"), so both shapes appear during the deprecation
+// window; dashboards should move to the labeled form, the aliases disappear
+// next release.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	counters := make(map[string]uint64, len(s.Counters))
 	for name, v := range s.Counters {
@@ -129,15 +170,83 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range sortedKeys(s.Gauges) {
 		gauges[PromName(name)] = s.Gauges[name]
 	}
-	for _, name := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
-			return err
+	// Group tagged series by sanitized base name, tags sorted within each.
+	tc := make(map[string]map[string]uint64)
+	for k, v := range s.TaggedCounters {
+		name := PromName(k.Name)
+		if tc[name] == nil {
+			tc[name] = make(map[string]uint64)
+		}
+		tc[name][k.Tag] += v
+	}
+	tg := make(map[string]map[string]float64)
+	for _, k := range sortedTaggedKeys(s.TaggedGauges) {
+		name := PromName(k.Name)
+		if tg[name] == nil {
+			tg[name] = make(map[string]float64)
+		}
+		tg[name][k.Tag] = s.TaggedGauges[k]
+	}
+
+	cFams := sortedKeys(counters)
+	for name := range tc {
+		if _, ok := counters[name]; !ok {
+			cFams = append(cFams, name)
 		}
 	}
-	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]); err != nil {
+	sort.Strings(cFams)
+	for _, name := range cFams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
 			return err
+		}
+		if v, ok := counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+				return err
+			}
+		}
+		for _, tag := range sortedKeys(tc[name]) {
+			if _, err := fmt.Fprintf(w, "%s{tag=%q} %d\n", name, promLabelEscape(tag), tc[name][tag]); err != nil {
+				return err
+			}
+		}
+	}
+
+	gFams := sortedKeys(gauges)
+	for name := range tg {
+		if _, ok := gauges[name]; !ok {
+			gFams = append(gFams, name)
+		}
+	}
+	sort.Strings(gFams)
+	for _, name := range gFams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		if v, ok := gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, v); err != nil {
+				return err
+			}
+		}
+		for _, tag := range sortedKeys(tg[name]) {
+			if _, err := fmt.Fprintf(w, "%s{tag=%q} %g\n", name, promLabelEscape(tag), tg[name][tag]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// sortedTaggedKeys orders tagged keys by (name, tag) for deterministic folds.
+func sortedTaggedKeys[V any](m map[TaggedKey]V) []TaggedKey {
+	out := make([]TaggedKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
 }

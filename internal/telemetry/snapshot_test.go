@@ -81,6 +81,94 @@ func TestWritePrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestSharedConcurrentSampleAndExposition hammers Sample/Count/CountTagged
+// against concurrent WritePrometheus renders; under -race this proves the
+// whole snapshot-and-render path never reads live maps.
+func TestSharedConcurrentSampleAndExposition(t *testing.T) {
+	s := NewShared(0)
+	fan := NewFanIn(s)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := fan.Tag(tagName(w))
+			for i := 0; i < 200; i++ {
+				s.Sample(Sample{Cycle: uint64(i), Tile: w})
+				rec.Count("emitted", 1)
+				rec.Gauge("last", float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var b strings.Builder
+				if err := WritePrometheus(&b, s.Snapshot()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	var total uint64
+	for k, v := range snap.TaggedCounters {
+		if k.Name == "emitted" {
+			total += v
+		}
+	}
+	if total != 4*200 {
+		t.Fatalf("tagged emitted total = %d, want 800", total)
+	}
+}
+
+// TestWritePrometheusTagLabels pins the labeled exposition shape and the
+// deprecated prefixed aliases living side by side.
+func TestWritePrometheusTagLabels(t *testing.T) {
+	s := NewShared(0)
+	fan := NewFanIn(s)
+	fan.Tag("w2").Count("delta.challenges", 5)
+	fan.Tag("mixed").Count("delta.challenges", 2)
+	fan.Tag("w2").Gauge("queue.depth", 1.5)
+	s.Count("delta.challenges", 1) // untagged sample in the same family
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE delta_challenges counter\n",
+		"delta_challenges 1\n",
+		"delta_challenges{tag=\"mixed\"} 2\n",
+		"delta_challenges{tag=\"w2\"} 5\n",
+		"queue_depth{tag=\"w2\"} 1.5\n",
+		// Deprecated aliases, one release only.
+		"w2_delta_challenges 5\n",
+		"mixed_delta_challenges 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE delta_challenges counter\n") != 1 {
+		t.Fatalf("family TYPE line duplicated:\n%s", out)
+	}
+	// The labeled samples sit directly under their family's TYPE line.
+	idx := strings.Index(out, "# TYPE delta_challenges counter\n")
+	block := out[idx:]
+	if end := strings.Index(block[1:], "# TYPE"); end >= 0 {
+		block = block[:end+1]
+	}
+	if !strings.Contains(block, `{tag="w2"}`) {
+		t.Fatalf("labeled sample not grouped with its family:\n%s", out)
+	}
+}
+
 func TestWritePrometheusSumsCollidingCounters(t *testing.T) {
 	snap := Snapshot{Counters: map[string]uint64{"a.b": 1, "a/b": 2}}
 	var b strings.Builder

@@ -28,8 +28,30 @@ func TestEventRingBoundsAndOrder(t *testing.T) {
 }
 
 func TestEventRingDefaultCap(t *testing.T) {
-	if c := NewEventRing(0).Cap(); c != DefaultEventCap {
+	if c := NewEventRing(-1).Cap(); c != DefaultEventCap {
 		t.Fatalf("default cap %d, want %d", c, DefaultEventCap)
+	}
+	// NewMemory keeps the old "<= 0 means default" contract.
+	if c := NewMemory(0).ring.Cap(); c != DefaultEventCap {
+		t.Fatalf("NewMemory(0) ring cap %d, want %d", c, DefaultEventCap)
+	}
+}
+
+// TestEventRingZeroCapDropsAll pins the capacity-0 contract: retain nothing,
+// count every push as dropped, never panic.
+func TestEventRingZeroCapDropsAll(t *testing.T) {
+	r := NewEventRing(0)
+	if r.Cap() != 0 {
+		t.Fatalf("cap %d, want 0", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Push(Event{Cycle: uint64(i)})
+	}
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("zero-cap ring retained events: len=%d", r.Len())
+	}
+	if r.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", r.Dropped())
 	}
 }
 

@@ -72,6 +72,22 @@ func WithRecorder(r Recorder) Option {
 	return func(c *Config) { c.Recorder = r }
 }
 
+// WithRecorders attaches several telemetry recorders at once, fanning every
+// record out to each (e.g. an in-memory recorder for assertions plus a
+// columnar segment sink for durable range queries). Zero recorders leave the
+// configuration unchanged; one is attached directly.
+func WithRecorders(rs ...Recorder) Option {
+	return func(c *Config) {
+		switch len(rs) {
+		case 0:
+		case 1:
+			c.Recorder = rs[0]
+		default:
+			c.Recorder = NewMultiRecorder(rs...)
+		}
+	}
+}
+
 // WithSampleEvery sets the telemetry sampling period, in quanta.
 func WithSampleEvery(quanta int) Option {
 	return func(c *Config) { c.SampleEvery = quanta }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"delta/internal/telemetry"
+	"delta/internal/telemetry/columnar"
 )
 
 // Recorder is the telemetry sink threaded through the simulator: structured
@@ -62,3 +63,37 @@ func NewCSVRecorder(w io.Writer) *StreamRecorder { return telemetry.NewCSV(w) }
 
 // NewMultiRecorder fans telemetry out to several recorders.
 func NewMultiRecorder(recs ...Recorder) Recorder { return telemetry.NewMulti(recs...) }
+
+// ColumnarConfig tunes a columnar segment-sink recorder; only Dir is
+// required. See internal/telemetry/columnar for the segment format.
+type ColumnarConfig = columnar.Config
+
+// ColumnarRecorder streams per-quantum samples into rotating, CRC-framed,
+// schema-versioned columnar segment files with deterministic downsampling
+// tiers (raw, 1/10, 1/100) and per-job retention caps — the telemetry sink
+// that scales to long campaigns where an in-memory sample slice cannot. Close
+// it when the run completes. Query segment directories with
+// columnar.OpenDir/Range (or delta-served's /telemetry endpoint) and merge
+// multi-node directories with `delta-trace merge`.
+type ColumnarRecorder = columnar.Writer
+
+// NewColumnarRecorder opens (creating if needed) cfg.Dir and appends a fresh
+// segment after any already present.
+func NewColumnarRecorder(cfg ColumnarConfig) (*ColumnarRecorder, error) {
+	return columnar.NewWriter(cfg)
+}
+
+// ColumnarDir reads one job's columnar segment directory.
+type ColumnarDir = columnar.Dir
+
+// ColumnarQuery selects rows from a segment directory: a cycle range, a
+// resolution factor (1, 10 or 100, with fallback to finer tiers), and an
+// optional tag filter.
+type ColumnarQuery = columnar.Query
+
+// ColumnarRow is one decoded time-series point with its provenance.
+type ColumnarRow = columnar.Row
+
+// OpenColumnarDir indexes a segment directory for range queries, validating
+// every segment's header and checksums.
+func OpenColumnarDir(dir string) (*ColumnarDir, error) { return columnar.OpenDir(dir) }
