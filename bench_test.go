@@ -254,6 +254,21 @@ func BenchmarkCampaign(b *testing.B) {
 			}
 		})
 	}
+	// The same sweep with analytical fast-forward replacing the simulated
+	// warmup — the campaign configuration delta-bench exposes via
+	// -fastforward. The gap against workers=N above is the warmup share of
+	// campaign wall-clock.
+	for _, workers := range []int{4} {
+		b.Run(fmt.Sprintf("fastforward/workers=%d", workers), func(b *testing.B) {
+			sc := benchScale()
+			sc.Workers = workers
+			sc.FastForward = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.Runner{Workers: workers}.Run(sc, jobs)
+			}
+		})
+	}
 }
 
 // BenchmarkOverheadsControlTraffic measures the run behind the Section

@@ -37,6 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per campaign (1 = sequential)")
 	check := flag.Bool("check", false, "run simulator-wide invariant checks on every chip (slow; panics on the first violation)")
+	fastforward := flag.Bool("fastforward", false, "skip simulated warmup: seed UMON counters and cache contents from the workloads' analytical locality models (DESIGN.md §10)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
@@ -65,6 +66,7 @@ func main() {
 	sc.Seed = *seed
 	sc.Workers = *parallel
 	sc.Check = *check
+	sc.FastForward = *fastforward
 
 	suite16 := experiments.NewSuite(sc, 16)
 	suite64 := experiments.NewSuite(sc, 64)

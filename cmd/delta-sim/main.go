@@ -42,6 +42,7 @@ func main() {
 	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "workers when simulating several policies (1 = sequential)")
 	check := flag.Bool("check", false, "run simulator-wide invariant checks every quantum and after every remap (slow; panics on the first violation)")
+	fastforward := flag.Bool("fastforward", false, "skip simulated warmup: seed UMON counters and cache contents from the workloads' analytical locality models (DESIGN.md §10)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
@@ -85,6 +86,7 @@ func main() {
 			Seed:               *seed,
 			TimeCompression:    *compress,
 			Check:              *check,
+			FastForward:        *fastforward,
 		}))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "delta-sim:", err)

@@ -65,6 +65,14 @@ type Config struct {
 	// WarmupInstructions and BudgetInstructions set the per-core
 	// fast-forward and measured windows; 0 uses the experiment defaults.
 	WarmupInstructions, BudgetInstructions uint64
+	// FastForward replaces the simulated warmup with analytical seeding:
+	// before Run, every core whose generator exposes a trace locality model
+	// gets its UMON counters and cache contents derived from closed-form
+	// stack-distance curves, and measurement starts immediately. Cores
+	// without a model (custom generators, shared address spaces) warm the
+	// simulated way. Results differ from a simulated warmup only within the
+	// bound documented in DESIGN.md §10.
+	FastForward bool
 	// Multithreaded enables R-NUCA-style shared-page handling.
 	Multithreaded bool
 	// Seed drives workload randomness.
@@ -183,16 +191,21 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		TimeCompression uint64
 		Warmup          uint64
 		Budget          uint64
-		Multithreaded   bool
-		Seed            uint64
-		DeltaParams     *core.Params         `json:",omitempty"`
-		IdealConfig     *central.IdealConfig `json:",omitempty"`
+		// FastForward changes results, so it must be part of the cache key;
+		// omitempty keeps keys of pre-existing (simulated-warmup)
+		// configurations byte-identical to earlier releases.
+		FastForward   bool `json:",omitempty"`
+		Multithreaded bool
+		Seed          uint64
+		DeltaParams   *core.Params         `json:",omitempty"`
+		IdealConfig   *central.IdealConfig `json:",omitempty"`
 	}{
 		Cores:           cc.Cores,
 		Policy:          cc.Policy,
 		TimeCompression: cc.TimeCompression,
 		Warmup:          cc.WarmupInstructions,
 		Budget:          cc.BudgetInstructions,
+		FastForward:     cc.FastForward,
 		Multithreaded:   cc.Multithreaded,
 		Seed:            cc.Seed,
 		DeltaParams:     cc.DeltaParams,
@@ -418,6 +431,11 @@ func (s *Simulator) RunCtx(ctx context.Context) (Result, error) {
 		return Result{}, errors.New("delta: no workloads assigned")
 	}
 	s.ran = true
+	// A restored simulator resumes mid-run; fast-forward only applies to a
+	// chip that has not advanced (restored tiles are already warmed anyway).
+	if s.cfg.FastForward && s.chip.Now() == 0 {
+		s.chip.FastForward(s.cfg.WarmupInstructions)
+	}
 	if s.cfg.SnapshotEvery > 0 {
 		s.chip.SetCheckpoint(s.cfg.SnapshotEvery, func(uint64) { s.storeCheckpoint() })
 	}

@@ -26,12 +26,15 @@ func main() {
 	results := map[delta.PolicyKind]delta.Result{}
 	var deltaSim *delta.Simulator
 	for _, p := range policies {
-		sim := delta.NewSimulator(delta.Config{
-			Cores:              16,
-			Policy:             p,
-			WarmupInstructions: 300_000,
-			BudgetInstructions: 200_000,
-		})
+		sim, err := delta.New(
+			delta.WithCores(16),
+			delta.WithPolicy(p),
+			delta.WithWarmup(300_000),
+			delta.WithBudget(200_000),
+		)
+		if err != nil {
+			panic(err)
+		}
 		sim.LoadMix(mix)
 		results[p] = sim.Run()
 		if p == delta.PolicyDelta {

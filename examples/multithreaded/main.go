@@ -27,13 +27,16 @@ func main() {
 		name, page*100, block*100, app.PagePrivate)
 
 	run := func(policy delta.PolicyKind) uint64 {
-		sim := delta.NewSimulator(delta.Config{
-			Cores:              16,
-			Policy:             policy,
-			Multithreaded:      true,
-			WarmupInstructions: 200_000,
-			BudgetInstructions: 150_000,
-		})
+		sim, err := delta.New(
+			delta.WithCores(16),
+			delta.WithPolicy(policy),
+			delta.WithMultithreaded(true),
+			delta.WithWarmup(200_000),
+			delta.WithBudget(150_000),
+		)
+		if err != nil {
+			panic(err)
+		}
 		gens := app.ThreadGenerators(16, 1)
 		for t, g := range gens {
 			sim.SetWorkload(t, delta.Workload{Generator: g, SharedAddressSpace: true})

@@ -28,13 +28,16 @@ func main() {
 	run := func(interval uint64) float64 {
 		cfg := central.DefaultIdealConfig()
 		cfg.Interval = interval
-		sim := delta.NewSimulator(delta.Config{
-			Cores:              16,
-			Policy:             delta.PolicyIdeal,
-			IdealConfig:        &cfg,
-			WarmupInstructions: 300_000,
-			BudgetInstructions: 250_000,
-		})
+		sim, err := delta.New(
+			delta.WithCores(16),
+			delta.WithPolicy(delta.PolicyIdeal),
+			delta.WithIdealConfig(cfg),
+			delta.WithWarmup(300_000),
+			delta.WithBudget(250_000),
+		)
+		if err != nil {
+			panic(err)
+		}
 		sim.SetWorkload(0, delta.Workload{Generator: mkPhased()})
 		for i := 1; i < 16; i++ {
 			sim.SetWorkload(i, delta.Workload{App: "omnetpp"})

@@ -12,13 +12,16 @@ import (
 
 func main() {
 	run := func(policy delta.PolicyKind) delta.Result {
-		sim := delta.NewSimulator(delta.Config{
-			Cores:  16,
-			Policy: policy,
-			// The experiment harness's default compression (DESIGN.md §3).
-			WarmupInstructions: 400_000,
-			BudgetInstructions: 250_000,
-		})
+		// The experiment harness's default compression (DESIGN.md §3).
+		sim, err := delta.New(
+			delta.WithCores(16),
+			delta.WithPolicy(policy),
+			delta.WithWarmup(400_000),
+			delta.WithBudget(250_000),
+		)
+		if err != nil {
+			panic(err)
+		}
 		sim.LoadMix("w2") // Table IV: thrashing + sensitive apps
 		return sim.Run()
 	}

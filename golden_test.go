@@ -3,6 +3,7 @@ package delta
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -100,5 +101,20 @@ func TestGoldenSnapshot(t *testing.T) {
 	}
 	if got := strings.TrimSpace(fromGolden.Fingerprint()); got != strings.TrimSpace(string(wantFP)) {
 		t.Errorf("golden snapshot resumes to fingerprint %s, stored %s", got, strings.TrimSpace(string(wantFP)))
+	}
+}
+
+// TestGoldenSnapshotVersionSkewRejected pins the rejection path with a stored
+// artifact: testdata/golden_snapshot_v99.json is the v1 golden snapshot with
+// its schema_version rewritten to 99. Unlike the in-memory skew test this
+// guards the full file-to-error path against a decoder that silently ignores
+// the version field of a byte stream read from disk.
+func TestGoldenSnapshotVersionSkewRejected(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_snapshot_v99.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(data); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("skewed golden decode error = %v, want ErrSnapshotVersion", err)
 	}
 }

@@ -6,6 +6,14 @@
 // inclusive back-invalidation hooks and the bulk range-invalidation walk that
 // DELTA's remapping relies on.
 //
+// The array is stored structure-of-arrays: parallel tag/owner/sharer/recency
+// slices indexed by set*Ways+way, with per-set valid and dirty bitmasks. A
+// set's tags occupy one contiguous 64-byte span (8 ways × 8 bytes), so a
+// lookup touches a single cache line of tag storage plus the valid mask,
+// instead of striding across Ways pointer-heavy structs. Positions are
+// exposed to callers as flat indices ("flat index" below = set*Ways+way);
+// Line remains the value type handed to eviction hooks and predicates.
+//
 // Throughout the simulator addresses are *line addresses*: the byte address
 // shifted right by 6 (64-byte lines, Table II).
 package cache
@@ -22,8 +30,9 @@ const LineBytes = 64
 // are private and do not track partitions).
 const NoOwner = -1
 
-// Line is one cache line's metadata. Sharers is only maintained for caches
-// acting as LLC banks with an in-cache directory.
+// Line is one cache line's metadata, assembled on demand from the parallel
+// arrays. Sharers is only maintained for caches acting as LLC banks with an
+// in-cache directory.
 //
 // Owner is the partition that *inserted* the line and is attribution-stable
 // for the line's lifetime: a hit from another partition never reattributes
@@ -78,12 +87,31 @@ func (s *Stats) MissRate() float64 {
 // accounting, and panics.
 type EvictFn func(line Line)
 
-// Cache is a single set-associative array. Not safe for concurrent use; the
-// chip model serializes accesses within a quantum.
+// Cache is a single set-associative array in structure-of-arrays layout.
+// Not safe for concurrent use; the chip model serializes accesses within a
+// quantum. Ways is capped at 64 so a set's valid/dirty state and every way
+// mask fit one uint64.
 type Cache struct {
 	Sets, Ways int
 
-	lines   []Line
+	// words holds the per-set parallel slices, tiled so one set's state is
+	// one contiguous block of 4×Ways words:
+	// [tags | used stamps | sharers | owners]. A lookup scans the tag span
+	// and its stamp write lands a few cache lines later in the same block,
+	// and eviction assembles the departing Line from the tail of the same
+	// block, so the whole access rides one sequential stream instead of
+	// scattering point misses across separate arrays. Flat line indices
+	// returned by Lookup/Insert are positions of the *tag word*
+	// (set*stride + way); the matching stamp, sharer and owner words sit at
+	// fixed offsets +Ways, +2*Ways and +3*Ways. Owners are int16 values
+	// stored zero-extended from their uint16 bit pattern (so NoOwner = -1
+	// round-trips) to keep the block homogeneous.
+	words  []uint64
+	stride int // words per set block = 4*Ways
+	// Per-set state bitmasks: bit w of valid[s]/dirty[s] is way w of set s.
+	valid []uint64
+	dirty []uint64
+
 	setMask uint64
 	allMask uint64 // mask of all ways, hoisted out of the access path
 	clk     uint64
@@ -114,9 +142,10 @@ type Config struct {
 	Partitions int
 }
 
-// New builds a cache. Geometry must be a power-of-two number of sets.
+// New builds a cache. Geometry must be a power-of-two number of sets and at
+// most 64 ways (one uint64 of per-set state).
 func New(cfg Config) *Cache {
-	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.Ways > 64 {
 		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
 	}
 	lines := cfg.SizeBytes / LineBytes
@@ -125,13 +154,17 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache: %d sets is not a power of two (size %d, ways %d)",
 			sets, cfg.SizeBytes, cfg.Ways))
 	}
+	n := sets * cfg.Ways
 	c := &Cache{
 		Sets:    sets,
 		Ways:    cfg.Ways,
-		lines:   make([]Line, sets*cfg.Ways),
+		words:   make([]uint64, 4*n),
+		stride:  4 * cfg.Ways,
+		valid:   make([]uint64, sets),
+		dirty:   make([]uint64, sets),
 		setMask: uint64(sets - 1),
 	}
-	if cfg.Ways >= 64 {
+	if cfg.Ways == 64 {
 		c.allMask = ^uint64(0)
 	} else {
 		c.allMask = (uint64(1) << cfg.Ways) - 1
@@ -149,6 +182,22 @@ func New(cfg Config) *Cache {
 // SizeBytes returns the cache capacity.
 func (c *Cache) SizeBytes() int { return c.Sets * c.Ways * LineBytes }
 
+// findLine locates a valid line with the given address in a set, returning
+// its way or -1: a linear scan over the set's contiguous tag span, filtered
+// by the valid mask. The span is one or two cache lines for realistic
+// associativities and rides a single sequential stream.
+func (c *Cache) findLine(setIdx int, lineAddr uint64) int {
+	base := setIdx * c.stride
+	tags := c.words[base : base+c.Ways : base+c.Ways]
+	vm := c.valid[setIdx]
+	for w := range tags {
+		if tags[w] == lineAddr && vm&(1<<uint(w)) != 0 {
+			return w
+		}
+	}
+	return -1
+}
+
 // SetIndex returns the set an address maps to under the natural (low-bits)
 // indexing used by private caches.
 func (c *Cache) SetIndex(lineAddr uint64) int { return int(lineAddr & c.setMask) }
@@ -161,32 +210,88 @@ func (c *Cache) SetIndexShifted(lineAddr uint64, k int) int {
 	return int((lineAddr >> uint(k)) & c.setMask)
 }
 
-func (c *Cache) set(idx int) []Line { return c.lines[idx*c.Ways : (idx+1)*c.Ways] }
+// SetOf returns the set holding a flat line index.
+func (c *Cache) SetOf(idx int) int { return idx / c.stride }
 
-// Lookup searches for the line and, on a hit, refreshes its recency and
-// returns a pointer into the array (valid until the next mutation). Counters
-// are updated. The write flag marks the line dirty on hit.
-func (c *Cache) Lookup(lineAddr uint64, write bool) (*Line, bool) {
+// WayOf returns the way within its set of a flat line index.
+func (c *Cache) WayOf(idx int) int { return idx % c.stride }
+
+// LineAt assembles the line value at a flat index (as returned by
+// Lookup/Insert or passed to ForEachLine callbacks).
+func (c *Cache) LineAt(idx int) Line {
+	return c.lineAt(idx/c.stride, idx%c.stride)
+}
+
+// lineAt is LineAt with the set/way split already done — the hot paths know
+// both and must not pay the division.
+func (c *Cache) lineAt(set, way int) Line {
+	base := set * c.stride
+	return Line{
+		Addr:    c.words[base+way],
+		Valid:   c.valid[set]&(1<<uint(way)) != 0,
+		Dirty:   c.dirty[set]&(1<<uint(way)) != 0,
+		Owner:   int16(uint16(c.words[base+3*c.Ways+way])),
+		used:    c.words[base+c.Ways+way],
+		Sharers: c.words[base+2*c.Ways+way],
+	}
+}
+
+// putLine overwrites the slot (set, way) with the given metadata; shared by
+// PutLineRaw and snapshot restoration.
+func (c *Cache) putLine(set, way int, ln Line) {
+	base := set * c.stride
+	c.words[base+way] = ln.Addr
+	c.words[base+c.Ways+way] = ln.used
+	c.words[base+2*c.Ways+way] = ln.Sharers
+	c.words[base+3*c.Ways+way] = uint64(uint16(ln.Owner))
+	bit := uint64(1) << uint(way)
+	if ln.Valid {
+		c.valid[set] |= bit
+	} else {
+		c.valid[set] &^= bit
+	}
+	if ln.Dirty {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
+	}
+}
+
+// PutLineRaw overwrites the slot at a flat index with the given metadata,
+// bypassing LRU, statistics and occupancy bookkeeping. It exists for
+// snapshot restoration and for tests that deliberately corrupt state to
+// prove the invariant sweep fires; the access path never uses it.
+func (c *Cache) PutLineRaw(idx int, ln Line) {
+	c.putLine(idx/c.stride, idx%c.stride, ln)
+}
+
+// Lookup searches for the line and, on a hit, refreshes its recency, marks
+// it dirty when write is set, and returns its flat index. Counters are
+// updated. On a miss the index is -1.
+func (c *Cache) Lookup(lineAddr uint64, write bool) (int, bool) {
 	return c.LookupIdx(c.SetIndex(lineAddr), lineAddr, write)
 }
 
 // LookupIdx is Lookup with an explicit set index (NUCA-interleaved layouts).
-func (c *Cache) LookupIdx(setIdx int, lineAddr uint64, write bool) (*Line, bool) {
+func (c *Cache) LookupIdx(setIdx int, lineAddr uint64, write bool) (int, bool) {
 	c.Stats.Accesses++
-	set := c.set(setIdx)
-	for i := range set {
-		if set[i].Valid && set[i].Addr == lineAddr {
+	base := setIdx * c.stride
+	tags := c.words[base : base+c.Ways : base+c.Ways]
+	vm := c.valid[setIdx]
+	for w := range tags {
+		if tags[w] == lineAddr && vm&(1<<uint(w)) != 0 {
+			idx := base + w
 			c.clk++
-			set[i].used = c.clk
+			c.words[idx+c.Ways] = c.clk
 			if write {
-				set[i].Dirty = true
+				c.dirty[setIdx] |= 1 << uint(w)
 			}
 			c.Stats.Hits++
-			return &set[i], true
+			return idx, true
 		}
 	}
 	c.Stats.Misses++
-	return nil, false
+	return -1, false
 }
 
 // Probe reports whether the line is present without touching LRU state or
@@ -197,73 +302,98 @@ func (c *Cache) Probe(lineAddr uint64) bool {
 
 // ProbeIdx is Probe with an explicit set index.
 func (c *Cache) ProbeIdx(setIdx int, lineAddr uint64) bool {
-	set := c.set(setIdx)
-	for i := range set {
-		if set[i].Valid && set[i].Addr == lineAddr {
-			return true
-		}
-	}
-	return false
+	return c.findLine(setIdx, lineAddr) >= 0
 }
 
-// Get returns the line's metadata pointer without LRU update, or nil.
-func (c *Cache) Get(lineAddr uint64) *Line {
+// Get returns the line's metadata without LRU update; ok is false when the
+// line is absent.
+func (c *Cache) Get(lineAddr uint64) (Line, bool) {
 	return c.GetIdx(c.SetIndex(lineAddr), lineAddr)
 }
 
 // GetIdx is Get with an explicit set index.
-func (c *Cache) GetIdx(setIdx int, lineAddr uint64) *Line {
-	set := c.set(setIdx)
-	for i := range set {
-		if set[i].Valid && set[i].Addr == lineAddr {
-			return &set[i]
-		}
+func (c *Cache) GetIdx(setIdx int, lineAddr uint64) (Line, bool) {
+	if w := c.findLine(setIdx, lineAddr); w >= 0 {
+		return c.lineAt(setIdx, w), true
 	}
-	return nil
+	return Line{}, false
+}
+
+// FindIdx returns the flat line index of lineAddr within the given set
+// without touching LRU state or statistics; ok is false when absent. The
+// fast-forward prefill uses it to re-locate LLC residents for directory
+// updates without perturbing replacement order.
+func (c *Cache) FindIdx(setIdx int, lineAddr uint64) (int, bool) {
+	if w := c.findLine(setIdx, lineAddr); w >= 0 {
+		return setIdx*c.stride + w, true
+	}
+	return -1, false
 }
 
 // AllMask allows insertion into every way. It is a precomputed field read so
 // the per-access fast paths (fillPrivate, insertMask) pay no recomputation.
 func (c *Cache) AllMask() uint64 { return c.allMask }
 
+// OrSharers sets directory sharer bits on the line at a flat index. The hot
+// path uses it right after Lookup/Insert so the set is never walked twice.
+func (c *Cache) OrSharers(idx int, bit uint64) { c.words[idx+2*c.Ways] |= bit }
+
+// SharersAt returns the directory sharer bits of the line at a flat index.
+func (c *Cache) SharersAt(idx int) uint64 { return c.words[idx+2*c.Ways] }
+
 // Insert places a line, choosing a victim only among ways enabled in mask
-// (way-partitioned insertion). It returns a pointer to the inserted line
-// (valid until the next mutation of this cache — callers that need to stamp
-// directory bits use it instead of re-walking the set), plus the evicted line
-// if a valid one was displaced. The line is inserted owned by owner and clean
-// unless write. Insert panics if mask selects no way; the enforcement layer
-// guarantees a partition never inserts without owning capacity.
-func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (*Line, Line, bool) {
+// (way-partitioned insertion). It returns the flat index of the inserted
+// line (callers that need to stamp directory bits use it instead of
+// re-walking the set), plus the evicted line if a valid one was displaced.
+// The line is inserted owned by owner and clean unless write. Insert panics
+// if mask selects no way; the enforcement layer guarantees a partition never
+// inserts without owning capacity.
+func (c *Cache) Insert(lineAddr uint64, owner int, write bool, mask uint64) (int, Line, bool) {
 	return c.InsertIdx(c.SetIndex(lineAddr), lineAddr, owner, write, mask)
 }
 
 // InsertIdx is Insert with an explicit set index.
-func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (*Line, Line, bool) {
+func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, mask uint64) (int, Line, bool) {
 	c.guardMutation()
-	mask &= c.AllMask()
+	mask &= c.allMask
 	if mask == 0 {
 		panic("cache: insertion with empty way mask")
 	}
-	set := c.set(setIdx)
-	// Prefer an invalid allowed way.
-	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for m := mask; m != 0; m &= m - 1 {
-		w := bits.TrailingZeros64(m)
-		if !set[w].Valid {
-			victim = w
-			oldest = 0
-			break
+	base := setIdx * c.stride
+	validMask := c.valid[setIdx]
+	// Prefer the lowest-numbered invalid allowed way; otherwise the LRU
+	// (lowest recency stamp — stamps are unique, so the victim is exact).
+	var victim int
+	if inv := mask &^ validMask; inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+	} else if used := c.words[base+c.Ways : base+2*c.Ways : base+2*c.Ways]; mask == c.allMask {
+		// Unrestricted insertion (private caches, shared policies): a plain
+		// linear min-scan over the contiguous stamp span, no bit iteration.
+		victim = 0
+		oldest := used[0]
+		for w := 1; w < len(used); w++ {
+			if used[w] < oldest {
+				oldest = used[w]
+				victim = w
+			}
 		}
-		if set[w].used < oldest {
-			oldest = set[w].used
-			victim = w
+	} else {
+		victim = -1
+		var oldest uint64 = ^uint64(0)
+		for m := mask; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if used[w] < oldest {
+				oldest = used[w]
+				victim = w
+			}
 		}
 	}
+	vIdx := base + victim
+	vBit := uint64(1) << uint(victim)
 	var evicted Line
 	hadVictim := false
-	if set[victim].Valid {
-		evicted = set[victim]
+	if validMask&vBit != 0 {
+		evicted = c.lineAt(setIdx, victim)
 		hadVictim = true
 		c.Stats.Evictions++
 		if evicted.Dirty {
@@ -273,9 +403,32 @@ func (c *Cache) InsertIdx(setIdx int, lineAddr uint64, owner int, write bool, ma
 		c.fireEvict(evicted)
 	}
 	c.clk++
-	set[victim] = Line{Addr: lineAddr, Valid: true, Dirty: write, Owner: int16(owner), used: c.clk}
+	c.words[vIdx] = lineAddr
+	c.words[vIdx+c.Ways] = c.clk
+	c.words[vIdx+2*c.Ways] = 0
+	c.words[vIdx+3*c.Ways] = uint64(uint16(int16(owner)))
+	c.valid[setIdx] |= vBit
+	if write {
+		c.dirty[setIdx] |= vBit
+	} else {
+		c.dirty[setIdx] &^= vBit
+	}
 	c.noteInsert(owner)
-	return &set[victim], evicted, hadVictim
+	return vIdx, evicted, hadVictim
+}
+
+// clearSlot zeroes every per-line field of a slot and drops its valid/dirty
+// bits, matching what overwriting with a zero Line did in the AoS layout
+// (snapshots dump invalid slots too, so the stored bytes must stay zero).
+func (c *Cache) clearSlot(setIdx, way int) {
+	base := setIdx * c.stride
+	c.words[base+way] = 0
+	c.words[base+c.Ways+way] = 0
+	c.words[base+2*c.Ways+way] = 0
+	c.words[base+3*c.Ways+way] = 0
+	bit := uint64(1) << uint(way)
+	c.valid[setIdx] &^= bit
+	c.dirty[setIdx] &^= bit
 }
 
 // InvalidateLine removes a specific line if present, returning its metadata.
@@ -287,18 +440,16 @@ func (c *Cache) InvalidateLine(lineAddr uint64) (Line, bool) {
 // InvalidateLineIdx is InvalidateLine with an explicit set index.
 func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
 	c.guardMutation()
-	set := c.set(setIdx)
-	for i := range set {
-		if set[i].Valid && set[i].Addr == lineAddr {
-			ln := set[i]
-			set[i] = Line{}
-			c.Stats.Invals++
-			c.noteRemoval(ln)
-			c.fireEvict(ln)
-			return ln, true
-		}
+	w := c.findLine(setIdx, lineAddr)
+	if w < 0 {
+		return Line{}, false
 	}
-	return Line{}, false
+	ln := c.lineAt(setIdx, w)
+	c.clearSlot(setIdx, w)
+	c.Stats.Invals++
+	c.noteRemoval(ln)
+	c.fireEvict(ln)
+	return ln, true
 }
 
 // InvalidateMatching is the bulk-invalidation unit (Section II-C3): it walks
@@ -306,17 +457,21 @@ func (c *Cache) InvalidateLineIdx(setIdx int, lineAddr uint64) (Line, bool) {
 // for each. It returns the number of lines invalidated. The walk itself
 // models the hardware range-invalidation engine; callers charge its latency.
 //
-// OnEvict fires mid-walk with this array in a partially-invalidated state;
+// OnEvict fires mid-walk with the array in a partially-invalidated state;
 // see the EvictFn contract for what callbacks may and may not do.
 func (c *Cache) InvalidateMatching(pred func(line Line) bool) int {
 	c.guardMutation()
 	c.Stats.BulkWalks++
 	c.walking = true
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid && pred(c.lines[i]) {
-			ln := c.lines[i]
-			c.lines[i] = Line{}
+	for set := 0; set < c.Sets; set++ {
+		for m := c.valid[set]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			ln := c.lineAt(set, w)
+			if !pred(ln) {
+				continue
+			}
+			c.clearSlot(set, w)
 			n++
 			c.Stats.Invals++
 			c.noteRemoval(ln)
@@ -346,20 +501,21 @@ func (c *Cache) Occupancy(owner int) uint64 {
 // ValidLines returns the total number of valid lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
 
-// ForEachLine visits every valid line; mutation through the pointer is
-// allowed for directory updates but resizing operations are not.
-func (c *Cache) ForEachLine(fn func(ln *Line)) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			fn(&c.lines[i])
+// ForEachLine visits every valid line in array order as (flat index, value).
+// Mutation during the walk is not allowed; use PutLineRaw afterwards with a
+// recorded index where a test needs to alter a visited line.
+func (c *Cache) ForEachLine(fn func(idx int, ln Line)) {
+	for set := 0; set < c.Sets; set++ {
+		base := set * c.stride
+		for m := c.valid[set]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			fn(base+w, c.lineAt(set, w))
 		}
 	}
 }

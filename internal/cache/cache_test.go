@@ -108,15 +108,15 @@ func TestInsertPanicsOnEmptyMask(t *testing.T) {
 func TestDirtyTracking(t *testing.T) {
 	c := small()
 	c.Insert(0x40, NoOwner, true, c.AllMask())
-	ln := c.Get(0x40)
-	if ln == nil || !ln.Dirty {
+	ln, ok := c.Get(0x40)
+	if !ok || !ln.Dirty {
 		t.Fatal("write insert not dirty")
 	}
 	c.Insert(0x80, NoOwner, false, c.AllMask())
 	if _, hit := c.Lookup(0x80, true); !hit {
 		t.Fatal("miss")
 	}
-	if !c.Get(0x80).Dirty {
+	if ln, _ := c.Get(0x80); !ln.Dirty {
 		t.Fatal("write hit did not set dirty")
 	}
 }
@@ -223,7 +223,7 @@ func TestCacheInvariantsProperty(t *testing.T) {
 		counts := make([]uint64, 4)
 		seen := make(map[uint64]bool)
 		ok := true
-		c.ForEachLine(func(ln *Line) {
+		c.ForEachLine(func(_ int, ln Line) {
 			if seen[ln.Addr] {
 				ok = false
 			}
@@ -249,14 +249,13 @@ func TestSingleWayMaskProperty(t *testing.T) {
 	f := func(way uint8, addr uint16) bool {
 		c := New(Config{SizeBytes: 1024, Ways: 4})
 		w := int(way) % 4
-		c.Insert(uint64(addr), NoOwner, false, 1<<w)
-		got := -1
-		c.ForEachLine(func(ln *Line) { _ = ln })
+		idx, _, _ := c.Insert(uint64(addr), NoOwner, false, 1<<w)
+		if c.WayOf(idx) != w {
+			return false
+		}
 		// Reinsert a colliding address with the same mask: the first line
 		// must be the victim (only that way is allowed).
 		_, ev, had := c.Insert(uint64(addr)+4096, NoOwner, false, 1<<w)
-		got = 0
-		_ = got
 		return had && ev.Addr == uint64(addr)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -277,7 +276,7 @@ func TestShiftedIndexRoundTrip(t *testing.T) {
 	if !c.ProbeIdx(set, addr) {
 		t.Fatal("probe miss under shifted index")
 	}
-	if c.GetIdx(set, addr) == nil {
+	if _, ok := c.GetIdx(set, addr); !ok {
 		t.Fatal("get miss under shifted index")
 	}
 	if _, ok := c.InvalidateLineIdx(set, addr); !ok {

@@ -117,11 +117,11 @@ func TestOwnerStableAcrossCrossPartitionHits(t *testing.T) {
 	}
 	// Partition 3 hits every line partition 1 inserted — reads and writes.
 	for i := uint64(0); i < 32; i++ {
-		ln, hit := c.Lookup(i, i%2 == 0)
+		idx, hit := c.Lookup(i, i%2 == 0)
 		if !hit {
 			t.Fatalf("line %d missing", i)
 		}
-		if ln.Owner != 1 {
+		if ln := c.LineAt(idx); ln.Owner != 1 {
 			t.Fatalf("line %d reattributed to %d on cross-partition hit", i, ln.Owner)
 		}
 	}

@@ -6,11 +6,16 @@ import (
 	"delta/internal/snapshot"
 )
 
-// Snapshot captures the full array state — every line (valid or not, since
+// Snapshot captures the full array state — every slot (valid or not, since
 // victim choice depends on exact layout and LRU stamps), the recency clock,
-// per-partition occupancy, and stats — as parallel positional slices.
+// per-partition occupancy, and stats — as parallel positional slices. The
+// snapshot layout has always been structure-of-arrays, so since the in-core
+// layout became SoA too this is a straight copy of the parallel slices (the
+// flag byte per slot is assembled from the per-set valid/dirty bitmasks).
+// Invalid slots store zeroes in every array, so encodings stay byte-identical
+// across layout changes.
 func (c *Cache) Snapshot() snapshot.Cache {
-	n := len(c.lines)
+	n := c.Sets * c.Ways
 	s := snapshot.Cache{
 		Sets:    c.Sets,
 		Ways:    c.Ways,
@@ -30,20 +35,24 @@ func (c *Cache) Snapshot() snapshot.Cache {
 			BulkWalks:   c.Stats.BulkWalks,
 		},
 	}
-	for i := range c.lines {
-		ln := &c.lines[i]
-		s.Addrs[i] = ln.Addr
-		var f byte
-		if ln.Valid {
-			f |= 1
+	for set := 0; set < c.Sets; set++ {
+		v, d := c.valid[set], c.dirty[set]
+		lineBase := set * c.Ways
+		wordBase := set * c.stride
+		for w := 0; w < c.Ways; w++ {
+			s.Addrs[lineBase+w] = c.words[wordBase+w]
+			s.Used[lineBase+w] = c.words[wordBase+c.Ways+w]
+			s.Sharers[lineBase+w] = c.words[wordBase+2*c.Ways+w]
+			s.Owners[lineBase+w] = int16(uint16(c.words[wordBase+3*c.Ways+w]))
+			var f byte
+			if v&(1<<uint(w)) != 0 {
+				f |= 1
+			}
+			if d&(1<<uint(w)) != 0 {
+				f |= 2
+			}
+			s.Flags[lineBase+w] = f
 		}
-		if ln.Dirty {
-			f |= 2
-		}
-		s.Flags[i] = f
-		s.Owners[i] = ln.Owner
-		s.Sharers[i] = ln.Sharers
-		s.Used[i] = ln.used
 	}
 	if c.occupancy != nil {
 		s.Occupancy = append([]uint64(nil), c.occupancy...)
@@ -58,7 +67,7 @@ func (c *Cache) Restore(s snapshot.Cache) error {
 	if s.Sets != c.Sets || s.Ways != c.Ways {
 		return fmt.Errorf("cache: snapshot geometry %dx%d, cache is %dx%d", s.Sets, s.Ways, c.Sets, c.Ways)
 	}
-	n := len(c.lines)
+	n := c.Sets * c.Ways
 	if len(s.Addrs) != n || len(s.Flags) != n || len(s.Owners) != n || len(s.Sharers) != n || len(s.Used) != n {
 		return fmt.Errorf("cache: snapshot arrays do not cover %d lines", n)
 	}
@@ -69,15 +78,25 @@ func (c *Cache) Restore(s snapshot.Cache) error {
 	} else if len(s.Occupancy) != 0 {
 		return fmt.Errorf("cache: snapshot carries occupancy but owner tracking is off")
 	}
-	for i := range c.lines {
-		c.lines[i] = Line{
-			Addr:    s.Addrs[i],
-			Valid:   s.Flags[i]&1 != 0,
-			Dirty:   s.Flags[i]&2 != 0,
-			Owner:   s.Owners[i],
-			Sharers: s.Sharers[i],
-			used:    s.Used[i],
+	for set := 0; set < c.Sets; set++ {
+		var v, d uint64
+		lineBase := set * c.Ways
+		wordBase := set * c.stride
+		for w := 0; w < c.Ways; w++ {
+			c.words[wordBase+w] = s.Addrs[lineBase+w]
+			c.words[wordBase+c.Ways+w] = s.Used[lineBase+w]
+			c.words[wordBase+2*c.Ways+w] = s.Sharers[lineBase+w]
+			c.words[wordBase+3*c.Ways+w] = uint64(uint16(s.Owners[lineBase+w]))
+			f := s.Flags[lineBase+w]
+			if f&1 != 0 {
+				v |= 1 << uint(w)
+			}
+			if f&2 != 0 {
+				d |= 1 << uint(w)
+			}
 		}
+		c.valid[set] = v
+		c.dirty[set] = d
 	}
 	c.clk = s.Clk
 	copy(c.occupancy, s.Occupancy)

@@ -81,9 +81,23 @@ func BenchmarkAccessPath(b *testing.B) {
 	}
 }
 
-// BenchmarkChipRun measures a whole single-chip Run at a compressed scale:
-// the unit the parallel campaign engine fans out.
+// BenchmarkChipRun measures a whole single-chip Run at a compressed scale —
+// the unit the parallel campaign engine fans out — on the fast-forward path:
+// analytical seeding replaces the simulated warmup, so the run spends its
+// cycles on the measured window. BenchmarkChipRunWarm keeps the simulated
+// warmup for comparison; bench_results.txt tracks both.
 func BenchmarkChipRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := benchChip(NewSnuca(), "mixed")
+		c.FastForward(30_000)
+		c.Run(30_000, 20_000)
+	}
+}
+
+// BenchmarkChipRunWarm is the same run with the warmup simulated
+// instruction-by-instruction (the pre-fast-forward behaviour).
+func BenchmarkChipRunWarm(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := benchChip(NewSnuca(), "mixed")

@@ -268,6 +268,7 @@ func New(cfg Config, p Policy) *Chip {
 	if c.checkOn {
 		c.mono = invariant.NewMonotone()
 	}
+	c.events.Deliver = c.deliver
 	llcSets := cfg.LLCBytes / cache.LineBytes / cfg.LLCWays
 	c.llcSetBits = log2(llcSets)
 	c.bankBits = log2(cfg.Cores)
@@ -364,7 +365,7 @@ type ControlHandler interface {
 // as traffic but are dropped on delivery.
 func (c *Chip) SendControl(src, dst int, m sim.Msg) {
 	lat := c.Net.Latency(src, dst, noc.ClassControl)
-	c.events.ScheduleMsg(c.now+lat, m, func(now uint64) { c.deliver(m, now) })
+	c.events.ScheduleMsg(c.now+lat, m)
 }
 
 // deliver routes a control message to the policy's handler.
@@ -630,14 +631,14 @@ func (c *Chip) access(i int, line uint64, write bool) uint64 {
 	lat := c.Cfg.Lat.L1Hit + c.Cfg.Lat.L2Tag
 	lat += c.Net.RoundTrip(i, bank, noc.ClassData)
 
-	if ln, hit := bt.LLC.LookupIdx(setIdx, line, write); hit {
+	if idx, hit := bt.LLC.LookupIdx(setIdx, line, write); hit {
 		lat += c.Cfg.Lat.LLCTag + c.Cfg.Lat.LLCData
 		if bank == i {
 			t.LLCLocalHits++
 		} else {
 			t.LLCRemoteHits++
 		}
-		c.markSharer(ln, i)
+		c.markSharer(bt, idx, i)
 		c.fillPrivate(t, line, write)
 		return lat
 	}
@@ -655,7 +656,7 @@ func (c *Chip) access(i int, line uint64, write bool) uint64 {
 		c.Stats.SharedInserts++
 	}
 	ins, _, _ := bt.LLC.InsertIdx(setIdx, line, owner, write, mask)
-	c.markSharer(ins, i)
+	c.markSharer(bt, ins, i)
 	c.fillPrivate(t, line, write)
 	return lat
 }
@@ -695,12 +696,12 @@ func (c *Chip) fillPrivate(t *Tile, line uint64, write bool) {
 	t.L1.Insert(line, cache.NoOwner, write, t.L1.AllMask())
 }
 
-// markSharer records core in an LLC line's directory bits. ln is the pointer
-// LookupIdx/InsertIdx already located — re-walking the set here would double
-// the tag-array work of every LLC access.
-func (c *Chip) markSharer(ln *cache.Line, core int) {
-	if ln != nil && core < 64 {
-		ln.Sharers |= uint64(1) << uint(core)
+// markSharer records core in an LLC line's directory bits. idx is the flat
+// index LookupIdx/InsertIdx already located — re-walking the set here would
+// double the tag-array work of every LLC access.
+func (c *Chip) markSharer(bt *Tile, idx int, core int) {
+	if idx >= 0 && core < 64 {
+		bt.LLC.OrSharers(idx, uint64(1)<<uint(core))
 	}
 }
 

@@ -171,7 +171,7 @@ func TestInclusionBackInvalidation(t *testing.T) {
 	// Inclusion: every valid L2 line must still be present in the LLC
 	// (private policy: all of core 0's lines live in bank 0).
 	violations := 0
-	c.Tiles[0].L2.ForEachLine(func(ln *cache.Line) {
+	c.Tiles[0].L2.ForEachLine(func(_ int, ln cache.Line) {
 		if !c.Tiles[0].LLC.Probe(ln.Addr) {
 			violations++
 		}
@@ -370,7 +370,7 @@ func TestSnucaLineInterleaveSpreadsSets(t *testing.T) {
 			continue
 		}
 		setsUsed := map[int]bool{}
-		tile.LLC.ForEachLine(func(ln *cache.Line) {
+		tile.LLC.ForEachLine(func(_ int, ln cache.Line) {
 			setsUsed[c.SnucaSetIdx(tile, ln.Addr)] = true
 		})
 		if len(setsUsed) < tile.LLC.Sets/2 {

@@ -1,0 +1,99 @@
+package chip
+
+import (
+	"testing"
+
+	"delta/internal/trace"
+)
+
+// opaqueGen is a generator with no locality model.
+type opaqueGen struct{ g trace.Generator }
+
+func (o opaqueGen) Next() trace.Access { return o.g.Next() }
+
+func ffChip(t *testing.T) *Chip {
+	t.Helper()
+	c := New(DefaultConfig(16), NewSnuca())
+	for i := 0; i < 16; i++ {
+		c.SetWorkload(i, trace.NewShaper(
+			trace.NewRegionGen(0, trace.Lines(256), uint64(i)+1),
+			trace.ShaperConfig{MemFraction: 0.3, Seed: uint64(i) + 1},
+		), true)
+	}
+	return c
+}
+
+func TestFastForwardSeedsEveryModeledTile(t *testing.T) {
+	c := ffChip(t)
+	if n := c.FastForward(30_000); n != 16 {
+		t.Fatalf("seeded %d tiles, want 16", n)
+	}
+	llcLines := 0
+	for _, tile := range c.Tiles {
+		llcLines += tile.LLC.ValidLines()
+	}
+	if llcLines == 0 {
+		t.Fatal("fast-forward left the LLC empty")
+	}
+	for i, tile := range c.Tiles {
+		if tile.L2.ValidLines() == 0 {
+			t.Fatalf("tile %d: L2 not prefilled", i)
+		}
+		if cur := tile.Mon.PeekCurve(); cur.Accesses <= 0 {
+			t.Fatalf("tile %d: UMON not seeded", i)
+		}
+		if !tile.warmed {
+			t.Fatalf("tile %d: measurement window not opened", i)
+		}
+	}
+	// Seeding is idempotent: warmed tiles are skipped.
+	if n := c.FastForward(30_000); n != 0 {
+		t.Fatalf("second FastForward seeded %d tiles, want 0", n)
+	}
+}
+
+func TestFastForwardSkipsUnmodeledTiles(t *testing.T) {
+	c := New(DefaultConfig(16), NewSnuca())
+	// Tile 0 has no locality model; tile 1 shares the global address space
+	// (prefill would alias one line into multiple banks); the rest qualify.
+	c.SetWorkload(0, opaqueGen{trace.NewRegionGen(0, 64, 1)}, true)
+	c.SetWorkload(1, trace.NewRegionGen(0, 64, 2), false)
+	for i := 2; i < 16; i++ {
+		c.SetWorkload(i, trace.NewRegionGen(0, 64, uint64(i)), true)
+	}
+	if n := c.FastForward(30_000); n != 14 {
+		t.Fatalf("seeded %d tiles, want 14", n)
+	}
+	if c.Tiles[0].warmed || c.Tiles[1].warmed {
+		t.Fatal("unmodeled/shared tiles must keep the simulated warmup")
+	}
+}
+
+// TestFastForwardInclusion verifies the prefilled hierarchy passes the full
+// invariant sweep before any simulation step.
+func TestFastForwardInclusion(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Check = true
+	c := New(cfg, NewSnuca())
+	for i := 0; i < 16; i++ {
+		c.SetWorkload(i, trace.NewShaper(
+			// Oversized regions force LLC contention and cross-tile
+			// back-invalidation during prefill.
+			trace.NewRegionGen(0, trace.Lines(2048), uint64(i)+1),
+			trace.ShaperConfig{MemFraction: 0.3, Seed: uint64(i) + 1},
+		), true)
+	}
+	c.FastForward(50_000)
+	c.CheckInvariants("fastforward")
+}
+
+func TestFastForwardPanicsAfterRun(t *testing.T) {
+	c := ffChip(t)
+	c.Run(1_000, 1_000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FastForward after Run did not panic")
+		}
+	}()
+	c.FastForward(30_000)
+}

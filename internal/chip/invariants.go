@@ -126,7 +126,7 @@ func (c *Chip) checkInclusion() error {
 	var errs []error
 	for b, t := range c.Tiles {
 		bank := b
-		t.LLC.ForEachLine(func(ln *cache.Line) {
+		t.LLC.ForEachLine(func(_ int, ln cache.Line) {
 			if prev, ok := llc[ln.Addr]; ok {
 				errs = append(errs, fmt.Errorf(
 					"line %#x resident in both bank %d and bank %d", ln.Addr, prev.bank, bank))
@@ -137,13 +137,13 @@ func (c *Chip) checkInclusion() error {
 	}
 	for i, t := range c.Tiles {
 		core := i
-		t.L1.ForEachLine(func(ln *cache.Line) {
-			if t.L2.Get(ln.Addr) == nil {
+		t.L1.ForEachLine(func(_ int, ln cache.Line) {
+			if !t.L2.Probe(ln.Addr) {
 				errs = append(errs, fmt.Errorf(
 					"core %d L1 holds %#x but its L2 does not (L1 ⊆ L2 broken)", core, ln.Addr))
 			}
 		})
-		t.L2.ForEachLine(func(ln *cache.Line) {
+		t.L2.ForEachLine(func(_ int, ln cache.Line) {
 			h, ok := llc[ln.Addr]
 			if !ok {
 				errs = append(errs, fmt.Errorf(

@@ -203,7 +203,7 @@ func TestSnucaAliasSurvivesOwnerBucketInvalidation(t *testing.T) {
 		all[b] = true
 	}
 	countShared := func(bank int) (shared int) {
-		c.Tiles[bank].LLC.ForEachLine(func(ln *cache.Line) {
+		c.Tiles[bank].LLC.ForEachLine(func(_ int, ln cache.Line) {
 			if ln.Owner == cache.NoOwner {
 				shared++
 			}
@@ -284,12 +284,15 @@ func checkedChip(t *testing.T, script []byte) *Chip {
 	return c
 }
 
-// anyLine returns a pointer to one valid line matching pred, or nil.
-func anyLine(c *cache.Cache, pred func(*cache.Line) bool) *cache.Line {
-	var found *cache.Line
-	c.ForEachLine(func(ln *cache.Line) {
-		if found == nil && pred(ln) {
-			found = ln
+// anyLine returns the flat index of one valid line matching pred, or -1.
+// Corruption tests read the line with LineAt and write the altered value
+// back with PutLineRaw (which bypasses occupancy bookkeeping, exactly the
+// silent-drift shape the sweep exists to catch).
+func anyLine(c *cache.Cache, pred func(cache.Line) bool) int {
+	found := -1
+	c.ForEachLine(func(idx int, ln cache.Line) {
+		if found < 0 && pred(ln) {
+			found = idx
 		}
 	})
 	return found
@@ -302,20 +305,25 @@ func TestSweepCatchesStatsCorruption(t *testing.T) {
 
 func TestSweepCatchesOwnerCorruption(t *testing.T) {
 	c := checkedChip(t, nil)
-	victim := anyLine(c.Tiles[0].LLC, func(ln *cache.Line) bool { return ln.Owner == 0 })
-	if victim == nil {
+	llc := c.Tiles[0].LLC
+	victim := anyLine(llc, func(ln cache.Line) bool { return ln.Owner == 0 })
+	if victim < 0 {
 		t.Skip("bank 0 held no core-0 lines")
 	}
-	expectViolation(t, c, "occupancy", func() { victim.Owner = 5 })
+	expectViolation(t, c, "occupancy", func() {
+		ln := llc.LineAt(victim)
+		ln.Owner = 5
+		llc.PutLineRaw(victim, ln)
+	})
 }
 
 func TestSweepCatchesDuplicateResidency(t *testing.T) {
 	c := checkedChip(t, nil)
-	ln := anyLine(c.Tiles[0].LLC, func(*cache.Line) bool { return true })
-	if ln == nil {
+	idx := anyLine(c.Tiles[0].LLC, func(cache.Line) bool { return true })
+	if idx < 0 {
 		t.Skip("bank 0 empty")
 	}
-	addr := ln.Addr
+	addr := c.Tiles[0].LLC.LineAt(idx).Addr
 	expectViolation(t, c, "resident in both", func() {
 		c.Tiles[1].LLC.Insert(addr, 1, false, c.Tiles[1].LLC.AllMask())
 	})
@@ -325,15 +333,17 @@ func TestSweepCatchesDirectoryDrop(t *testing.T) {
 	c := checkedChip(t, nil)
 	// Clear the LLC sharer bits of an L2-resident line: the directory then
 	// under-reports residency (back-invalidation would miss the copy).
-	l2ln := anyLine(c.Tiles[2].L2, func(*cache.Line) bool { return true })
-	if l2ln == nil {
+	l2idx := anyLine(c.Tiles[2].L2, func(cache.Line) bool { return true })
+	if l2idx < 0 {
 		t.Skip("core 2 L2 empty")
 	}
-	addr := l2ln.Addr
+	addr := c.Tiles[2].L2.LineAt(l2idx).Addr
 	expectViolation(t, c, "sharer bit is clear", func() {
 		for _, tile := range c.Tiles {
-			if ln := anyLine(tile.LLC, func(ln *cache.Line) bool { return ln.Addr == addr }); ln != nil {
+			if idx := anyLine(tile.LLC, func(ln cache.Line) bool { return ln.Addr == addr }); idx >= 0 {
+				ln := tile.LLC.LineAt(idx)
 				ln.Sharers = 0
+				tile.LLC.PutLineRaw(idx, ln)
 			}
 		}
 	})
@@ -341,11 +351,11 @@ func TestSweepCatchesDirectoryDrop(t *testing.T) {
 
 func TestSweepCatchesInclusionBreak(t *testing.T) {
 	c := checkedChip(t, nil)
-	l2ln := anyLine(c.Tiles[4].L2, func(*cache.Line) bool { return true })
-	if l2ln == nil {
+	l2idx := anyLine(c.Tiles[4].L2, func(cache.Line) bool { return true })
+	if l2idx < 0 {
 		t.Skip("core 4 L2 empty")
 	}
-	addr := l2ln.Addr
+	addr := c.Tiles[4].L2.LineAt(l2idx).Addr
 	expectViolation(t, c, "inclusion", func() {
 		// Drop the LLC copy with back-invalidation suppressed: simulate a
 		// lost invalidation message.

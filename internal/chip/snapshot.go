@@ -210,9 +210,7 @@ func (c *Chip) Restore(s *snapshot.Chip) error {
 		SharedInserts:  s.Stats.SharedInserts,
 		PageReclassify: s.Stats.PageReclassify,
 	}
-	c.events.Restore(s.Events, func(m sim.Msg) func(now uint64) {
-		return func(now uint64) { c.deliver(m, now) }
-	})
+	c.events.Restore(s.Events)
 	// Counter baselines restart from the restored values; the first check
 	// re-baselines instead of comparing against the pre-restore run.
 	if c.checkOn {

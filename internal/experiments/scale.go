@@ -44,6 +44,12 @@ type Scale struct {
 	// Check enables the runtime invariant harness on every chip the scale
 	// builds (chip.Config.Check).
 	Check bool
+	// FastForward replaces the simulated warmup with analytical seeding
+	// (chip.FastForward): UMON counters and cache contents are derived from
+	// the workloads' closed-form locality models and measurement starts
+	// immediately, cutting campaign wall-clock roughly by the warmup share of
+	// the instruction window.
+	FastForward bool
 	// Workers bounds how many simulations the campaign drivers (Suite
 	// prefetching, Fig12, Fig13, Ablations) run concurrently. 0 or 1 runs
 	// sequentially — the historical behaviour; delta-bench wires its
@@ -167,6 +173,9 @@ func (s Scale) RunMixCtx(ctx context.Context, policy string, mix workloads.Mix, 
 	gens := mix.Generators(cores, s.Seed)
 	for i, g := range gens {
 		c.SetWorkload(i, g, true)
+	}
+	if s.FastForward {
+		c.FastForward(s.Warmup)
 	}
 	err := c.RunCtx(ctx, s.Warmup, s.Budget)
 	run := MixRun{

@@ -72,7 +72,7 @@ func CheckOccupancy(label string, c *cache.Cache) error {
 	recount := make([]uint64, c.Partitions())
 	valid := 0
 	var err error
-	c.ForEachLine(func(ln *cache.Line) {
+	c.ForEachLine(func(_ int, ln cache.Line) {
 		valid++
 		if ln.Owner == cache.NoOwner {
 			return

@@ -89,11 +89,17 @@ func TestCheckOccupancyCatchesOwnerCorruption(t *testing.T) {
 	}
 	// Simulate the bug the recount exists for: something reattributes a
 	// line without adjusting the occupancy table.
-	c.ForEachLine(func(ln *cache.Line) {
+	var corrupt []int
+	c.ForEachLine(func(idx int, ln cache.Line) {
 		if ln.Owner == 0 {
-			ln.Owner = 1
+			corrupt = append(corrupt, idx)
 		}
 	})
+	for _, idx := range corrupt {
+		ln := c.LineAt(idx)
+		ln.Owner = 1
+		c.PutLineRaw(idx, ln)
+	}
 	if err := CheckOccupancy("bank", c); err == nil {
 		t.Fatal("silent owner reattribution not caught")
 	}
@@ -102,7 +108,11 @@ func TestCheckOccupancyCatchesOwnerCorruption(t *testing.T) {
 func TestCheckOccupancyCatchesOutOfRangeOwner(t *testing.T) {
 	c := newLLC(t)
 	c.Insert(1, 0, false, c.AllMask())
-	c.ForEachLine(func(ln *cache.Line) { ln.Owner = 99 })
+	target := -1
+	c.ForEachLine(func(idx int, _ cache.Line) { target = idx })
+	ln := c.LineAt(target)
+	ln.Owner = 99
+	c.PutLineRaw(target, ln)
 	if err := CheckOccupancy("bank", c); err == nil {
 		t.Fatal("out-of-range owner not caught")
 	}

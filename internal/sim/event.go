@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -14,17 +13,18 @@ func mathLog(x float64) float64 { return math.Log(x) }
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle = uint64
 
-// Event is a closure scheduled to run at a particular cycle. Events fire in
-// cycle order; ties are broken by insertion order so the simulation stays
+// Event is one slot of the queue's arena: a due cycle plus either a reified
+// message (the common, allocation-free path) or a bound closure (the legacy
+// Schedule path, used by tests and one-off callbacks). Events fire in cycle
+// order; ties are broken by insertion order so the simulation stays
 // deterministic.
 type Event struct {
 	When Cycle
 	Fn   func(now Cycle)
 	seq  uint64
-	idx  int
-	// msg, when hasMsg is set, is the serializable payload this event's
-	// closure was bound from. Only events scheduled through ScheduleMsg can
-	// survive a checkpoint; plain Schedule events make Pending fail.
+	// msg, when hasMsg is set, is the serializable payload delivered through
+	// the queue's Deliver handler. Only message events can survive a
+	// checkpoint; plain Schedule events make Pending fail.
 	msg    Msg
 	hasMsg bool
 }
@@ -43,13 +43,13 @@ type Msg struct {
 }
 
 // MsgNoop is the Kind of a message whose delivery has no semantic effect: it
-// exists only to account for NoC control traffic. Deliverers drop it without
-// consulting any handler.
+// exists only to account for NoC control traffic. The chip's handler drops it
+// without consulting the policy.
 const MsgNoop = "noop"
 
 // PendingEvent is one in-flight event in serializable form: its due cycle,
 // its exact sequence number (the deterministic tie-breaker), and the message
-// payload to rebind on restore.
+// payload to redeliver on restore.
 type PendingEvent struct {
 	When Cycle  `json:"when"`
 	Seq  uint64 `json:"seq"`
@@ -59,29 +59,119 @@ type PendingEvent struct {
 // EventQueue is a deterministic min-heap of events keyed by (cycle, sequence).
 // It is the spine of the chip's message-delivery and reconfiguration
 // machinery. Not safe for concurrent use.
+//
+// Storage is an arena: events live in a reusable slab indexed by the heap,
+// with popped slots recycled through a freelist, so steady-state scheduling
+// allocates nothing. Message events carry no closure — they are dispatched
+// through the queue-wide Deliver handler bound once at construction — which
+// is what lets ScheduleMsg stay allocation-free and lets Restore rebuild
+// in-flight traffic without a per-event bind.
 type EventQueue struct {
-	h   eventHeap
-	seq uint64
+	slab []Event // arena; heap and freelist hold indices into it
+	free []int32 // recycled slab slots
+	heap []int32 // index min-heap ordered by slab (When, seq)
+	seq  uint64
+
+	// Deliver receives every message event when it fires (including
+	// MsgNoop — dropping accounting-only traffic is the handler's call).
+	// It must be set before the first message event fires.
+	Deliver func(m Msg, now Cycle)
 }
 
-// NewEventQueue returns an empty queue.
+// NewEventQueue returns an empty queue. The zero value is also ready to use.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// alloc places ev in a free slab slot and returns its index.
+func (q *EventQueue) alloc(ev Event) int32 {
+	if n := len(q.free); n > 0 {
+		id := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.slab[id] = ev
+		return id
+	}
+	q.slab = append(q.slab, ev)
+	return int32(len(q.slab) - 1)
+}
+
+// less orders two slab entries by (When, seq).
+func (q *EventQueue) less(a, b int32) bool {
+	ea, eb := &q.slab[a], &q.slab[b]
+	if ea.When != eb.When {
+		return ea.When < eb.When
+	}
+	return ea.seq < eb.seq
+}
+
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q.less(q.heap[r], q.heap[l]) {
+			least = r
+		}
+		if !q.less(q.heap[least], q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		i = least
+	}
+}
+
+// push enqueues a slab entry.
+func (q *EventQueue) push(ev Event) {
+	id := q.alloc(ev)
+	q.heap = append(q.heap, id)
+	q.siftUp(len(q.heap) - 1)
+}
+
+// popRoot removes the heap minimum, recycles its slot, and returns the event
+// by value (the slab entry is zeroed so closure and message references are
+// released immediately).
+func (q *EventQueue) popRoot() Event {
+	id := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	ev := q.slab[id]
+	q.slab[id] = Event{}
+	q.free = append(q.free, id)
+	return ev
+}
 
 // Schedule enqueues fn to run at cycle when. Scheduling in the past is
 // allowed (the event fires on the next drain); this matches the loosely
 // synchronized quantum model where a message can be "due" as soon as the
-// boundary is reached.
+// boundary is reached. Closure events cannot be checkpointed; simulation
+// traffic uses ScheduleMsg.
 func (q *EventQueue) Schedule(when Cycle, fn func(now Cycle)) {
 	q.seq++
-	heap.Push(&q.h, &Event{When: when, Fn: fn, seq: q.seq})
+	q.push(Event{When: when, Fn: fn, seq: q.seq})
 }
 
-// ScheduleMsg enqueues fn like Schedule, additionally recording the message
-// the closure was bound from so the event can be serialized by Pending and
-// rebound by Restore.
-func (q *EventQueue) ScheduleMsg(when Cycle, m Msg, fn func(now Cycle)) {
+// ScheduleMsg enqueues a message for delivery at cycle when through the
+// queue's Deliver handler. No closure is bound, so scheduling steady-state
+// traffic performs no allocation, and the event serializes via Pending.
+func (q *EventQueue) ScheduleMsg(when Cycle, m Msg) {
 	q.seq++
-	heap.Push(&q.h, &Event{When: when, Fn: fn, seq: q.seq, msg: m, hasMsg: true})
+	q.push(Event{When: when, seq: q.seq, msg: m, hasMsg: true})
 }
 
 // Pending returns every in-flight event in deterministic (When, seq) order
@@ -89,8 +179,9 @@ func (q *EventQueue) ScheduleMsg(when Cycle, m Msg, fn func(now Cycle)) {
 // through the closure-only Schedule path, because such an event cannot be
 // serialized.
 func (q *EventQueue) Pending() ([]PendingEvent, error) {
-	out := make([]PendingEvent, 0, len(q.h))
-	for _, ev := range q.h {
+	out := make([]PendingEvent, 0, len(q.heap))
+	for _, id := range q.heap {
+		ev := &q.slab[id]
 		if !ev.hasMsg {
 			return nil, fmt.Errorf("sim: pending event at cycle %d has no serializable message", ev.When)
 		}
@@ -106,43 +197,60 @@ func (q *EventQueue) Pending() ([]PendingEvent, error) {
 }
 
 // Restore discards the queue's current contents and rebuilds it from pending
-// events, rebinding each message to a closure via bind. Sequence numbers are
-// preserved verbatim so tie-breaking is bit-identical to the original run;
-// the internal counter resumes past the largest restored value so new events
-// order after the restored ones.
-func (q *EventQueue) Restore(pending []PendingEvent, bind func(m Msg) func(now Cycle)) {
-	q.h = q.h[:0]
+// events; each fires through the Deliver handler at its recorded cycle.
+// Sequence numbers are preserved verbatim so tie-breaking is bit-identical to
+// the original run; the internal counter resumes past the largest restored
+// value so new events order after the restored ones.
+func (q *EventQueue) Restore(pending []PendingEvent) {
+	q.slab = q.slab[:0]
+	q.free = q.free[:0]
+	q.heap = q.heap[:0]
 	q.seq = 0
 	for _, pe := range pending {
-		ev := &Event{When: pe.When, Fn: bind(pe.Msg), seq: pe.Seq, msg: pe.Msg, hasMsg: true}
-		ev.idx = len(q.h)
-		q.h = append(q.h, ev)
+		q.slab = append(q.slab, Event{When: pe.When, seq: pe.Seq, msg: pe.Msg, hasMsg: true})
+		q.heap = append(q.heap, int32(len(q.slab)-1))
 		if pe.Seq > q.seq {
 			q.seq = pe.Seq
 		}
 	}
-	heap.Init(&q.h)
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 // Len reports the number of pending events.
-func (q *EventQueue) Len() int { return len(q.h) }
+func (q *EventQueue) Len() int { return len(q.heap) }
 
 // NextAt returns the cycle of the earliest pending event and true, or 0 and
 // false when the queue is empty.
 func (q *EventQueue) NextAt() (Cycle, bool) {
-	if len(q.h) == 0 {
+	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.h[0].When, true
+	return q.slab[q.heap[0]].When, true
+}
+
+// fire dispatches one popped event.
+func (q *EventQueue) fire(ev Event) {
+	if ev.Fn != nil {
+		ev.Fn(ev.When)
+		return
+	}
+	if !ev.hasMsg {
+		return
+	}
+	if q.Deliver == nil {
+		panic(fmt.Sprintf("sim: message event %q fired with no Deliver handler bound", ev.msg.Kind))
+	}
+	q.Deliver(ev.msg, ev.When)
 }
 
 // RunUntil fires, in order, every event with When <= now. Events scheduled by
 // handlers at cycles <= now also fire before RunUntil returns.
 func (q *EventQueue) RunUntil(now Cycle) int {
 	fired := 0
-	for len(q.h) > 0 && q.h[0].When <= now {
-		ev := heap.Pop(&q.h).(*Event)
-		ev.Fn(maxCycle(ev.When, 0))
+	for len(q.heap) > 0 && q.slab[q.heap[0]].When <= now {
+		q.fire(q.popRoot())
 		fired++
 	}
 	return fired
@@ -152,47 +260,11 @@ func (q *EventQueue) RunUntil(now Cycle) int {
 // end of a simulation so in-flight control messages settle.
 func (q *EventQueue) Drain() int {
 	fired := 0
-	for len(q.h) > 0 {
-		ev := heap.Pop(&q.h).(*Event)
-		ev.Fn(ev.When)
+	for len(q.heap) > 0 {
+		q.fire(q.popRoot())
 		fired++
 	}
 	return fired
-}
-
-func maxCycle(a, b Cycle) Cycle {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].When != h[j].When {
-		return h[i].When < h[j].When
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Ticker fires at a fixed period, with an optional phase offset so that

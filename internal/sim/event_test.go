@@ -14,9 +14,9 @@ func TestPendingRejectsClosureEvents(t *testing.T) {
 
 func TestPendingRestoreRoundTrip(t *testing.T) {
 	var q EventQueue
-	q.ScheduleMsg(20, Msg{Kind: "delta.gain", A: 3, B: 1, FBits: 42}, func(Cycle) {})
-	q.ScheduleMsg(10, Msg{Kind: MsgNoop}, func(Cycle) {})
-	q.ScheduleMsg(20, Msg{Kind: "delta.retreat", A: 7}, func(Cycle) {})
+	q.ScheduleMsg(20, Msg{Kind: "delta.gain", A: 3, B: 1, FBits: 42})
+	q.ScheduleMsg(10, Msg{Kind: MsgNoop})
+	q.ScheduleMsg(20, Msg{Kind: "delta.retreat", A: 7})
 	pending, err := q.Pending()
 	if err != nil {
 		t.Fatal(err)
@@ -32,9 +32,8 @@ func TestPendingRestoreRoundTrip(t *testing.T) {
 
 	var q2 EventQueue
 	var got []Msg
-	q2.Restore(pending, func(m Msg) func(Cycle) {
-		return func(Cycle) { got = append(got, m) }
-	})
+	q2.Deliver = func(m Msg, _ Cycle) { got = append(got, m) }
+	q2.Restore(pending)
 	q2.RunUntil(30)
 	if len(got) != 3 {
 		t.Fatalf("%d delivered", len(got))
@@ -49,10 +48,37 @@ func TestPendingRestoreRoundTrip(t *testing.T) {
 	// New events scheduled after a restore must sequence after the restored
 	// ones, even at equal timestamps.
 	var q3 EventQueue
-	q3.Restore(pending, func(m Msg) func(Cycle) { return func(Cycle) {} })
-	var order []string
-	q3.ScheduleMsg(20, Msg{Kind: "late"}, func(Cycle) { order = append(order, "late") })
+	q3.Deliver = func(Msg, Cycle) {}
+	q3.Restore(pending)
+	q3.ScheduleMsg(20, Msg{Kind: "late"})
 	if p, err := q3.Pending(); err != nil || len(p) != 4 {
 		t.Fatalf("pending after restore+schedule: %d events, err %v", len(p), err)
+	}
+	if p, _ := q3.Pending(); p[3].Msg.Kind != "late" || p[3].Seq <= pending[2].Seq {
+		t.Fatalf("late event did not sequence after restored ones: %+v", p)
+	}
+}
+
+// TestScheduleMsgSteadyStateAllocFree pins the arena contract: once the slab
+// and heap have grown to the workload's high-water mark, a
+// schedule-and-deliver cycle reuses freelist slots and must not allocate.
+func TestScheduleMsgSteadyStateAllocFree(t *testing.T) {
+	var q EventQueue
+	q.Deliver = func(Msg, Cycle) {}
+	// Grow the arena to its steady-state footprint.
+	for i := Cycle(0); i < 64; i++ {
+		q.ScheduleMsg(i, Msg{Kind: MsgNoop, A: int(i)})
+	}
+	q.RunUntil(64)
+	now := Cycle(100)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := Cycle(0); i < 64; i++ {
+			q.ScheduleMsg(now+i, Msg{Kind: MsgNoop, A: int(i)})
+		}
+		q.RunUntil(now + 64)
+		now += 100
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/deliver allocates %.1f times per round, want 0", allocs)
 	}
 }

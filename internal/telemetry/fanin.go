@@ -12,8 +12,10 @@ import "sync"
 // (serialized by Stream as a "tag" JSON key / CSV column). Counters and
 // gauges go through TaggedRecorder when the wrapped recorder implements it,
 // keeping the tag a first-class dimension (exposed as a Prometheus "tag"
-// label); recorders that do not are fed "tag."-prefixed names so per-chip
-// aggregates still cannot collide.
+// label). Recorders that are not tag-aware are fed "tag."-prefixed names as
+// a namespacing fallback so per-chip aggregates cannot collide; tag-aware
+// recorders see only the (tag, name) series — the flat prefixed aliases that
+// duplicated them for one deprecation release are gone.
 type FanIn struct {
 	mu    sync.Mutex
 	inner Recorder
@@ -76,7 +78,7 @@ func (t tagged) Sample(s Sample) {
 }
 
 // Count implements Recorder. Tag-aware recorders receive the tag as its own
-// dimension; others get the deprecated "tag."-prefixed name.
+// dimension; others get the "tag."-prefixed fallback name.
 func (t tagged) Count(name string, delta uint64) {
 	t.f.mu.Lock()
 	if tr, ok := t.f.inner.(TaggedRecorder); ok && t.tag != "" {
@@ -88,7 +90,7 @@ func (t tagged) Count(name string, delta uint64) {
 }
 
 // Gauge implements Recorder. Tag-aware recorders receive the tag as its own
-// dimension; others get the deprecated "tag."-prefixed name.
+// dimension; others get the "tag."-prefixed fallback name.
 func (t tagged) Gauge(name string, v float64) {
 	t.f.mu.Lock()
 	if tr, ok := t.f.inner.(TaggedRecorder); ok && t.tag != "" {

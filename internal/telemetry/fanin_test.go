@@ -126,8 +126,8 @@ func tagName(e int) string {
 }
 
 // TestFanInTaggedRecorder drives a tag-aware inner recorder: counters and
-// gauges must land in the (tag, name) series, with the "tag.name" prefixed
-// alias still present for the deprecation window.
+// gauges must land in the (tag, name) series only — the "tag.name" prefixed
+// flat aliases from the deprecation window must no longer be written.
 func TestFanInTaggedRecorder(t *testing.T) {
 	inner := NewMemory(0)
 	rec := NewFanIn(inner).Tag("w2")
@@ -140,12 +140,12 @@ func TestFanInTaggedRecorder(t *testing.T) {
 	if v, ok := inner.TaggedGaugeValue("w2", "bank00.fill"); !ok || v != 0.9 {
 		t.Fatalf("tagged gauge = %v,%v, want 0.9,true", v, ok)
 	}
-	// Deprecated aliases remain readable.
-	if got := inner.Counter("w2.core.challenges_sent"); got != 7 {
-		t.Fatalf("prefixed alias counter = %d, want 7", got)
+	// The deprecated flat aliases are gone: no prefixed shadow series.
+	if got := inner.Counter("w2.core.challenges_sent"); got != 0 {
+		t.Fatalf("prefixed alias counter resurrected = %d, want 0", got)
 	}
-	if v, ok := inner.GaugeValue("w2.bank00.fill"); !ok || v != 0.9 {
-		t.Fatalf("prefixed alias gauge = %v,%v", v, ok)
+	if _, ok := inner.GaugeValue("w2.bank00.fill"); ok {
+		t.Fatalf("prefixed alias gauge resurrected")
 	}
 	// An empty tag stays a plain passthrough even on a tag-aware recorder.
 	NewFanIn(inner).Tag("").Count("plain", 1)

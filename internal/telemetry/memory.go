@@ -50,18 +50,17 @@ func (m *Memory) Count(name string, delta uint64) { m.counters[name] += delta }
 func (m *Memory) Gauge(name string, v float64) { m.gauges[name] = v }
 
 // CountTagged implements TaggedRecorder: the delta lands in the (tag, name)
-// series and, for one deprecation release, also in the legacy "tag.name"
-// prefixed counter so existing readers keep seeing it.
+// series only. The "tag.name"-prefixed flat alias that shadowed every tagged
+// counter during the deprecation window has been removed; read tagged series
+// through TaggedCounter or Snapshot.TaggedCounters.
 func (m *Memory) CountTagged(tag, name string, delta uint64) {
 	m.taggedCounters[TaggedKey{Tag: tag, Name: name}] += delta
-	m.counters[tag+"."+name] += delta
 }
 
-// GaugeTagged implements TaggedRecorder; like CountTagged it also maintains
-// the deprecated "tag.name" alias.
+// GaugeTagged implements TaggedRecorder; like CountTagged it writes the
+// (tag, name) series only, with no flat-name alias.
 func (m *Memory) GaugeTagged(tag, name string, v float64) {
 	m.taggedGauges[TaggedKey{Tag: tag, Name: name}] = v
-	m.gauges[tag+"."+name] = v
 }
 
 // TaggedCounter returns the (tag, name) counter (0 when never counted).

@@ -16,8 +16,9 @@ type Snapshot struct {
 	Counters map[string]uint64
 	Gauges   map[string]float64
 	// TaggedCounters and TaggedGauges hold the per-emitter series recorded
-	// through TaggedRecorder. The plain maps still carry the deprecated
-	// "tag.name" aliases for these during the deprecation window.
+	// through TaggedRecorder. They are the only home for tagged data: the
+	// deprecated "tag.name" flat aliases are no longer written to the plain
+	// maps.
 	TaggedCounters map[TaggedKey]uint64
 	TaggedGauges   map[TaggedKey]float64
 }
@@ -157,10 +158,9 @@ func promLabelEscape(v string) string {
 //
 // Per-emitter series recorded through TaggedRecorder are emitted as labeled
 // samples — name{tag="w2"} — under the base metric name, the tag a proper
-// Prometheus dimension. The plain map still carries their "tag.name" aliases
-// (sanitized to "tag_name"), so both shapes appear during the deprecation
-// window; dashboards should move to the labeled form, the aliases disappear
-// next release.
+// Prometheus dimension. The labeled form is the only shape: the "tag_name"
+// flat aliases that duplicated every tagged series for one deprecation
+// release are no longer emitted.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	counters := make(map[string]uint64, len(s.Counters))
 	for name, v := range s.Counters {

@@ -126,8 +126,8 @@ func TestSharedConcurrentSampleAndExposition(t *testing.T) {
 	}
 }
 
-// TestWritePrometheusTagLabels pins the labeled exposition shape and the
-// deprecated prefixed aliases living side by side.
+// TestWritePrometheusTagLabels pins the labeled exposition shape and
+// verifies the deprecated prefixed aliases are no longer emitted.
 func TestWritePrometheusTagLabels(t *testing.T) {
 	s := NewShared(0)
 	fan := NewFanIn(s)
@@ -147,12 +147,19 @@ func TestWritePrometheusTagLabels(t *testing.T) {
 		"delta_challenges{tag=\"mixed\"} 2\n",
 		"delta_challenges{tag=\"w2\"} 5\n",
 		"queue_depth{tag=\"w2\"} 1.5\n",
-		// Deprecated aliases, one release only.
-		"w2_delta_challenges 5\n",
-		"mixed_delta_challenges 2\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The one-release deprecated aliases must not reappear.
+	for _, gone := range []string{
+		"w2_delta_challenges ",
+		"mixed_delta_challenges ",
+		"w2_queue_depth ",
+	} {
+		if strings.Contains(out, gone) {
+			t.Fatalf("deprecated alias %q still emitted:\n%s", gone, out)
 		}
 	}
 	if strings.Count(out, "# TYPE delta_challenges counter\n") != 1 {

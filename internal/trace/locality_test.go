@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegionLocality(t *testing.T) {
+	g := NewRegionGen(100, 1000, 1)
+	if got := g.CumDistance(500); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CumDistance(500) = %v, want 0.5", got)
+	}
+	if got := g.CumDistance(5000); got != 1 {
+		t.Fatalf("CumDistance beyond footprint = %v, want 1", got)
+	}
+	// WindowFor inverts DistinctIn.
+	for _, k := range []float64{10, 400, 900} {
+		n := g.WindowFor(k)
+		if got := g.DistinctIn(n); math.Abs(got-k) > 1e-6 {
+			t.Fatalf("DistinctIn(WindowFor(%v)) = %v", k, got)
+		}
+	}
+	if !math.IsInf(g.WindowFor(1000), 1) {
+		t.Fatal("WindowFor at footprint must be +Inf")
+	}
+	hot := g.HotLines(5)
+	if len(hot) != 5 || hot[0] != 100 {
+		t.Fatalf("HotLines = %v", hot)
+	}
+}
+
+func TestStreamLocality(t *testing.T) {
+	g := NewStreamGen(0, 100)
+	if g.CumDistance(98) != 0 || g.CumDistance(99) != 1 {
+		t.Fatal("stream distance must step at Size-1")
+	}
+	if g.DistinctIn(40) != 40 || g.DistinctIn(500) != 100 {
+		t.Fatal("stream DistinctIn wrong")
+	}
+	// Cursor-relative recency: after 3 accesses the hottest line is 2.
+	g.Next()
+	g.Next()
+	g.Next()
+	hot := g.HotLines(3)
+	if hot[0] != 2 || hot[1] != 1 || hot[2] != 0 {
+		t.Fatalf("HotLines after 3 accesses = %v", hot)
+	}
+}
+
+func TestStackDistLocality(t *testing.T) {
+	g := NewStackDistGen(0, []float64{0.5, 0.2, 0.1}, 1)
+	if got := g.CumDistance(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CumDistance(0) = %v", got)
+	}
+	if got := g.CumDistance(100); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("CumDistance beyond table = %v, want 0.8", got)
+	}
+	if got := g.HotLines(4); len(got) != 0 {
+		t.Fatalf("cold generator reported hot lines %v", got)
+	}
+	for i := 0; i < 50; i++ {
+		g.Next()
+	}
+	hot := g.HotLines(4)
+	if len(hot) == 0 {
+		t.Fatal("warm generator reported no hot lines")
+	}
+}
+
+func TestLocalityOfUnwrapping(t *testing.T) {
+	base := NewRegionGen(0, 64, 1)
+	shaped := NewShaper(base, ShaperConfig{MemFraction: 0.25, Seed: 1})
+	if loc, ok := LocalityOf(shaped); !ok || loc != Locality(base) {
+		t.Fatal("shaper must unwrap to its inner model")
+	}
+	phased := NewPhasedGen(Phase{Gen: shaped, Accesses: 100})
+	if _, ok := LocalityOf(phased); !ok {
+		t.Fatal("phase schedule must expose its current phase's model")
+	}
+	if _, ok := LocalityOf(opaque{}); ok {
+		t.Fatal("custom generator must have no model")
+	}
+	mixed := NewMixtureGen(1,
+		Component{Gen: base, Weight: 1},
+		Component{Gen: opaque{}, Weight: 1},
+	)
+	if _, ok := LocalityOf(mixed); ok {
+		t.Fatal("mixture with an unmodeled component must have no model")
+	}
+	if rate := AccessRateOf(shaped); math.Abs(rate-0.25) > 1e-12 {
+		t.Fatalf("shaper access rate = %v, want MemFraction", rate)
+	}
+}
+
+type opaque struct{}
+
+func (opaque) Next() Access { return Access{} }
+
+// TestMixtureCumDistanceEmpirical validates the interleaving composition
+// against ground truth: the analytical CDF of a region+region+stream mixture
+// must track the stack-distance CDF measured over the generator's own output.
+func TestMixtureCumDistanceEmpirical(t *testing.T) {
+	g := NewMixtureGen(7,
+		Component{Gen: NewRegionGen(0, 512, 11), Weight: 0.5},
+		Component{Gen: NewRegionGen(1<<20, 2048, 13), Weight: 0.3},
+		Component{Gen: NewStreamGen(1<<30, 1<<16), Weight: 0.2},
+	)
+	const accesses = 60_000
+	// Naive LRU stack over the emitted stream.
+	var stack []uint64
+	counts := make(map[int]int) // distance -> hits
+	warmTotal := 0              // warm-window accesses, cold ones included
+	for i := 0; i < accesses; i++ {
+		line := g.Next().Line
+		if i > accesses/4 { // skip the cold ramp
+			warmTotal++
+		}
+		depth := -1
+		for j, l := range stack {
+			if l == line {
+				depth = j
+				break
+			}
+		}
+		if depth >= 0 {
+			copy(stack[1:depth+1], stack[:depth])
+			stack[0] = line
+			if i > accesses/4 {
+				counts[depth]++
+			}
+		} else {
+			stack = append(stack, 0)
+			copy(stack[1:], stack)
+			stack[0] = line
+		}
+	}
+	// Empirical CDF over all warm-window accesses: cold accesses (the stream
+	// tail never re-touches a line within the window) count in the
+	// denominator, matching CumDistance's convention that mass never reaching
+	// a finite distance is absent from the limit.
+	cdf := func(d int) float64 {
+		hits := 0
+		for dist, n := range counts {
+			if dist <= d {
+				hits += n
+			}
+		}
+		return float64(hits) / float64(warmTotal)
+	}
+	for _, d := range []float64{256, 1024, 4096} {
+		got := g.CumDistance(d)
+		want := cdf(int(d))
+		if math.Abs(got-want) > 0.10 {
+			t.Errorf("CumDistance(%v) = %.3f, measured %.3f (diverges > 0.10)", d, got, want)
+		}
+	}
+}
+
+func TestMixtureHotLines(t *testing.T) {
+	g := NewMixtureGen(3,
+		Component{Gen: NewRegionGen(0, 16, 1), Weight: 0.9},
+		Component{Gen: NewRegionGen(1000, 10000, 2), Weight: 0.1},
+	)
+	hot := g.HotLines(32)
+	if len(hot) != 32 {
+		t.Fatalf("got %d hot lines", len(hot))
+	}
+	// The small, heavily weighted region must dominate the hottest prefix.
+	small := 0
+	for _, l := range hot[:16] {
+		if l < 16 {
+			small++
+		}
+	}
+	if small < 12 {
+		t.Fatalf("hot prefix has only %d/16 lines from the hot region: %v", small, hot[:16])
+	}
+}

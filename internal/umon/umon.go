@@ -124,6 +124,34 @@ func (m *Monitor) Access(lineAddr uint64) {
 	}
 }
 
+// Seed overwrites the monitor's cumulative counters with an analytically
+// derived observation window, as if it had already watched `accesses`
+// LLC-bound accesses of which hits[b] hit at bucket-b stack depths and
+// `misses` missed. The fast-forward path uses it to stand in for simulated
+// warmup: the first Epoch after seeding returns exactly the seeded curve.
+// The shadow-tag stacks are left empty and rebuild online within a few
+// hundred post-seed accesses; counters passed here must already be full-cache
+// estimates (Seed applies no sampling scale).
+func (m *Monitor) Seed(hits []float64, misses, accesses float64) {
+	if len(hits) > m.buckets {
+		panic(fmt.Sprintf("umon: seed with %d buckets, monitor has %d", len(hits), m.buckets))
+	}
+	for b := range m.hits {
+		m.hits[b] = 0
+		m.lastHits[b] = 0
+		if b < len(hits) {
+			m.hits[b] = hits[b]
+		}
+	}
+	m.misses = misses
+	m.accesses = accesses
+	m.lastMisses = 0
+	m.lastAccesses = 0
+	for i := range m.stacks {
+		m.stacks[i] = m.stacks[i][:0]
+	}
+}
+
 // Curve is a miss curve over possible way allocations, in estimated absolute
 // miss counts for one observation window. Misses(w) is the predicted number
 // of misses the application would have suffered with w ways.

@@ -52,6 +52,15 @@ func WithWarmup(instructions uint64) Option {
 	return func(c *Config) { c.WarmupInstructions = instructions }
 }
 
+// WithFastForward replaces simulated warmup with analytical seeding: cores
+// whose generators expose a locality model start the measured window
+// immediately, with UMON counters and cache contents derived from closed-form
+// stack-distance curves (DESIGN.md §10). Cores without a model keep the
+// simulated warmup.
+func WithFastForward(on bool) Option {
+	return func(c *Config) { c.FastForward = on }
+}
+
 // WithBudget sets the per-core measured window, in instructions.
 func WithBudget(instructions uint64) Option {
 	return func(c *Config) { c.BudgetInstructions = instructions }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: run the two hot-path benchmarks at a short
+# -benchtime and fail on allocs/op regressions. Wall-clock on the shared
+# 1-CPU CI runner is too noisy to gate on, but allocation counts are exact
+# and deterministic, so this catches the classic regression class (a
+# closure or interface box sneaking into the access path or the run loop)
+# without flaky thresholds.
+#
+#   BenchmarkAccessPath/*  must stay at exactly 0 allocs/op (SoA contract)
+#   BenchmarkChipRun       must stay under CHIPRUN_ALLOC_CEILING allocs/op
+#     (fast-forward seeding allocates once per run; measured 3286,
+#      ceiling leaves headroom for counted-but-benign drift)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHIPRUN_ALLOC_CEILING=3700
+
+# AccessPath iterates per memory reference (~300ns each): 10000x is
+# milliseconds. ChipRun iterates whole runs (~200ms each): keep it at 1x.
+ap=$(go test -run '^$' -bench 'BenchmarkAccessPath' -benchtime 10000x ./internal/chip)
+cr=$(go test -run '^$' -bench 'BenchmarkChipRun$' -benchtime 1x ./internal/chip)
+out=$(printf '%s\n%s\n' "${ap}" "${cr}")
+echo "${out}"
+
+FAIL=0
+while read -r name _ _ _ _ _ allocs _; do
+  case "${name}" in
+  BenchmarkAccessPath/*)
+    if [ "${allocs}" != "0" ]; then
+      echo "FAIL: ${name} allocates ${allocs} allocs/op, want 0" >&2
+      FAIL=1
+    fi
+    ;;
+  BenchmarkChipRun | BenchmarkChipRun-*)
+    if [ "${allocs}" -gt "${CHIPRUN_ALLOC_CEILING}" ]; then
+      echo "FAIL: ${name} allocates ${allocs} allocs/op, ceiling ${CHIPRUN_ALLOC_CEILING}" >&2
+      FAIL=1
+    fi
+    ;;
+  esac
+done < <(echo "${out}" | grep -E '^Benchmark')
+
+# The parse above must have actually seen both benchmarks; an empty run
+# passing silently would defeat the lane.
+echo "${out}" | grep -q '^BenchmarkAccessPath/' || { echo "FAIL: AccessPath did not run" >&2; FAIL=1; }
+echo "${out}" | grep -qE '^BenchmarkChipRun(-[0-9]+)?[[:space:]]' || { echo "FAIL: ChipRun did not run" >&2; FAIL=1; }
+
+[ "${FAIL}" -eq 0 ] || exit 1
+echo "bench regression smoke: OK"

@@ -7,9 +7,11 @@
 #     and the StateQueued/... constants)
 #
 # The defining files (delta.go, internal/server/api/api.go) are exempt, as
-# are the root-package tests and examples/ which deliberately exercise the
-# compatibility wrappers. Also runs staticcheck when it is installed;
-# absence is not a failure so the script works in minimal containers.
+# are the root-package tests which deliberately exercise the compatibility
+# wrappers. examples/ is covered: it migrated to delta.New and must stay
+# off the deprecated constructors. Also runs staticcheck when it is
+# installed; absence is not a failure so the script works in minimal
+# containers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +19,7 @@ FAIL=0
 
 check() { # pattern description
   local hits
-  hits=$(grep -rn --include='*.go' -E "$1" internal/ cmd/ \
+  hits=$(grep -rn --include='*.go' -E "$1" internal/ cmd/ examples/ \
     | grep -v '^internal/server/api/api\.go:' || true)
   if [ -n "${hits}" ]; then
     echo "deprecated API in first-party code ($2):"

@@ -168,6 +168,7 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		TimeCompression uint64
 		Warmup          uint64
 		Budget          uint64
+		FastForward     bool
 		Multithreaded   bool
 		Seed            uint64
 		DeltaParams     *core.Params
@@ -182,6 +183,7 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		TimeCompression:    cc.TimeCompression,
 		WarmupInstructions: cc.Warmup,
 		BudgetInstructions: cc.Budget,
+		FastForward:        cc.FastForward,
 		Multithreaded:      cc.Multithreaded,
 		Seed:               cc.Seed,
 		DeltaParams:        cc.DeltaParams,
