@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil, 64)
+	if got := r.owner("anything"); got != "" {
+		t.Fatalf("empty ring owner %q, want empty", got)
+	}
+}
+
+// TestRingDeterministic: member order must not matter — every coordinator
+// process (and every restart) has to route a content address identically or
+// fleet-wide single-flight falls apart.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"http://w1", "http://w2", "http://w3"}, 64)
+	b := newRing([]string{"http://w3", "http://w1", "http://w2"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %s routes to %s vs %s depending on member order", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+// TestRingSpread: with virtual nodes, no member should own a wildly
+// disproportionate share of keys.
+func TestRingSpread(t *testing.T) {
+	members := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	r := newRing(members, 64)
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("job-%d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] < keys/16 {
+			t.Fatalf("member %s owns only %d/%d keys: %v", m, counts[m], keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member must only re-route the keys
+// it owned. Keys on the survivors keeping their owner is what preserves the
+// in-flight dedup state of every worker that didn't fail.
+func TestRingMinimalDisruption(t *testing.T) {
+	members := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	before := newRing(members, 64)
+	after := newRing(members[:3], 64) // w4 removed
+
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		was, is := before.owner(key), after.owner(key)
+		if was == "http://w4" {
+			if is == "http://w4" {
+				t.Fatalf("key %s still routes to the removed member", key)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test proves nothing")
+	}
+}

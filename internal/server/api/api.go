@@ -8,6 +8,8 @@
 // determines the simulation's output.
 package api
 
+import "encoding/json"
+
 // SchemaVersion is the wire-format version of this API. Clients may pin it
 // in SubmitRequest.SchemaVersion (zero means "current"); a mismatch is
 // rejected with a structured 400 whose code is "schema_version". Servers
@@ -80,7 +82,18 @@ type SubmitRequest struct {
 	Multithreaded bool `json:"multithreaded,omitempty"`
 	// Seed drives workload randomness.
 	Seed uint64 `json:"seed,omitempty"`
+	// Priority selects the admission lane: "high" jobs are dequeued before
+	// "normal" (the default, also spelled ""). Priority is transport
+	// metadata like SchemaVersion — it never perturbs the content address,
+	// so a high-priority resubmission of a normal job dedupes against it.
+	Priority string `json:"priority,omitempty"`
 }
+
+// Priority lanes accepted by SubmitRequest.Priority.
+const (
+	PriorityNormal = "normal"
+	PriorityHigh   = "high"
+)
 
 // SubmitResponse acknowledges a submission. ID is the content address of the
 // canonical request: resubmitting an equivalent request yields the same ID.
@@ -136,6 +149,93 @@ type Job struct {
 	Result *Result `json:"result,omitempty"`
 }
 
+// BatchRequest submits many simulations at once (POST /v1/batch on the
+// coordinator). The response is NDJSON: one BatchItem per job, written in
+// completion order — not submission order — as results arrive; Index maps a
+// line back to its request.
+type BatchRequest struct {
+	// SchemaVersion pins the wire-format version; zero means "current".
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Jobs are the simulations to run. Duplicates are welcome: identical
+	// requests share one content address and cost one simulation fleet-wide.
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchItem is one line of the POST /v1/batch NDJSON response stream.
+type BatchItem struct {
+	// Index is the job's position in BatchRequest.Jobs.
+	Index int `json:"index"`
+	// ID is the job's content address (empty when the request was invalid).
+	ID string `json:"id,omitempty"`
+	// Status is the job's settled state; "failed" items carry Error.
+	Status JobState `json:"status"`
+	// Error describes a rejected or failed job.
+	Error string `json:"error,omitempty"`
+	// Result is set for done (and partially-canceled) jobs.
+	Result *Result `json:"result,omitempty"`
+}
+
+// WorkerState is a fleet member's health state as seen by the coordinator.
+type WorkerState string
+
+const (
+	// WorkerUp members receive routed jobs.
+	WorkerUp WorkerState = "up"
+	// WorkerDraining members are being removed: their in-flight jobs are
+	// suspended and handed to peers; no new jobs route to them.
+	WorkerDraining WorkerState = "draining"
+	// WorkerDown members failed consecutive health checks; their in-flight
+	// jobs were resubmitted to surviving peers.
+	WorkerDown WorkerState = "down"
+)
+
+// WorkerInfo is one fleet member in a FleetStatus document.
+type WorkerInfo struct {
+	// URL is the worker's base URL (its identity on the hash ring).
+	URL   string      `json:"url"`
+	State WorkerState `json:"state"`
+	// Jobs is how many tracked in-flight jobs currently route to this
+	// worker.
+	Jobs int `json:"jobs"`
+	// ConsecutiveFails counts health probes failed in a row.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+}
+
+// FleetStatus is the GET /v1/fleet document.
+type FleetStatus struct {
+	SchemaVersion int          `json:"schema_version"`
+	Status        string       `json:"status"` // "ok" or "draining"
+	Workers       []WorkerInfo `json:"workers"`
+	// Jobs is the number of tracked (non-settled) jobs fleet-wide.
+	Jobs int `json:"jobs"`
+	// StoredResults counts completed results in the coordinator's
+	// disk-backed content-addressed store (-1 when the store is disabled).
+	StoredResults int `json:"stored_results"`
+}
+
+// RegisterWorkerRequest adds a worker to the fleet
+// (POST /v1/fleet/workers).
+type RegisterWorkerRequest struct {
+	URL string `json:"url"`
+}
+
+// CheckpointTransfer is a suspended job's portable checkpoint — the wire
+// form of the worker's on-disk checkpoint file, served at
+// GET /v1/simulations/{id}/checkpoint and accepted at
+// PUT /v1/checkpoints/{id}. It is what makes jobs migratable: a coordinator
+// fetches the checkpoint from a draining worker, uploads it to the new
+// owner, and resubmits the request there, which resumes from the exact
+// quantum boundary.
+type CheckpointTransfer struct {
+	SchemaVersion int `json:"schema_version"`
+	// ID is the job's content address; the receiving worker recomputes it
+	// from Request and rejects a mismatch.
+	ID      string        `json:"id"`
+	Request SubmitRequest `json:"request"`
+	// Snapshot is the encoded delta.Snapshot.
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
 // ErrorBody is the structured error envelope of every non-2xx response.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
@@ -145,7 +245,8 @@ type ErrorBody struct {
 type ErrorDetail struct {
 	// Code is one of invalid_config | schema_version | unknown_job |
 	// not_suspendable | queue_full | draining | invalid_range | unknown_tag |
-	// no_telemetry | internal.
+	// no_telemetry | no_checkpoint | checkpoint_mismatch | no_workers |
+	// batch_too_large | unknown_worker | internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -182,6 +283,10 @@ type Health struct {
 	Version string `json:"version"`
 	// UptimeSeconds is the process age.
 	UptimeSeconds int64 `json:"uptime_seconds"`
+	// Inflight and Queued report load (running jobs and queue backlog) so a
+	// coordinator's health probes double as placement telemetry.
+	Inflight int64 `json:"inflight"`
+	Queued   int   `json:"queued"`
 }
 
 // ProgressEvent is one line of the /v1/simulations/{id}/events JSONL stream:

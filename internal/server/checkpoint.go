@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"delta"
 	"delta/internal/server/api"
@@ -33,6 +35,12 @@ func (s *Server) writeCheckpoint(id string, req api.SubmitRequest, snap *delta.S
 	if err != nil {
 		return err
 	}
+	return s.writeCheckpointRaw(id, req, data)
+}
+
+// writeCheckpointRaw persists an already-encoded snapshot — the shared tail
+// of local suspension and peer checkpoint handoff.
+func (s *Server) writeCheckpointRaw(id string, req api.SubmitRequest, data json.RawMessage) error {
 	body, err := json.Marshal(checkpointFile{
 		SchemaVersion: api.SchemaVersion,
 		Request:       req,
@@ -93,4 +101,105 @@ func (s *Server) removeCheckpoint(id string) {
 	if err := os.Remove(s.checkpointPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		s.cfg.Logf("delta-served: removing checkpoint %s: %v", id, err)
 	}
+}
+
+// sweepOrphanedCheckpoints reclaims checkpoints whose content address
+// already has a stored result: a crash between completing a job and removing
+// its checkpoint — or a suspended job whose result another process finished
+// — would otherwise leave *.ckpt.json files behind forever. Runs once at
+// startup, before the server accepts work.
+func (s *Server) sweepOrphanedCheckpoints() {
+	if s.cfg.CheckpointDir == "" || s.results == nil {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, "*.ckpt.json"))
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	var reclaimed uint64
+	for _, path := range matches {
+		id := strings.TrimSuffix(filepath.Base(path), ".ckpt.json")
+		if !s.results.Has(id) {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			s.cfg.Logf("delta-served: sweeping checkpoint %s: %v", id, err)
+			continue
+		}
+		reclaimed++
+		s.cfg.Logf("delta-served: reclaimed orphaned checkpoint %s (result already stored)", id)
+	}
+	if reclaimed > 0 {
+		s.shared.Count("served.checkpoints.reclaimed", reclaimed)
+	}
+}
+
+// handleGetCheckpoint serves a suspended job's portable checkpoint so a
+// coordinator can hand the job to a peer (GET /v1/simulations/{id}/checkpoint).
+func (s *Server) handleGetCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.CheckpointDir == "" {
+		writeError(w, http.StatusConflict, "not_suspendable",
+			"server runs without a checkpoint directory; checkpoints are disabled")
+		return
+	}
+	id := r.PathValue("id")
+	cf, err := s.readCheckpoint(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	if cf == nil {
+		writeError(w, http.StatusNotFound, "no_checkpoint",
+			"no checkpoint persisted for this content address")
+		return
+	}
+	s.shared.Count("served.checkpoints.served", 1)
+	writeJSON(w, http.StatusOK, api.CheckpointTransfer{
+		SchemaVersion: cf.SchemaVersion, ID: id, Request: cf.Request, Snapshot: cf.Snapshot})
+}
+
+// handlePutCheckpoint accepts a peer's checkpoint (PUT /v1/checkpoints/{id})
+// so a subsequent submission of the same request resumes here from the
+// donor's exact quantum boundary. The id must be the content address of the
+// carried request and the snapshot must decode — a mismatched upload would
+// poison resume-by-address for everyone hashing to it.
+func (s *Server) handlePutCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.CheckpointDir == "" {
+		writeError(w, http.StatusConflict, "not_suspendable",
+			"server runs without a checkpoint directory; checkpoints are disabled")
+		return
+	}
+	id := r.PathValue("id")
+	var ct api.CheckpointTransfer
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&ct); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_config", "malformed checkpoint body: "+err.Error())
+		return
+	}
+	if ct.SchemaVersion != api.SchemaVersion {
+		writeError(w, http.StatusBadRequest, "schema_version",
+			fmt.Sprintf("checkpoint pins schema version %d; this server speaks %d", ct.SchemaVersion, api.SchemaVersion))
+		return
+	}
+	norm, addr, err := ContentAddress(ct.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_config", err.Error())
+		return
+	}
+	if addr != id || (ct.ID != "" && ct.ID != id) {
+		writeError(w, http.StatusBadRequest, "checkpoint_mismatch",
+			fmt.Sprintf("request hashes to %s, not %s", addr, id))
+		return
+	}
+	if _, err := delta.DecodeSnapshot(ct.Snapshot); err != nil {
+		writeError(w, http.StatusBadRequest, "checkpoint_mismatch", "snapshot does not decode: "+err.Error())
+		return
+	}
+	if err := s.writeCheckpointRaw(id, norm, ct.Snapshot); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	s.shared.Count("served.checkpoints.received", 1)
+	writeJSON(w, http.StatusOK, api.SubmitResponse{
+		SchemaVersion: api.SchemaVersion, ID: id, Status: api.StateSuspended})
 }

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
+	neturl "net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -129,6 +129,28 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("delta-served: %s (%d %s)", e.Message, e.StatusCode, e.Code)
 }
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds ("3") or an HTTP-date ("Fri, 08 Aug 2026 17:00:00 GMT").
+// Unparseable or past values yield zero (retry immediately).
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -166,9 +188,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			apiErr.Code = envelope.Error.Code
 			apiErr.Message = envelope.Error.Message
 		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		return apiErr
 	}
 	if out == nil {
@@ -220,6 +240,12 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.J
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
+	// One resubmission per observed suspension: the server needs a moment to
+	// replace the suspended job with the resumed one, and re-submitting on
+	// every poll tick would hammer Submit while the document still reads
+	// "suspended". The flag resets once the job is seen out of suspension,
+	// so a job that suspends again (e.g. a second drain) resumes again.
+	resubmitted := false
 	for {
 		j, err := c.Job(ctx, id)
 		if err != nil {
@@ -228,12 +254,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.J
 		if j.Status.Terminal() {
 			return j, nil
 		}
-		if j.Status == api.StateSuspended {
+		if j.Status != api.StateSuspended {
+			resubmitted = false
+		} else {
 			if c.Retry == nil {
 				return j, nil
 			}
-			if _, err := c.Submit(ctx, j.Request); err != nil {
-				return j, err
+			if !resubmitted {
+				if _, err := c.Submit(ctx, j.Request); err != nil {
+					return j, err
+				}
+				resubmitted = true
 			}
 		}
 		select {
@@ -307,7 +338,7 @@ type TelemetryOpts struct {
 // no_telemetry otherwise); unknown tags and malformed ranges surface as
 // *APIError with codes unknown_tag / invalid_range.
 func (c *Client) Telemetry(ctx context.Context, id string, opts TelemetryOpts, fn func(api.TelemetryRow) bool) error {
-	vals := url.Values{}
+	vals := neturl.Values{}
 	if opts.From > 0 {
 		vals.Set("from", strconv.FormatUint(opts.From, 10))
 	}
@@ -354,6 +385,91 @@ func (c *Client) Telemetry(ctx context.Context, id string, opts TelemetryOpts, f
 		}
 	}
 	return sc.Err()
+}
+
+// Batch submits many simulations in one call against a coordinator
+// (POST /v1/batch) and streams the results back in completion order,
+// invoking fn per finished job until all lines arrive or ctx cancels; fn
+// returning false stops early. Duplicate requests in one batch share a
+// content address and cost one simulation fleet-wide.
+func (c *Client) Batch(ctx context.Context, jobs []api.SubmitRequest, fn func(api.BatchItem) bool) error {
+	body, err := json.Marshal(api.BatchRequest{SchemaVersion: api.SchemaVersion, Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope api.ErrorBody
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		}
+		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		return apiErr
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var item api.BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			return fmt.Errorf("delta-served: bad batch line: %w", err)
+		}
+		if !fn(item) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// Fleet fetches the coordinator's fleet document (GET /v1/fleet).
+func (c *Client) Fleet(ctx context.Context) (api.FleetStatus, error) {
+	var out api.FleetStatus
+	err := c.withRetry(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/v1/fleet", nil, &out)
+	})
+	return out, err
+}
+
+// AddWorker registers a delta-served worker with the coordinator.
+func (c *Client) AddWorker(ctx context.Context, url string) (api.FleetStatus, error) {
+	var out api.FleetStatus
+	err := c.do(ctx, http.MethodPost, "/v1/fleet/workers", api.RegisterWorkerRequest{URL: url}, &out)
+	return out, err
+}
+
+// RemoveWorker gracefully drains a worker out of the fleet: its in-flight
+// jobs are suspended, their checkpoints handed to peers, and the jobs
+// resumed there before the worker leaves the ring.
+func (c *Client) RemoveWorker(ctx context.Context, url string) (api.FleetStatus, error) {
+	var out api.FleetStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/fleet/workers?url="+neturl.QueryEscape(url), nil, &out)
+	return out, err
+}
+
+// Checkpoint fetches a suspended job's portable checkpoint from a worker.
+func (c *Client) Checkpoint(ctx context.Context, id string) (api.CheckpointTransfer, error) {
+	var out api.CheckpointTransfer
+	err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id+"/checkpoint", nil, &out)
+	return out, err
+}
+
+// PutCheckpoint uploads a portable checkpoint to a worker; submitting the
+// carried request there afterwards resumes from it.
+func (c *Client) PutCheckpoint(ctx context.Context, ct api.CheckpointTransfer) error {
+	if ct.SchemaVersion == 0 {
+		ct.SchemaVersion = api.SchemaVersion
+	}
+	return c.do(ctx, http.MethodPut, "/v1/checkpoints/"+ct.ID, ct, nil)
 }
 
 // Health fetches /healthz.

@@ -1,0 +1,152 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// TestParseRetryAfterDeltaSeconds: the delta-seconds form of RFC 9110
+// §10.2.3, including the degenerate values servers actually send.
+func TestParseRetryAfterDeltaSeconds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{" 2 ", 2 * time.Second},
+		{"-5", 0}, // negative: retry immediately, never panic
+		{"", 0},
+		{"soon", 0}, // unparseable: retry immediately
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseRetryAfterHTTPDate: the HTTP-date form — the regression this
+// guards is the client treating "Fri, 08 Aug 2026 ..." as unparseable and
+// hammering the server with immediate retries.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 3*time.Second || d > 5*time.Second {
+		t.Fatalf("parseRetryAfter(%q) = %v, want ~5s", future, d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("parseRetryAfter(past date) = %v, want 0", d)
+	}
+	// RFC 850 dates are valid HTTP-dates too; http.ParseTime covers them.
+	rfc850 := time.Now().Add(5 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT")
+	if d := parseRetryAfter(rfc850); d <= 0 {
+		t.Fatalf("parseRetryAfter(RFC 850 date) = %v, want positive", d)
+	}
+}
+
+// TestRetryAfterHTTPDateSurfacedAndHonored: a 429 carrying an HTTP-date
+// Retry-After populates APIError.RetryAfter, and a Retry policy waits it out
+// instead of retrying immediately.
+func TestRetryAfterHTTPDateSurfacedAndHonored(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// +2s: HTTP-dates have second resolution, so formatting truncates
+			// up to a second off the hint.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: api.ErrorDetail{Code: "queue_full", Message: "full"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.SubmitResponse{SchemaVersion: api.SchemaVersion, ID: "job1", Status: api.StateQueued})
+	}))
+	defer ts.Close()
+
+	// Without a policy the error surfaces, with the parsed hint attached.
+	_, err := New(ts.URL).Submit(context.Background(), api.SubmitRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter <= 0 {
+		t.Fatalf("err %v, want APIError with positive RetryAfter", err)
+	}
+
+	// With a policy, the retry succeeds.
+	calls.Store(0)
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 3 * time.Second}
+	start := time.Now()
+	sub, err := c.Submit(context.Background(), api.SubmitRequest{})
+	if err != nil || sub.ID != "job1" {
+		t.Fatalf("sub %+v err %v", sub, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if waited := time.Since(start); waited < 900*time.Millisecond {
+		t.Fatalf("client retried after %v; the HTTP-date hint (~2s) was ignored", waited)
+	}
+}
+
+// TestWaitResubmitsOncePerSuspension: a suspended job is resubmitted exactly
+// once per observed suspension, not on every poll tick — the regression was
+// Wait hammering POST /v1/simulations for as long as the document read
+// "suspended". A second, later suspension earns a second resubmission.
+func TestWaitResubmitsOncePerSuspension(t *testing.T) {
+	var submits atomic.Int32
+	var state atomic.Value
+	state.Store(api.StateSuspended)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			submits.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(api.SubmitResponse{SchemaVersion: api.SchemaVersion, ID: "j", Status: api.StateQueued, Resumed: true})
+			return
+		}
+		json.NewEncoder(w).Encode(api.Job{SchemaVersion: api.SchemaVersion, ID: "j", Status: state.Load().(api.JobState)})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{BaseDelay: time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Wait(context.Background(), "j", time.Millisecond)
+		done <- err
+	}()
+
+	// Many poll ticks pass while the document stays "suspended": exactly one
+	// resubmission may happen.
+	time.Sleep(100 * time.Millisecond)
+	if got := submits.Load(); got != 1 {
+		t.Fatalf("suspended for ~100 ticks caused %d resubmissions, want 1", got)
+	}
+
+	// The resumed run executes, then a second drain suspends it again: that
+	// new suspension earns exactly one more resubmission.
+	state.Store(api.StateRunning)
+	time.Sleep(50 * time.Millisecond)
+	state.Store(api.StateSuspended)
+	time.Sleep(100 * time.Millisecond)
+	if got := submits.Load(); got != 2 {
+		t.Fatalf("second suspension brought resubmissions to %d, want 2", got)
+	}
+
+	state.Store(api.StateDone)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned after the job finished")
+	}
+}

@@ -19,9 +19,15 @@ import (
 // invalid_config. The returned request is canonical: byte-identical for any
 // two submissions that would run bit-identical simulations.
 func normalize(req api.SubmitRequest) (api.SubmitRequest, error) {
-	// The pinned schema version is transport metadata, not simulation
-	// identity: it must not perturb the content address.
+	// The pinned schema version and priority lane are transport metadata,
+	// not simulation identity: they must not perturb the content address.
 	req.SchemaVersion = 0
+	switch req.Priority {
+	case "", api.PriorityNormal, api.PriorityHigh:
+		req.Priority = ""
+	default:
+		return req, fmt.Errorf("unknown priority %q (want %q or %q)", req.Priority, api.PriorityNormal, api.PriorityHigh)
+	}
 	if req.Policy == "" {
 		req.Policy = string(delta.PolicyDelta)
 	}
@@ -132,6 +138,22 @@ func cacheKey(req api.SubmitRequest) (string, error) {
 	h.Write([]byte{0})
 	h.Write(wl)
 	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// ContentAddress normalizes a submission and derives its content address —
+// the same normalization and hash the submit path uses, exported so a fleet
+// coordinator routes a job to the identical address its workers will compute
+// (consistent-hash routing depends on every party agreeing on the key).
+func ContentAddress(req api.SubmitRequest) (api.SubmitRequest, string, error) {
+	norm, err := normalize(req)
+	if err != nil {
+		return req, "", err
+	}
+	id, err := cacheKey(norm)
+	if err != nil {
+		return req, "", err
+	}
+	return norm, id, nil
 }
 
 // maxReplayEvents bounds each job's progress replay buffer; late /events

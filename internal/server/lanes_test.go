@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"delta/internal/server/api"
+)
+
+// TestPriorityLaneJumpsQueue: with one worker busy, jobs queued on the high
+// lane are dequeued before earlier-queued normal jobs.
+func TestPriorityLaneJumpsQueue(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16})
+
+	// Occupy the single worker so subsequent submissions queue.
+	blocker := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", mediumReq(31)))
+	waitState(t, ts, blocker.ID, api.StateRunning)
+
+	// Normal jobs heavy enough (~100ms each) that they cannot all finish
+	// inside one poll tick after the high job completes.
+	normals := make([]string, 0, 3)
+	for seed := uint64(32); seed < 35; seed++ {
+		req := quickReq(seed)
+		req.BudgetInstructions = 150_000
+		sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", req))
+		normals = append(normals, sub.ID)
+	}
+	high := quickReq(35)
+	high.Priority = api.PriorityHigh
+	hsub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", high))
+
+	// The high job completes while earlier-queued normals still wait: the
+	// worker picked it first when the blocker released.
+	waitDone(t, ts, hsub.ID)
+	unfinished := 0
+	for _, id := range normals {
+		resp, err := http.Get(ts.URL + "/v1/simulations/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j := decode[api.Job](t, resp); !j.Status.Terminal() {
+			unfinished++
+		}
+	}
+	if unfinished == 0 {
+		t.Fatal("all normal jobs finished before the high-priority job; the high lane did not jump the queue")
+	}
+	if got := srv.Telemetry().Snapshot().Counters["served.jobs.accepted_high"]; got != 1 {
+		t.Fatalf("accepted_high = %d, want 1", got)
+	}
+	for _, id := range normals {
+		waitDone(t, ts, id)
+	}
+}
+
+// TestPriorityUnknownRejected: a bogus lane name is invalid_config, not a
+// silent fall-through to normal.
+func TestPriorityUnknownRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := quickReq(36)
+	req.Priority = "urgent"
+	resp := postJSON(t, ts.URL+"/v1/simulations", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if body := decode[api.ErrorBody](t, resp); body.Error.Code != "invalid_config" {
+		t.Fatalf("error code %q", body.Error.Code)
+	}
+}
+
+// TestPriorityDoesNotPerturbContentAddress: the same simulation submitted on
+// different lanes is one job — priority is transport metadata, not identity.
+func TestPriorityDoesNotPerturbContentAddress(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	req := quickReq(37)
+	first := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", req))
+	req.Priority = api.PriorityHigh
+	second := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", req))
+	if first.ID != second.ID || !second.Deduped {
+		t.Fatalf("lane change forked the job: %+v vs %+v", first, second)
+	}
+	waitDone(t, ts, first.ID)
+}
+
+// TestResultStoreSurvivesRestart: a completed result is served by a fresh
+// process over the same result directory without re-simulating.
+func TestResultStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := quickReq(43)
+
+	srv1 := New(Config{Workers: 1, QueueDepth: 4, ResultDir: dir})
+	ts1 := newHTTPTest(srv1)
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts1.URL+"/v1/simulations", req))
+	first := waitDone(t, ts1, sub.ID)
+	if first.Status != api.StateDone {
+		t.Fatalf("job settled as %s (%s)", first.Status, first.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv1.Shutdown(ctx)
+	cancel()
+	ts1.Close()
+
+	srv2 := New(Config{Workers: 1, QueueDepth: 4, ResultDir: dir})
+	ts2 := newHTTPTest(srv2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv2.Shutdown(ctx)
+		ts2.Close()
+	}()
+	resp := postJSON(t, ts2.URL+"/v1/simulations", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit status %d, want 200 (store hit)", resp.StatusCode)
+	}
+	again := decode[api.SubmitResponse](t, resp)
+	if !again.Deduped || again.ID != sub.ID {
+		t.Fatalf("resubmit %+v", again)
+	}
+	doc := decode[api.Job](t, get(t, ts2.URL+"/v1/simulations/"+sub.ID))
+	if doc.Status != api.StateDone || doc.Result == nil {
+		t.Fatalf("rehydrated job %+v", doc)
+	}
+	snap := srv2.Telemetry().Snapshot()
+	if snap.Counters["served.simulations.executed"] != 0 {
+		t.Fatal("restarted server re-simulated a stored result")
+	}
+	if snap.Counters["served.store.hits"] != 1 {
+		t.Fatalf("store.hits = %d, want 1", snap.Counters["served.store.hits"])
+	}
+}
+
+// TestSweepReclaimsOrphanedCheckpoints: a checkpoint whose content address
+// already has a stored result (crash between completion and checkpoint
+// removal) is deleted at startup; checkpoints without results survive.
+func TestSweepReclaimsOrphanedCheckpoints(t *testing.T) {
+	resultDir, ckptDir := t.TempDir(), t.TempDir()
+	req := quickReq(44)
+
+	srv1 := New(Config{Workers: 1, QueueDepth: 4, ResultDir: resultDir, CheckpointDir: ckptDir})
+	ts1 := newHTTPTest(srv1)
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts1.URL+"/v1/simulations", req))
+	waitDone(t, ts1, sub.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv1.Shutdown(ctx)
+	cancel()
+	ts1.Close()
+
+	// Recreate the crash artifact: the result is on disk AND the checkpoint
+	// still exists (the process died between storing and removing). Plus one
+	// checkpoint for an address with no result, which must survive the sweep.
+	orphan := filepath.Join(ckptDir, sub.ID+".ckpt.json")
+	if err := os.WriteFile(orphan, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(ckptDir, "deadbeef00000000deadbeef00000000.ckpt.json")
+	if err := os.WriteFile(live, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := New(Config{Workers: 1, QueueDepth: 4, ResultDir: resultDir, CheckpointDir: ckptDir})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv2.Shutdown(ctx)
+	}()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned checkpoint survived the sweep (stat err %v)", err)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("live checkpoint was swept: %v", err)
+	}
+	if got := srv2.Telemetry().Snapshot().Counters["served.checkpoints.reclaimed"]; got != 1 {
+		t.Fatalf("checkpoints.reclaimed = %d, want 1", got)
+	}
+}

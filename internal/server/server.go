@@ -28,6 +28,7 @@ import (
 
 	"delta"
 	"delta/internal/server/api"
+	"delta/internal/server/store"
 	"delta/internal/telemetry"
 	"delta/internal/telemetry/columnar"
 )
@@ -37,8 +38,9 @@ type Config struct {
 	// Workers is the simulation worker pool size; <= 0 uses
 	// runtime.NumCPU().
 	Workers int
-	// QueueDepth bounds how many accepted jobs may wait for a worker;
-	// <= 0 uses 64. A full queue rejects submissions with 429.
+	// QueueDepth bounds how many accepted jobs may wait for a worker, per
+	// priority lane; <= 0 uses 64. A full lane rejects submissions with 429.
+	// Workers always dequeue the high lane before the normal one.
 	QueueDepth int
 	// JobTimeout is the per-job deadline measured from dequeue; 0 disables
 	// deadlines. Expired jobs report canceled with partial results.
@@ -49,6 +51,13 @@ type Config struct {
 	// progress, and resubmitting a suspended request resumes from the
 	// checkpoint — across server restarts. Empty disables suspension.
 	CheckpointDir string
+	// ResultDir, when set, persists every completed (done, non-partial)
+	// result to a disk-backed content-addressed store: resubmitting an
+	// equivalent request after a restart dedupes against the stored result
+	// instead of re-simulating, and startup sweeps checkpoints orphaned by
+	// a crash between completion and checkpoint removal. Empty disables
+	// the store.
+	ResultDir string
 	// SnapshotEvery auto-checkpoints each running simulation in memory
 	// every n quantum boundaries (see delta.WithSnapshotEvery); 0 disables.
 	SnapshotEvery int
@@ -84,10 +93,15 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	queue    chan *job
-	draining bool
+	results *store.Store // nil without a ResultDir
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	// Two admission lanes share the worker pool; dequeue always prefers
+	// the high lane (see dequeue).
+	queueHigh chan *job
+	queueNorm chan *job
+	draining  bool
 
 	inflight atomic.Int64
 	wg       sync.WaitGroup
@@ -106,15 +120,27 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		workers: cfg.Workers,
-		shared:  telemetry.NewShared(0),
-		sink:    telemetry.NewFanIn(cfg.Sink),
-		start:   time.Now(),
-		baseCtx: ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
+		cfg:       cfg,
+		workers:   cfg.Workers,
+		shared:    telemetry.NewShared(0),
+		sink:      telemetry.NewFanIn(cfg.Sink),
+		start:     time.Now(),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		jobs:      make(map[string]*job),
+		queueHigh: make(chan *job, cfg.QueueDepth),
+		queueNorm: make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.ResultDir != "" {
+		st, err := store.Open(cfg.ResultDir)
+		if err != nil {
+			// A broken result store degrades to the in-memory cache rather
+			// than refusing to serve.
+			cfg.Logf("delta-served: result store %s: %v (disabled)", cfg.ResultDir, err)
+		} else {
+			s.results = st
+			s.sweepOrphanedCheckpoints()
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
@@ -125,6 +151,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/simulations/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/simulations/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("GET /v1/simulations/{id}/checkpoint", s.handleGetCheckpoint)
+	s.mux.HandleFunc("PUT /v1/checkpoints/{id}", s.handlePutCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -152,7 +180,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // workers drain the backlog, then exit
+		close(s.queueHigh) // workers drain both backlogs, then exit
+		close(s.queueNorm)
 	}
 	var toSuspend []*job
 	if s.cfg.CheckpointDir != "" {
@@ -196,9 +225,49 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.dequeue()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
+}
+
+// dequeue pops the next job, always preferring the high lane: a non-blocking
+// high-lane check first, then a blocking select over both lanes. Closed
+// channels keep yielding their buffered backlog (ok stays true until the
+// lane is empty), so a draining server still finishes accepted work in lane
+// order; both lanes closed and empty ends the worker.
+func (s *Server) dequeue() (*job, bool) {
+	select {
+	case j, ok := <-s.queueHigh:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queueNorm
+		return j, ok
+	default:
+	}
+	select {
+	case j, ok := <-s.queueHigh:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queueNorm
+		return j, ok
+	case j, ok := <-s.queueNorm:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queueHigh
+		return j, ok
+	}
+}
+
+// queued is the combined backlog across both lanes.
+func (s *Server) queued() int {
+	return len(s.queueHigh) + len(s.queueNorm)
 }
 
 // runJob executes one accepted job end to end. A job whose suspend flag is
@@ -296,9 +365,12 @@ func (s *Server) runJob(j *job) {
 	result := toAPIResult(res, runErr != nil, time.Since(started))
 	switch {
 	case runErr == nil:
-		s.removeCheckpoint(j.id)
 		s.shared.Count("served.jobs.completed", 1)
 		j.finish(api.StateDone, "", result)
+		// Persist before dropping the checkpoint: a crash between the two
+		// leaves an orphan the startup sweep reclaims, never a lost result.
+		s.storeResult(j)
+		s.removeCheckpoint(j.id)
 	case errors.Is(runErr, delta.ErrCanceled) && j.suspendRequested() && s.cfg.CheckpointDir != "":
 		if serr := s.suspendCheckpoint(j, sim); serr != nil {
 			s.cfg.Logf("delta-served: job %s suspend checkpoint failed: %v", j.id, serr)
@@ -316,6 +388,24 @@ func (s *Server) runJob(j *job) {
 		j.finish(api.StateFailed, runErr.Error(), nil)
 	}
 	s.cfg.Logf("delta-served: job %s %s in %s", j.id, j.snapshot().Status, time.Since(started).Round(time.Millisecond))
+}
+
+// storeResult persists a settled job's document to the disk-backed result
+// store when it is sound to replay (done, complete result).
+func (s *Server) storeResult(j *job) {
+	if s.results == nil {
+		return
+	}
+	doc := j.snapshot()
+	if !store.Storable(doc) {
+		return
+	}
+	if err := s.results.Put(doc); err != nil {
+		s.cfg.Logf("delta-served: job %s: result store: %v", j.id, err)
+		s.shared.Count("served.store.errors", 1)
+		return
+	}
+	s.shared.Count("served.store.writes", 1)
 }
 
 // suspendCheckpoint captures the canceled simulation — RunCtx returned, so
@@ -397,6 +487,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
+	lane := s.queueNorm
+	if req.Priority == api.PriorityHigh {
+		lane = s.queueHigh
+	}
 
 	// A suspended match resumes instead of deduping; its checkpoint (written
 	// before the job settled into suspended, so visible here) is read
@@ -410,6 +504,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, api.SubmitResponse{
 			SchemaVersion: api.SchemaVersion, ID: id, Status: j.snapshot().Status, Deduped: true})
 		return
+	}
+	if j == nil && s.results != nil {
+		// Disk-backed cache hit: a prior process already completed this
+		// content address. Rehydrate a settled job so GET/events work, and
+		// reclaim any checkpoint the result has obsoleted.
+		if doc, ok, serr := s.results.Get(id); serr == nil && ok && store.Storable(doc) {
+			s.mu.Lock()
+			if s.jobs[id] == nil {
+				nj := newJob(id, norm)
+				s.jobs[id] = nj
+				s.mu.Unlock()
+				nj.finish(doc.Status, doc.Error, doc.Result)
+			} else {
+				s.mu.Unlock()
+			}
+			s.removeCheckpoint(id)
+			s.shared.Count("served.store.hits", 1)
+			s.shared.Count("served.singleflight.deduped", 1)
+			writeJSON(w, http.StatusOK, api.SubmitResponse{
+				SchemaVersion: api.SchemaVersion, ID: id, Status: api.StateDone, Deduped: true})
+			return
+		}
 	}
 	var snapData []byte
 	resumed := suspended
@@ -440,10 +556,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	nj := newJob(id, norm)
 	nj.snapData = snapData
 	select {
-	case s.queue <- nj:
+	case lane <- nj:
 		s.jobs[id] = nj
 		s.mu.Unlock()
 		s.shared.Count("served.jobs.accepted", 1)
+		if req.Priority == api.PriorityHigh {
+			s.shared.Count("served.jobs.accepted_high", 1)
+		}
 		if resumed {
 			s.shared.Count("served.jobs.resume_accepted", 1)
 		}
@@ -451,7 +570,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, api.SubmitResponse{
 			SchemaVersion: api.SchemaVersion, ID: id, Status: api.StateQueued, Resumed: resumed})
 	default:
-		queued := len(s.queue)
+		queued := s.queued()
 		s.mu.Unlock()
 		s.shared.Count("served.rejected.queue_full", 1)
 		retry := queued / s.workers
@@ -656,6 +775,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status:        status,
 		Version:       s.cfg.Version,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Inflight:      s.inflight.Load(),
+		Queued:        s.queued(),
 	})
 }
 
@@ -673,7 +794,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.shared.Snapshot()
-	snap.Gauges["served.queue.depth"] = float64(len(s.queue))
+	snap.Gauges["served.queue.depth"] = float64(s.queued())
+	snap.Gauges["served.queue.depth_high"] = float64(len(s.queueHigh))
 	snap.Gauges["served.jobs.inflight"] = float64(s.inflight.Load())
 	snap.Gauges["served.uptime.seconds"] = time.Since(s.start).Seconds()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"delta/internal/server/api"
+)
+
+func doneJob(id string) api.Job {
+	return api.Job{
+		SchemaVersion: api.SchemaVersion,
+		ID:            id,
+		Status:        api.StateDone,
+		Result:        &api.Result{GeomeanIPC: 1.5},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doneJob("abc123")
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("abc123")
+	if err != nil || !ok {
+		t.Fatalf("get ok=%v err=%v", ok, err)
+	}
+	if got.ID != want.ID || got.Status != want.Status || got.Result.GeomeanIPC != want.Result.GeomeanIPC {
+		t.Fatalf("got %+v", got)
+	}
+	if !s.Has("abc123") || s.Has("missing") {
+		t.Fatal("Has disagrees with Put")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+// TestStoreSurvivesReopen: the store's whole point — results written by one
+// process are served by the next.
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(doneJob("persist1")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has("persist1") {
+		t.Fatal("result lost across reopen")
+	}
+}
+
+// TestStoreRejectsUnsound: failed, suspended and partial outcomes must never
+// be replayable as cached results.
+func TestStoreRejectsUnsound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []api.Job{
+		{ID: "failed", Status: api.StateFailed},
+		{ID: "suspended", Status: api.StateSuspended},
+		{ID: "noresult", Status: api.StateDone},
+		{ID: "partial", Status: api.StateDone, Result: &api.Result{Partial: true}},
+	}
+	for _, doc := range cases {
+		if err := s.Put(doc); err == nil {
+			t.Errorf("Put(%s %s) succeeded, want rejection", doc.ID, doc.Status)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len %d after only rejected puts", s.Len())
+	}
+}
+
+// TestStoreCorruptAndSkewedFiles: damage surfaces as an error (caller
+// reruns), it is not silently served as a result.
+func TestStoreCorruptAndSkewedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("corrupt"); err == nil {
+		t.Fatal("corrupt file served without error")
+	}
+	if s.Has("corrupt") {
+		t.Fatal("corrupt file passes Has")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "skew.json"),
+		[]byte(`{"schema_version":999,"job":{"id":"skew","status":"done"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("skew"); err == nil {
+		t.Fatal("version-skewed file served without error")
+	}
+}

@@ -288,4 +288,148 @@ if [ "${MERGED}" != "${MERGED2}" ]; then
   echo "merge re-decode is not byte-stable"; exit 1
 fi
 
+# --- fabric lane -------------------------------------------------------------
+# Boot a coordinator over two workers, batch-submit four jobs (one duplicate,
+# one long enough to interrupt), kill the worker that owns the long job
+# mid-run, and require: all four NDJSON results arrive, the duplicate cost no
+# extra simulation, and the rebalanced job's result is byte-equal to an
+# uninterrupted reference run.
+
+COORD_BIN="$(dirname "${BIN}")/delta-coord"
+W1_PORT=$((20000 + RANDOM % 20000)); W1_ADDR="127.0.0.1:${W1_PORT}"
+W2_PORT=$((20000 + RANDOM % 20000)); W2_ADDR="127.0.0.1:${W2_PORT}"
+REF_PORT=$((20000 + RANDOM % 20000)); REF_ADDR="127.0.0.1:${REF_PORT}"
+CO_PORT=$((20000 + RANDOM % 20000)); CO_ADDR="127.0.0.1:${CO_PORT}"
+FAB_DIR="$(mktemp -d)"
+W1_LOG="$(mktemp)"; W2_LOG="$(mktemp)"; CO_LOG="$(mktemp)"; BATCH_OUT="$(mktemp)"
+cleanup4() {
+  for P in "${SRV_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${REF_PID:-}" "${CO_PID:-}"; do
+    [ -n "${P}" ] && kill -9 "${P}" 2>/dev/null || true
+  done
+  rm -f "${LOG}" "${LOG2}" "${W1_LOG}" "${W2_LOG}" "${CO_LOG}" "${BATCH_OUT}"
+  rm -rf "${CKPT_DIR}" "${TEL_DIR}" "${FAB_DIR}"
+}
+trap cleanup4 EXIT
+
+go build -o "${COORD_BIN}" ./cmd/delta-coord
+"${COORD_BIN}" -version
+
+wait_healthy() { # $1 = addr, $2 = pid, $3 = log
+  local i
+  for i in $(seq 1 50); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then echo "process on $1 died:"; cat "$3"; return 1; fi
+    sleep 0.2
+  done
+  echo "process on $1 never became healthy"; return 1
+}
+
+LONG_REQ='{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":10000,"budget_instructions":1000000,"seed":5}'
+QUICK_A='{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":4000,"budget_instructions":4000,"seed":6}'
+QUICK_B='{"policy":"delta","cores":4,"apps":["mcf"],"warmup_instructions":4000,"budget_instructions":4000,"seed":7}'
+
+echo "== fabric lane: uninterrupted reference run"
+"${BIN}" -addr "${REF_ADDR}" -workers 2 -queue-depth 8 -job-timeout 120s >/dev/null 2>&1 &
+REF_PID=$!
+wait_healthy "${REF_ADDR}" "${REF_PID}" /dev/null
+REF_SUBMIT=$(curl -sf -X POST "http://${REF_ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${LONG_REQ}")
+LONG_ID=$(echo "${REF_SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "${LONG_ID}" ] || { echo "no job id: ${REF_SUBMIT}"; exit 1; }
+for i in $(seq 1 300); do
+  JOB=$(curl -sf "http://${REF_ADDR}/v1/simulations/${LONG_ID}")
+  case "${JOB}" in *'"status":"done"'*) break ;; esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "reference never finished: ${JOB}"; exit 1; }
+REF_RESULT=$(echo "${JOB}" | sed -n 's/.*"result"://p' | strip_elapsed)
+kill -TERM "${REF_PID}"; wait "${REF_PID}" || true; REF_PID=""
+
+echo "== fabric lane: start two workers and the coordinator"
+"${BIN}" -addr "${W1_ADDR}" -workers 2 -queue-depth 16 -job-timeout 120s \
+  -checkpoint-dir "${FAB_DIR}/w1-ckpt" >"${W1_LOG}" 2>&1 &
+W1_PID=$!
+"${BIN}" -addr "${W2_ADDR}" -workers 2 -queue-depth 16 -job-timeout 120s \
+  -checkpoint-dir "${FAB_DIR}/w2-ckpt" >"${W2_LOG}" 2>&1 &
+W2_PID=$!
+wait_healthy "${W1_ADDR}" "${W1_PID}" "${W1_LOG}"
+wait_healthy "${W2_ADDR}" "${W2_PID}" "${W2_LOG}"
+"${COORD_BIN}" -addr "${CO_ADDR}" -fleet "http://${W1_ADDR},http://${W2_ADDR}" \
+  -result-dir "${FAB_DIR}/results" -health-every 100ms -health-fail-after 2 \
+  -poll-every 25ms >"${CO_LOG}" 2>&1 &
+CO_PID=$!
+wait_healthy "${CO_ADDR}" "${CO_PID}" "${CO_LOG}"
+curl -sf "http://${CO_ADDR}/v1/fleet" | grep -q "http://${W2_ADDR}"
+
+echo "== fabric lane: batch-submit 4 jobs (1 duplicate, 1 long)"
+curl -sf -X POST "http://${CO_ADDR}/v1/batch" -H 'Content-Type: application/json' \
+  -d "{\"jobs\":[${LONG_REQ},${QUICK_A},${QUICK_B},${QUICK_A}]}" >"${BATCH_OUT}" &
+BATCH_PID=$!
+
+echo "== fabric lane: kill the long job's worker mid-run"
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${CO_ADDR}/v1/simulations/${LONG_ID}" || true)
+  case "${JOB}" in *'"status":"running"'*) break ;; esac
+  sleep 0.1
+done
+echo "${JOB}" | grep -q '"status":"running"' || { echo "long job never started: ${JOB}"; exit 1; }
+# The quick jobs settle almost immediately, so the long job's worker is the
+# one with in-flight work in the fleet document.
+OWNER=$(curl -sf "http://${CO_ADDR}/v1/fleet" | tr '}' '\n' | grep '"jobs":[1-9]' \
+  | sed -n 's/.*"url":"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "${OWNER}" ] || { echo "could not locate the long job's worker"; exit 1; }
+case "${OWNER}" in
+  *"${W1_ADDR}"*) VICTIM_PID=${W1_PID}; W1_PID="" ;;
+  *"${W2_ADDR}"*) VICTIM_PID=${W2_PID}; W2_PID="" ;;
+  *) echo "owner ${OWNER} is not a fleet member"; exit 1 ;;
+esac
+echo "killing ${OWNER}"
+kill -9 "${VICTIM_PID}" 2>/dev/null || true
+
+echo "== fabric lane: all 4 results arrive"
+wait "${BATCH_PID}" || { echo "batch request failed:"; cat "${BATCH_OUT}"; cat "${CO_LOG}"; exit 1; }
+LINES=$(wc -l <"${BATCH_OUT}")
+[ "${LINES}" -eq 4 ] || { echo "batch streamed ${LINES} lines, want 4:"; cat "${BATCH_OUT}"; exit 1; }
+DONE_LINES=$(grep -c '"status":"done"' "${BATCH_OUT}")
+[ "${DONE_LINES}" -eq 4 ] || { echo "only ${DONE_LINES}/4 jobs done:"; cat "${BATCH_OUT}"; exit 1; }
+
+echo "== fabric lane: rebalanced result is byte-equal to the reference"
+LONG_LINE=$(grep '"index":0[,}]' "${BATCH_OUT}")
+echo "${LONG_LINE}" | grep -q "\"id\":\"${LONG_ID}\"" || { echo "index 0 is not the long job: ${LONG_LINE}"; exit 1; }
+LONG_RESULT=$(echo "${LONG_LINE}" | sed -n 's/.*"result"://p' | strip_elapsed)
+if [ "${LONG_RESULT}" != "${REF_RESULT}" ]; then
+  echo "rebalanced result diverged from reference:"
+  echo "  ref:        ${REF_RESULT}"
+  echo "  rebalanced: ${LONG_RESULT}"
+  exit 1
+fi
+
+echo "== fabric lane: duplicate cost no extra simulation"
+DUP_ID=$(grep '"index":1[,}]' "${BATCH_OUT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+DUP_ID2=$(grep '"index":3[,}]' "${BATCH_OUT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "${DUP_ID}" ] && [ "${DUP_ID}" = "${DUP_ID2}" ] || { echo "duplicate forked: ${DUP_ID} vs ${DUP_ID2}"; exit 1; }
+CO_METRICS=$(curl -sf "http://${CO_ADDR}/metrics")
+echo "${CO_METRICS}" | grep -q '^coord_jobs_routed 3$' \
+  || { echo "coordinator routed more than 3 jobs for 4 submissions with 1 duplicate:"; \
+       echo "${CO_METRICS}" | grep '^coord_'; exit 1; }
+echo "${CO_METRICS}" | grep -q '^coord_jobs_rebalanced [1-9]' \
+  || { echo "no rebalance recorded after killing a worker:"; echo "${CO_METRICS}" | grep '^coord_'; exit 1; }
+
+echo "== fabric lane: coordinator restart serves stored results"
+kill -TERM "${CO_PID}"; wait "${CO_PID}" || true
+"${COORD_BIN}" -addr "${CO_ADDR}" -fleet "" -result-dir "${FAB_DIR}/results" >"${CO_LOG}" 2>&1 &
+CO_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://${CO_ADDR}/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+RESTART_DUP=$(curl -sf -X POST "http://${CO_ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${LONG_REQ}")
+echo "${RESTART_DUP}" | grep -q '"deduped":true' \
+  || { echo "restarted coordinator re-routed a stored result: ${RESTART_DUP}"; exit 1; }
+
+kill -TERM "${CO_PID}"; wait "${CO_PID}" || true; CO_PID=""
+[ -n "${W1_PID}" ] && { kill -TERM "${W1_PID}"; wait "${W1_PID}" || true; W1_PID=""; }
+[ -n "${W2_PID}" ] && { kill -TERM "${W2_PID}"; wait "${W2_PID}" || true; W2_PID=""; }
+
 echo "service smoke: OK"
