@@ -14,7 +14,12 @@
 // runtime.NumCPU()); results are bit-identical at any worker count.
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6
-// overheads ablations all
+// overheads ablations churn all
+//
+// The churn experiment replays a dynamic-membership scenario (arrivals,
+// departures, migration, phase storms) under every policy and reports
+// fairness (Jain index, unfairness vs private) next to raw performance;
+// -scenario substitutes a JSON script for the built-in one.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"delta"
 	"delta/internal/experiments"
 	"delta/internal/profiling"
 	"delta/internal/version"
@@ -32,8 +38,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, churn, all)")
 	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
+	scenarioPath := flag.String("scenario", "", "JSON scenario file for the churn experiment (default: the built-in churn script)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per campaign (1 = sequential)")
 	check := flag.Bool("check", false, "run simulator-wide invariant checks on every chip (slow; panics on the first violation)")
@@ -137,8 +144,26 @@ func main() {
 			fmt.Println(experiments.AblationTable(experiments.Ablations(sc, m), m))
 		}
 	})
+	run("churn", func() {
+		script := experiments.ChurnScenario()
+		if *scenarioPath != "" {
+			data, err := os.ReadFile(*scenarioPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "delta-bench:", err)
+				os.Exit(2)
+			}
+			script, err = delta.ParseScenario(data, 16, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "delta-bench:", err)
+				os.Exit(2)
+			}
+		}
+		for _, m := range []string{"w2", "w6"} {
+			fmt.Println(experiments.ChurnWith(sc, m, 16, script).Table())
+		}
+	})
 
-	if !strings.Contains("fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6 overheads ablations all", *exp) {
+	if !strings.Contains("fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6 overheads ablations churn all", *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

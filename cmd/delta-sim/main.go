@@ -40,6 +40,7 @@ func main() {
 	budget := flag.Uint64("budget", 250_000, "measured instructions per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compress := flag.Uint64("compress", 50, "time compression of reconfiguration intervals")
+	scenarioPath := flag.String("scenario", "", "JSON file scripting dynamic events (arrivals, departures, migration, spikes, storms) applied at quantum boundaries")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "workers when simulating several policies (1 = sequential)")
 	check := flag.Bool("check", false, "run simulator-wide invariant checks every quantum and after every remap (slow; panics on the first violation)")
 	fastforward := flag.Bool("fastforward", false, "skip simulated warmup: seed UMON counters and cache contents from the workloads' analytical locality models (DESIGN.md §10)")
@@ -60,6 +61,20 @@ func main() {
 	policies := strings.Split(*policy, ",")
 	if *policy == "all" {
 		policies = experiments.PolicyNames
+	}
+
+	var script *delta.Scenario
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-sim:", err)
+			os.Exit(2)
+		}
+		script, err = delta.ParseScenario(data, *cores, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-sim:", err)
+			os.Exit(2)
+		}
 	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -87,6 +102,7 @@ func main() {
 			TimeCompression:    *compress,
 			Check:              *check,
 			FastForward:        *fastforward,
+			Scenario:           script,
 		}))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "delta-sim:", err)
@@ -108,6 +124,35 @@ func main() {
 	for i := range sims {
 		report(strings.TrimSpace(policies[i]), *cores, results[i], sims[i])
 	}
+
+	// With a private run in the set, every other policy's slowdown vector
+	// has a baseline: print the cross-policy fairness summary. Result
+	// vectors align entry for entry because every simulator ran the same
+	// workloads — and, with -scenario, the same event script.
+	var privateIPC []float64
+	for i, p := range policies {
+		if strings.TrimSpace(p) == "private" {
+			privateIPC = ipcs(results[i])
+		}
+	}
+	if privateIPC != nil && len(policies) > 1 {
+		t := metrics.NewTable("fairness (unfairness vs private, Jain over per-core IPC)",
+			"policy", "unfairness", "jain")
+		for i, p := range policies {
+			v := ipcs(results[i])
+			t.AddRowf(strings.TrimSpace(p), metrics.Unfairness(v, privateIPC), metrics.JainIndex(v))
+		}
+		fmt.Println(t.String())
+	}
+}
+
+// ipcs extracts the per-core IPC vector in result order.
+func ipcs(res delta.Result) []float64 {
+	out := make([]float64, len(res.Cores))
+	for i, c := range res.Cores {
+		out[i] = c.IPC
+	}
+	return out
 }
 
 // report prints one policy's run.
@@ -119,6 +164,7 @@ func report(policy string, cores int, res delta.Result, sim *delta.Simulator) {
 	}
 	fmt.Println(t.String())
 	fmt.Printf("geomean IPC: %.4f\n", res.GeoMeanIPC())
+	fmt.Printf("fairness (Jain index): %.4f\n", metrics.JainIndex(ipcs(res)))
 	fmt.Printf("control traffic: %.3f%% of NoC messages\n", res.ControlMessageFraction*100)
 	fmt.Printf("invalidated lines: %d\n", res.InvalidatedLines)
 	if d := sim.Delta(); d != nil {

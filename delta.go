@@ -35,6 +35,7 @@ import (
 	"delta/internal/chip"
 	"delta/internal/core"
 	"delta/internal/metrics"
+	"delta/internal/scenario"
 	"delta/internal/snapshot"
 	"delta/internal/trace"
 	"delta/internal/workloads"
@@ -96,6 +97,14 @@ type Config struct {
 	// CanonicalJSON.
 	SnapshotEvery int
 
+	// Scenario scripts dynamic events — workload arrivals, departures, core
+	// migrations, load spikes and phase storms — applied deterministically
+	// at quantum boundaries during Run. A scenario changes results, so it is
+	// part of CanonicalJSON (and therefore the service's content address);
+	// nil (the default) runs the static experiment and leaves existing
+	// configuration hashes unchanged. See the Scenario type and DESIGN.md
+	// §12 for the DSL.
+	Scenario *Scenario
 	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
 	// nil uses Table II defaults scaled by TimeCompression.
 	DeltaParams *core.Params
@@ -197,8 +206,11 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		FastForward   bool `json:",omitempty"`
 		Multithreaded bool
 		Seed          uint64
-		DeltaParams   *core.Params         `json:",omitempty"`
-		IdealConfig   *central.IdealConfig `json:",omitempty"`
+		// Scenario changes results; omitempty keeps static configurations'
+		// keys byte-identical to earlier releases.
+		Scenario    *Scenario            `json:",omitempty"`
+		DeltaParams *core.Params         `json:",omitempty"`
+		IdealConfig *central.IdealConfig `json:",omitempty"`
 	}{
 		Cores:           cc.Cores,
 		Policy:          cc.Policy,
@@ -208,6 +220,7 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		FastForward:     cc.FastForward,
 		Multithreaded:   cc.Multithreaded,
 		Seed:            cc.Seed,
+		Scenario:        cc.Scenario,
 		DeltaParams:     cc.DeltaParams,
 		IdealConfig:     cc.IdealConfig,
 	})
@@ -431,6 +444,21 @@ func (s *Simulator) RunCtx(ctx context.Context) (Result, error) {
 		return Result{}, errors.New("delta: no workloads assigned")
 	}
 	s.ran = true
+	if s.cfg.Scenario != nil {
+		// A fresh run validates the script against the actual initial
+		// occupancy; a restored run resumes mid-scenario (the original run
+		// already validated, and occupancy has moved with the events).
+		if s.chip.Now() == 0 {
+			occ := make([]bool, s.cfg.Cores)
+			for i := range occ {
+				occ[i] = s.chip.HasWorkload(i)
+			}
+			if err := s.cfg.Scenario.Validate(s.cfg.Cores, occ); err != nil {
+				return Result{}, err
+			}
+		}
+		s.chip.SetBoundaryHook(scenario.NewExecutor(s.cfg.Scenario, s.chip, s.buildApp))
+	}
 	// A restored simulator resumes mid-run; fast-forward only applies to a
 	// chip that has not advanced (restored tiles are already warmed anyway).
 	if s.cfg.FastForward && s.chip.Now() == 0 {
@@ -489,6 +517,49 @@ func (r Result) IPCs() []float64 {
 		out[i] = c.IPC
 	}
 	return out
+}
+
+// buildApp is the scenario executor's generator factory: an arriving
+// application gets the same seed derivation its core would have used for an
+// initial assignment, so scripted arrivals are as deterministic as static
+// workloads.
+func (s *Simulator) buildApp(coreID int, name string) (trace.Generator, error) {
+	app, err := LookupApp(name)
+	if err != nil {
+		return nil, err
+	}
+	return app.Spec.Build(s.cfg.Seed*1000003 + uint64(coreID)*7919 + 17), nil
+}
+
+// Scenario is the dynamic-scenario DSL: a schema-versioned script of workload
+// arrivals, departures, core migrations, load spikes and phase storms applied
+// at quantum boundaries. Attach one with WithScenario or Config.Scenario.
+type Scenario = scenario.Scenario
+
+// ScenarioEvent is one scripted action in a Scenario.
+type ScenarioEvent = scenario.Event
+
+// Scenario event kinds.
+const (
+	ScenarioArrive  = scenario.KindArrive
+	ScenarioDepart  = scenario.KindDepart
+	ScenarioMigrate = scenario.KindMigrate
+	ScenarioSpike   = scenario.KindSpike
+	ScenarioStorm   = scenario.KindStorm
+)
+
+// ParseScenario decodes and validates a JSON scenario for a chip with cores
+// tiles; initial[i] reports whether tile i starts occupied (nil = all do).
+func ParseScenario(data []byte, cores int, initial []bool) (*Scenario, error) {
+	return scenario.Parse(data, cores, initial)
+}
+
+// ChaosScenario deterministically generates a random scenario that is valid
+// for a fully loaded chip with cores tiles and fires every event within
+// quanta quantum boundaries; the fuzz harness sweeps seeds against the
+// invariant checker.
+func ChaosScenario(seed uint64, cores int, quanta uint64, events int) *Scenario {
+	return scenario.Chaos(seed, cores, quanta, events)
 }
 
 // App re-exports the workload model type.

@@ -484,6 +484,43 @@ func (c *Cache) InvalidateMatching(pred func(line Line) bool) int {
 	return n
 }
 
+// ReassignOwner rewrites the owner field of every valid line owned by old to
+// new, returning the number of lines relabeled. Contents, recency, sharers
+// and dirty state are untouched — this is the migration primitive: when a
+// thread moves tiles its partition follows it, so the lines it placed keep
+// serving hits under the new partition id instead of being flushed. The walk
+// models the same range engine as InvalidateMatching; callers charge latency.
+func (c *Cache) ReassignOwner(old, new int) int {
+	c.guardMutation()
+	if old == new {
+		return 0
+	}
+	c.Stats.BulkWalks++
+	oldWord := uint64(uint16(int16(old)))
+	newWord := uint64(uint16(int16(new)))
+	n := 0
+	for set := 0; set < c.Sets; set++ {
+		base := set * c.stride
+		for m := c.valid[set]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if c.words[base+3*c.Ways+w] != oldWord {
+				continue
+			}
+			c.words[base+3*c.Ways+w] = newWord
+			n++
+		}
+	}
+	if c.trackOwners && n > 0 {
+		if old >= 0 && old < len(c.occupancy) {
+			c.occupancy[old] -= uint64(n)
+		}
+		if new >= 0 && new < len(c.occupancy) {
+			c.occupancy[new] += uint64(n)
+		}
+	}
+	return n
+}
+
 // InvalidateAll drops every line (used when re-purposing a bank).
 func (c *Cache) InvalidateAll() int {
 	return c.InvalidateMatching(func(Line) bool { return true })

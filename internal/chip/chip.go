@@ -160,6 +160,21 @@ type Tile struct {
 	doneLLCAcc  uint64
 	doneMemF    uint64
 
+	// Hit-locality base: cumulative hit counters latched when the current
+	// occupant attached, so LocalHitFrac covers only its own accesses on a
+	// tile that hosted earlier workloads. Zero on a fresh chip, which keeps
+	// static runs (and their snapshot bytes) unchanged.
+	localHitsBase  uint64
+	remoteHitsBase uint64
+	// warmBase is the instruction count when the occupant attached; the
+	// warm-up threshold is measured from it so a scenario arrival on a
+	// previously-used core warms over its own instructions.
+	warmBase uint64
+	// ratePct scales the occupant's access rate: inter-access gaps are
+	// multiplied by 100/ratePct, so 200 doubles the LLC-bound request rate
+	// (a load spike) and 50 halves it. Always 100 outside scenarios.
+	ratePct int
+
 	lastLLCAccesses uint64
 	idleStreak      int
 
@@ -206,6 +221,15 @@ type Chip struct {
 	ckptFn     func(now uint64)
 	ckptEvery  int
 	ckptQuanta int
+
+	// Boundary hook (nil means disabled): the scenario executor's entry
+	// point, fired at every quantum boundary after the event-queue drain and
+	// before the policy tick.
+	hook BoundaryHook
+
+	// departed holds the latched results of workloads detached mid-run, in
+	// departure order; Results prepends them to the live tiles' results.
+	departed []CoreResult
 
 	// Telemetry sampler state (rec == nil means disabled).
 	rec          telemetry.Recorder
@@ -290,7 +314,8 @@ func New(cfg Config, p Policy) *Chip {
 				SetBits:     c.llcSetBits,
 				SampleEvery: cfg.UmonSampleEvery,
 			}),
-			base: uint64(i) << 40,
+			base:    uint64(i) << 40,
+			ratePct: 100,
 		}
 		// Inclusive hierarchy: an LLC eviction back-invalidates every
 		// private copy; an L2 eviction back-invalidates the L1.
@@ -440,25 +465,37 @@ func (c *Chip) SnucaSetIdx(t *Tile, lineAddr uint64) int {
 // --- workload wiring --------------------------------------------------------
 
 // SetWorkload assigns core its access generator. When private is true the
-// generator's addresses are offset into a per-core address space (the
+// generator's addresses are offset into a per-thread address space (the
 // multi-programmed setup); multithreaded workloads pass private=false and
 // share one address space.
+//
+// The address window is keyed by (core, attach quantum), not by core alone:
+// a migrated thread carries its base with it, so if a new workload later
+// arrives on the vacated tile, a core-only key would hand it the exact
+// address space the departed thread still owns on another tile — two live
+// threads aliasing each other's lines across two home banks. At setup time
+// (clock zero) the formula reduces to the per-core layout, so static runs
+// are unaffected.
 func (c *Chip) SetWorkload(core int, gen trace.Generator, private bool) {
 	t := c.Tiles[core]
 	t.gen = gen
 	if private {
-		// Per-core address spaces with a pseudo-random sub-offset: physical
+		// Per-thread address spaces with a pseudo-random sub-offset: physical
 		// mappings are never power-of-two aligned across processes, and a
 		// perfectly aligned layout would pile every application onto the
 		// same sets under line-interleaved indexing.
-		r := sim.NewStream(c.Cfg.Seed, uint64(core)+0x51)
-		t.base = uint64(core+1)<<40 + r.Uint64n(1<<18)*64
+		var q uint64
+		if c.Cfg.Quantum > 0 {
+			q = (c.now / c.Cfg.Quantum) & (1<<13 - 1)
+		}
+		r := sim.NewStream(c.Cfg.Seed, uint64(core)+0x51+q<<20)
+		t.base = (uint64(core+1)+q<<10)<<40 + r.Uint64n(1<<18)*64
 	} else {
 		t.base = 0
 	}
 }
 
-// SetCheckpoint registers fn to run at every every-th quantum boundary
+// SetCheckpoint registers fn to run once every `every` quantum boundaries
 // (after the policy tick, invariant checks, and telemetry sampling for that
 // quantum). The chip is in a consistent boundary state when fn runs, so fn
 // may call Snapshot. every <= 0 or fn == nil disables the hook.
@@ -472,6 +509,225 @@ func (c *Chip) SetCheckpoint(every int, fn func(now uint64)) {
 	c.ckptFn = fn
 	c.ckptEvery = every
 	c.ckptQuanta = 0
+}
+
+// --- dynamic membership ------------------------------------------------------
+
+// BoundaryHook observes quantum boundaries; the scenario executor implements
+// it to apply scripted arrivals, departures, migrations and load changes.
+// OnBoundary runs at every boundary after the event-queue drain and before
+// the policy tick, so membership changes are visible to the same tick the
+// policy would have run anyway. Pending reports whether the hook still has
+// work that must keep the chip running (a scripted arrival not yet applied);
+// the run loop will not stop while it returns true.
+type BoundaryHook interface {
+	OnBoundary(now uint64)
+	Pending(now uint64) bool
+}
+
+// SetBoundaryHook installs (or, with nil, removes) the boundary hook.
+func (c *Chip) SetBoundaryHook(h BoundaryHook) { c.hook = h }
+
+// MembershipHandler is implemented by policies with per-partition state that
+// must react to workloads arriving, departing or migrating mid-run. The chip
+// invokes the handler after its own bookkeeping (caches relabeled or
+// invalidated, UMON reset), so the policy sees the post-event cache state.
+// Stateless policies need not implement it.
+type MembershipHandler interface {
+	WorkloadArrived(core int, now uint64)
+	WorkloadDeparted(core int, now uint64)
+	WorkloadMigrated(from, to int, now uint64)
+}
+
+// HasWorkload reports whether core currently runs a workload.
+func (c *Chip) HasWorkload(core int) bool { return c.Tiles[core].gen != nil }
+
+// AttachWorkload starts gen on an empty tile mid-run (a scenario arrival).
+// The core's clock is advanced to the current quantum boundary, every
+// measurement latch is re-based so the new occupant warms and measures over
+// its own instructions, and the tile's UMON restarts from empty. The policy's
+// MembershipHandler (if any) runs last so it can admit the newcomer.
+func (c *Chip) AttachWorkload(core int, gen trace.Generator) {
+	t := c.Tiles[core]
+	if gen == nil {
+		panic("chip: AttachWorkload with nil generator")
+	}
+	if t.gen != nil {
+		panic(fmt.Sprintf("chip: AttachWorkload on occupied core %d", core))
+	}
+	c.SetWorkload(core, gen, true)
+	t.Core.SetCycle(c.now)
+	t.Core.Drain()
+	t.Core.TakeInterval() // policy intervals must not span the vacancy
+	t.warmed = false
+	t.warmBase = t.Core.Instructions()
+	t.startCycle = t.Core.Cycle()
+	t.startInstr = t.Core.Instructions()
+	t.startLLCAcc = t.LLCAccesses
+	t.startMemF = t.MemFetches
+	t.doneCycle, t.doneInstr, t.doneLLCAcc, t.doneMemF = 0, 0, 0, 0
+	t.localHitsBase = t.LLCLocalHits
+	t.remoteHitsBase = t.LLCRemoteHits
+	t.idleStreak = 0
+	t.lastLLCAccesses = t.LLCAccesses
+	t.ratePct = 100
+	t.Mon.Reset()
+	if h, ok := c.policy.(MembershipHandler); ok {
+		h.WorkloadArrived(core, c.now)
+	}
+	if c.checkOn {
+		c.CheckInvariants("arrive")
+	}
+}
+
+// DetachWorkload removes core's workload mid-run (a scenario departure): the
+// core drains, its measurement window is latched into the departed-results
+// list, every LLC line it owns is invalidated in every bank (back-invalidating
+// private copies), its own private caches flush, and its UMON resets. The
+// policy's MembershipHandler (if any) then reclaims the partition. The
+// latched result is returned.
+func (c *Chip) DetachWorkload(core int) CoreResult {
+	t := c.Tiles[core]
+	if t.gen == nil {
+		panic(fmt.Sprintf("chip: DetachWorkload on empty core %d", core))
+	}
+	t.Core.Drain()
+	res := c.coreResult(core)
+	c.departed = append(c.departed, res)
+	for _, bt := range c.Tiles {
+		n := bt.LLC.InvalidateMatching(func(ln cache.Line) bool {
+			return int(ln.Owner) == core
+		})
+		c.Stats.InvalLines += uint64(n)
+		c.Stats.InvalWalks++
+	}
+	t.L2.InvalidateAll() // OnEvict sweeps matching L1 lines first
+	t.L1.InvalidateAll()
+	t.gen = nil
+	t.base = uint64(core) << 40
+	t.ratePct = 100
+	t.Mon.Reset()
+	if h, ok := c.policy.(MembershipHandler); ok {
+		h.WorkloadDeparted(core, c.now)
+	}
+	if c.checkOn {
+		c.CheckInvariants("depart")
+	}
+	return res
+}
+
+// MigrateWorkload moves the workload on from to the empty tile to (a scenario
+// migration): the thread's architectural state follows it, so the two tiles'
+// Core objects swap (cumulative instruction/cycle/MLP counters travel with
+// the thread) and the measurement latches move, with tile-owned counters
+// (LLC accesses, memory fetches, hit-locality bases) translated into the
+// destination tile's counter space. The partition follows the thread: every
+// bank relabels the lines it owns from from to to, the source tile's private
+// caches flush (a migrated thread restarts cold on the new tile), and both
+// tiles' UMONs reset. The policy's MembershipHandler (if any) then moves its
+// per-partition state.
+func (c *Chip) MigrateWorkload(from, to int) {
+	if from == to {
+		panic(fmt.Sprintf("chip: MigrateWorkload from core %d to itself", from))
+	}
+	src, dst := c.Tiles[from], c.Tiles[to]
+	if src.gen == nil {
+		panic(fmt.Sprintf("chip: MigrateWorkload from empty core %d", from))
+	}
+	if dst.gen != nil {
+		panic(fmt.Sprintf("chip: MigrateWorkload onto occupied core %d", to))
+	}
+	src.Core.Drain()
+	src.Core, dst.Core = dst.Core, src.Core
+	dst.Core.SetCycle(c.now)
+	dst.gen, src.gen = src.gen, nil
+	dst.base, src.base = src.base, uint64(from)<<40
+
+	// Tile-owned cumulative counters stay with their tile; the latches that
+	// reference them shift by the difference between the two tiles' counters
+	// (uint64 modular arithmetic keeps the later window subtractions exact).
+	llcOff := dst.LLCAccesses - src.LLCAccesses
+	memOff := dst.MemFetches - src.MemFetches
+	dst.warmed = src.warmed
+	dst.warmBase = src.warmBase
+	dst.startCycle = src.startCycle
+	dst.startInstr = src.startInstr
+	dst.startLLCAcc = src.startLLCAcc + llcOff
+	dst.startMemF = src.startMemF + memOff
+	dst.doneCycle = src.doneCycle
+	dst.doneInstr = src.doneInstr
+	dst.doneLLCAcc, dst.doneMemF = 0, 0
+	if src.doneCycle != 0 {
+		dst.doneLLCAcc = src.doneLLCAcc + llcOff
+		dst.doneMemF = src.doneMemF + memOff
+	}
+	dst.localHitsBase = src.localHitsBase + (dst.LLCLocalHits - src.LLCLocalHits)
+	dst.remoteHitsBase = src.remoteHitsBase + (dst.LLCRemoteHits - src.LLCRemoteHits)
+	dst.ratePct, src.ratePct = src.ratePct, 100
+	dst.idleStreak = 0
+	dst.lastLLCAccesses = dst.LLCAccesses
+	// Telemetry windows restart at the swapped-in counters so the next
+	// sample's derivative never spans the swap.
+	dst.sampInstr = dst.Core.Instructions()
+	dst.sampCycle = dst.Core.Cycle()
+	dst.sampLLCAcc = dst.LLCAccesses
+	src.sampInstr = src.Core.Instructions()
+	src.sampCycle = src.Core.Cycle()
+	src.sampLLCAcc = src.LLCAccesses
+	src.warmed = false
+	src.warmBase, src.startCycle, src.startInstr = 0, 0, 0
+	src.startLLCAcc, src.startMemF = 0, 0
+	src.doneCycle, src.doneInstr, src.doneLLCAcc, src.doneMemF = 0, 0, 0, 0
+	src.localHitsBase, src.remoteHitsBase = 0, 0
+
+	// The partition follows the thread: relabel its lines in every bank.
+	for _, bt := range c.Tiles {
+		bt.LLC.ReassignOwner(from, to)
+	}
+	src.L2.InvalidateAll()
+	src.L1.InvalidateAll()
+	src.Mon.Reset()
+	dst.Mon.Reset()
+	if h, ok := c.policy.(MembershipHandler); ok {
+		h.WorkloadMigrated(from, to, c.now)
+	}
+	// With the policy's partition state moved, sweep out any relabeled line
+	// the policy no longer maps to the bank it sits in: a refetch would
+	// insert the same address into another bank, breaking the one-home
+	// invariant. Under DELTA and the ideal scheme the thread's CBT travels
+	// with it, so surviving buckets keep mapping and nothing matches; under
+	// the private policy the home bank moves with the thread, so its old
+	// bank's lines all go (a cold migration, as real private LLCs behave).
+	// Classifier-shared lines route by address hash and never move.
+	for b, bt := range c.Tiles {
+		bank := b
+		n := bt.LLC.InvalidateMatching(func(ln cache.Line) bool {
+			if int(ln.Owner) != to {
+				return false
+			}
+			if c.classifier != nil && c.classifier.IsShared(coherence.PageOf(ln.Addr)) {
+				return false
+			}
+			return c.policy.BankFor(to, ln.Addr) != bank
+		})
+		if n > 0 {
+			c.Stats.InvalLines += uint64(n)
+			c.Stats.InvalWalks++
+		}
+	}
+	if c.checkOn {
+		c.CheckInvariants("migrate")
+	}
+}
+
+// SetRate sets core's access-rate scaling in percent (100 = the workload's
+// native rate); the scenario executor recomputes it at every boundary from
+// the active load-spike and phase-storm windows.
+func (c *Chip) SetRate(core, pct int) {
+	if pct <= 0 {
+		panic(fmt.Sprintf("chip: SetRate with non-positive rate %d%%", pct))
+	}
+	c.Tiles[core].ratePct = pct
 }
 
 // --- run loop ----------------------------------------------------------------
@@ -502,7 +758,7 @@ func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 			active++
 		}
 	}
-	if active == 0 {
+	if active == 0 && (c.hook == nil || !c.hook.Pending(c.now)) {
 		panic("chip: no workloads assigned")
 	}
 	for {
@@ -513,14 +769,16 @@ func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 		// inside the same iteration) so a chip restored from a snapshot
 		// taken at the final boundary stops immediately instead of running
 		// one extra quantum; for uninterrupted runs the sequencing is
-		// identical.
+		// identical. A boundary hook with a pending arrival holds the run
+		// open: time keeps advancing (possibly with no core running) until
+		// the scripted workload lands and finishes its own window.
 		remaining := 0
 		for _, t := range c.Tiles {
 			if t.gen != nil && t.doneCycle == 0 {
 				remaining++
 			}
 		}
-		if remaining == 0 {
+		if remaining == 0 && (c.hook == nil || !c.hook.Pending(c.now)) {
 			break
 		}
 		qEnd := c.now + c.Cfg.Quantum
@@ -532,6 +790,9 @@ func (c *Chip) RunCtx(ctx context.Context, warmup, budget uint64) error {
 		}
 		c.now = qEnd
 		c.events.RunUntil(c.now)
+		if c.hook != nil {
+			c.hook.OnBoundary(c.now)
+		}
 		c.policy.Tick(c.now)
 		c.quantumBookkeeping()
 		if c.checkOn {
@@ -568,10 +829,20 @@ func (c *Chip) advanceCore(i int, qEnd, warmup, budget uint64) {
 	core := t.Core
 	for core.Cycle() < qEnd {
 		acc := t.gen.Next()
-		core.AdvanceNonMem(acc.Gap)
+		gap := acc.Gap
+		if t.ratePct != 100 {
+			// A load spike compresses the non-memory work between accesses,
+			// raising the LLC-bound request rate by ratePct/100.
+			gap = gap * 100 / t.ratePct
+		}
+		core.AdvanceNonMem(gap)
 		lat := c.access(i, t.base+acc.Line, acc.Write)
 		core.Memory(lat)
-		if !t.warmed && core.Instructions() >= warmup {
+		// Both window checks subtract before comparing: warmBase/startInstr
+		// are latched on tiles whose cores already retired instructions when
+		// the occupant attached, so the thresholds are relative, not
+		// absolute.
+		if !t.warmed && core.Instructions()-t.warmBase >= warmup {
 			core.Drain()
 			t.warmed = true
 			t.startCycle = core.Cycle()
@@ -579,7 +850,7 @@ func (c *Chip) advanceCore(i int, qEnd, warmup, budget uint64) {
 			t.startLLCAcc = t.LLCAccesses
 			t.startMemF = t.MemFetches
 		}
-		if t.warmed && t.doneCycle == 0 && core.Instructions() >= t.startInstr+budget {
+		if t.warmed && t.doneCycle == 0 && core.Instructions()-t.startInstr >= budget {
 			core.Drain()
 			t.doneCycle = core.Cycle()
 			t.doneInstr = core.Instructions()
@@ -739,41 +1010,53 @@ type CoreResult struct {
 	MLP          float64
 }
 
-// Results returns per-core results after Run. Cores without workloads are
-// omitted.
+// Results returns per-core results after Run: workloads that departed
+// mid-run first (in departure order, windows latched at departure), then the
+// live tiles in core order. Cores without workloads are omitted. A core id
+// can appear twice when a scenario re-populates a tile whose first occupant
+// departed.
 func (c *Chip) Results() []CoreResult {
-	var out []CoreResult
+	out := make([]CoreResult, 0, len(c.departed))
+	out = append(out, c.departed...)
 	for i, t := range c.Tiles {
 		if t.gen == nil {
 			continue
 		}
-		endCycle, endInstr := t.doneCycle, t.doneInstr
-		endLLC, endMemF := t.doneLLCAcc, t.doneMemF
-		if endCycle == 0 {
-			endCycle = t.Core.Cycle()
-			endInstr = t.Core.Instructions()
-			endLLC = t.LLCAccesses
-			endMemF = t.MemFetches
-		}
-		instr := endInstr - t.startInstr
-		cycles := endCycle - t.startCycle
-		r := CoreResult{
-			Core:         i,
-			Instructions: instr,
-			Cycles:       cycles,
-			MLP:          t.Core.MLP(),
-		}
-		if cycles > 0 {
-			r.IPC = float64(instr) / float64(cycles)
-		}
-		if instr > 0 {
-			r.MPKI = float64(endLLC-t.startLLCAcc) / float64(instr) * 1000
-			r.MemMPKI = float64(endMemF-t.startMemF) / float64(instr) * 1000
-		}
-		if hits := t.LLCLocalHits + t.LLCRemoteHits; hits > 0 {
-			r.LocalHitFrac = float64(t.LLCLocalHits) / float64(hits)
-		}
-		out = append(out, r)
+		out = append(out, c.coreResult(i))
 	}
 	return out
+}
+
+// coreResult assembles one live core's measured window.
+func (c *Chip) coreResult(i int) CoreResult {
+	t := c.Tiles[i]
+	endCycle, endInstr := t.doneCycle, t.doneInstr
+	endLLC, endMemF := t.doneLLCAcc, t.doneMemF
+	if endCycle == 0 {
+		endCycle = t.Core.Cycle()
+		endInstr = t.Core.Instructions()
+		endLLC = t.LLCAccesses
+		endMemF = t.MemFetches
+	}
+	instr := endInstr - t.startInstr
+	cycles := endCycle - t.startCycle
+	r := CoreResult{
+		Core:         i,
+		Instructions: instr,
+		Cycles:       cycles,
+		MLP:          t.Core.MLP(),
+	}
+	if cycles > 0 {
+		r.IPC = float64(instr) / float64(cycles)
+	}
+	if instr > 0 {
+		r.MPKI = float64(endLLC-t.startLLCAcc) / float64(instr) * 1000
+		r.MemMPKI = float64(endMemF-t.startMemF) / float64(instr) * 1000
+	}
+	local := t.LLCLocalHits - t.localHitsBase
+	remote := t.LLCRemoteHits - t.remoteHitsBase
+	if hits := local + remote; hits > 0 {
+		r.LocalHitFrac = float64(local) / float64(hits)
+	}
+	return r
 }

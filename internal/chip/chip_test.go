@@ -378,3 +378,47 @@ func TestSnucaLineInterleaveSpreadsSets(t *testing.T) {
 		}
 	}
 }
+
+// membershipScript applies scripted membership mutations at quantum
+// boundaries, keyed by quantum index.
+type membershipScript struct {
+	c       *Chip
+	quantum uint64
+	steps   map[uint64]func(*Chip)
+}
+
+func (h *membershipScript) OnBoundary(now uint64) {
+	if fn, ok := h.steps[now/h.quantum]; ok {
+		fn(h.c)
+		delete(h.steps, now/h.quantum)
+	}
+}
+
+func (h *membershipScript) Pending(uint64) bool { return false }
+
+func TestMigrateThenArriveDistinctAddressSpaces(t *testing.T) {
+	// A migrated thread carries its address space with it. If a new workload
+	// then arrives on the vacated tile, it must get a *fresh* address window:
+	// reusing the tile-keyed base would alias the migrated thread's lines
+	// from a second home bank, which the -check harness flags as a one-home
+	// violation (found by FuzzScenarioChaos).
+	cfg := testConfig(4)
+	cfg.Check = true
+	c := New(cfg, NewPrivate())
+	for i := 0; i < 4; i++ {
+		c.SetWorkload(i, bigRegion(96, uint64(i)+1), true)
+	}
+	migratedBase := c.Tiles[3].base
+	c.SetBoundaryHook(&membershipScript{c: c, quantum: cfg.Quantum, steps: map[uint64]func(*Chip){
+		2: func(c *Chip) { c.DetachWorkload(2) },
+		3: func(c *Chip) { c.MigrateWorkload(3, 2) },
+		4: func(c *Chip) { c.AttachWorkload(3, bigRegion(96, 99)) },
+	}})
+	c.Run(1_000, 6_000) // -check panics on any boundary/event violation
+	if got := c.Tiles[2].base; got != migratedBase {
+		t.Errorf("migrated thread's base changed: got %#x want %#x", got, migratedBase)
+	}
+	if got := c.Tiles[3].base; got == migratedBase {
+		t.Errorf("arrival on vacated tile reused the migrated thread's address space %#x", got)
+	}
+}

@@ -2,6 +2,7 @@ package chip
 
 import (
 	"fmt"
+	"math"
 
 	"delta/internal/invariant"
 	"delta/internal/sim"
@@ -77,11 +78,17 @@ func (c *Chip) Snapshot() (*snapshot.Chip, error) {
 			DoneMemF:        t.doneMemF,
 			LastLLCAccesses: t.lastLLCAccesses,
 			IdleStreak:      t.idleStreak,
+			LocalHitsBase:   t.localHitsBase,
+			RemoteHitsBase:  t.remoteHitsBase,
+			WarmBase:        t.warmBase,
 			SampInstr:       t.sampInstr,
 			SampCycle:       t.sampCycle,
 			SampLLCAcc:      t.sampLLCAcc,
 			SampBankAcc:     t.sampBankAcc,
 			SampBankHits:    t.sampBankHits,
+		}
+		if t.ratePct != 100 {
+			st.RatePct = t.ratePct
 		}
 		if t.gen != nil {
 			g, err := trace.SnapshotGen(t.gen)
@@ -95,6 +102,18 @@ func (c *Chip) Snapshot() (*snapshot.Chip, error) {
 	if c.classifier != nil {
 		cls := c.classifier.Snapshot()
 		s.Classifier = &cls
+	}
+	for _, d := range c.departed {
+		s.Departed = append(s.Departed, snapshot.DepartedResult{
+			Core:         d.Core,
+			Instructions: d.Instructions,
+			Cycles:       d.Cycles,
+			IPCBits:      math.Float64bits(d.IPC),
+			MPKIBits:     math.Float64bits(d.MPKI),
+			MemMPKIBits:  math.Float64bits(d.MemMPKI),
+			LocalHitBits: math.Float64bits(d.LocalHitFrac),
+			MLPBits:      math.Float64bits(d.MLP),
+		})
 	}
 	if c.rec != nil {
 		s.Sampler = &snapshot.Sampler{
@@ -176,6 +195,13 @@ func (c *Chip) Restore(s *snapshot.Chip) error {
 		t.doneMemF = st.DoneMemF
 		t.lastLLCAccesses = st.LastLLCAccesses
 		t.idleStreak = st.IdleStreak
+		t.localHitsBase = st.LocalHitsBase
+		t.remoteHitsBase = st.RemoteHitsBase
+		t.warmBase = st.WarmBase
+		t.ratePct = st.RatePct
+		if t.ratePct == 0 {
+			t.ratePct = 100
+		}
 		t.sampInstr = st.SampInstr
 		t.sampCycle = st.SampCycle
 		t.sampLLCAcc = st.SampLLCAcc
@@ -209,6 +235,19 @@ func (c *Chip) Restore(s *snapshot.Chip) error {
 		MaskFallbacks:  s.Stats.MaskFallbacks,
 		SharedInserts:  s.Stats.SharedInserts,
 		PageReclassify: s.Stats.PageReclassify,
+	}
+	c.departed = nil
+	for _, d := range s.Departed {
+		c.departed = append(c.departed, CoreResult{
+			Core:         d.Core,
+			Instructions: d.Instructions,
+			Cycles:       d.Cycles,
+			IPC:          math.Float64frombits(d.IPCBits),
+			MPKI:         math.Float64frombits(d.MPKIBits),
+			MemMPKI:      math.Float64frombits(d.MemMPKIBits),
+			LocalHitFrac: math.Float64frombits(d.LocalHitBits),
+			MLP:          math.Float64frombits(d.MLPBits),
+		})
 	}
 	c.events.Restore(s.Events)
 	// Counter baselines restart from the restored values; the first check

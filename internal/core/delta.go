@@ -407,6 +407,13 @@ func (d *Delta) pickTarget(i int, now uint64) int {
 
 // handleChallenge runs at the challenged tile j (Algorithm 1 lines 9-16).
 func (d *Delta) handleChallenge(j, challenger int, gain float64, now uint64) {
+	if !d.c.HasWorkload(challenger) {
+		// The challenge was in flight when its sender's workload departed or
+		// migrated away (dynamic scenarios); granting it would strand ways on
+		// an empty partition.
+		d.respond(j, challenger, false, 0)
+		return
+	}
 	if d.pid[j] == d.pid[challenger] && j != challenger {
 		// Threads of one process do not compete (Section II-E).
 		d.respond(j, challenger, false, 0)
@@ -521,6 +528,15 @@ func (d *Delta) handleResponse(i, j int, success bool, ways int) {
 	d.Stats.Expansions++
 	d.rec.Count("core.challenges_won", 1)
 	d.record(Event{Cycle: d.c.Now(), Kind: "expand", Core: i, Bank: j, Ways: ways})
+	if !d.c.HasWorkload(i) {
+		// The workload departed while its won response was in flight. The
+		// ways were already transferred at the defender; clearing the gain
+		// register the grant seeded lets the intra-bank loop drain them back
+		// instead of a stale high value attracting even more capacity.
+		d.bankGain[j][i] = 0
+		d.gainDirty[j] = true
+		return
+	}
 	found := false
 	for _, b := range d.bankOrder[i] {
 		if b == j {

@@ -354,7 +354,10 @@ func TestCheckInvariantsCatchesAllocDrift(t *testing.T) {
 // must re-check the cap and trim (or refuse) the transfer; it used to
 // transfer unconditionally, pushing totalWays past maxTotal.
 func TestChallengeRespectsCapAtHandleTime(t *testing.T) {
-	_, d := testChip(testParams())
+	c, d := testChip(testParams())
+	// The challenger must run a workload: challenges from empty tiles are
+	// refused outright (dynamic-membership guard).
+	c.SetWorkload(0, region(128, 1), true)
 	// Make bank 1's home partition a valid victim (pain is +Inf until the
 	// first epoch, which would veto every challenge).
 	d.pain[1] = 0

@@ -32,8 +32,14 @@ const (
 func (d *Delta) HandleControl(m sim.Msg, now uint64) {
 	switch m.Kind {
 	case MsgGain:
-		d.bankGain[m.B][m.A] = math.Float64frombits(m.FBits)
-		d.gainDirty[m.B] = true
+		// Drop updates from partitions whose workload departed or migrated
+		// after sending: a stale gain would let an empty partition hold or
+		// attract capacity (dynamic scenarios only — static senders always
+		// have workloads).
+		if d.c.HasWorkload(m.A) {
+			d.bankGain[m.B][m.A] = math.Float64frombits(m.FBits)
+			d.gainDirty[m.B] = true
+		}
 	case MsgChallenge:
 		d.handleChallenge(m.B, m.A, math.Float64frombits(m.FBits), now)
 	case MsgResponse:

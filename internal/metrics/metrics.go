@@ -77,6 +77,53 @@ func STP(ipc, privateIPC []float64) float64 {
 	return sum
 }
 
+// Unfairness is the max/min ratio of per-application slowdowns relative to
+// the private baseline (Eyerman & Eeckhout; 1.0 = perfectly fair, higher is
+// worse): max_i(CPI_i/CPI_i,private) / min_i(CPI_i/CPI_i,private). Dynamic
+// churn scenarios use it to show whether a policy starves late arrivals.
+func Unfairness(ipc, privateIPC []float64) float64 {
+	if len(ipc) != len(privateIPC) || len(ipc) == 0 {
+		panic("metrics: unfairness length mismatch")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range ipc {
+		if ipc[i] <= 0 || privateIPC[i] <= 0 {
+			panic("metrics: non-positive IPC in unfairness")
+		}
+		s := privateIPC[i] / ipc[i] // slowdown = CPI_i / CPI_i,private
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi / lo
+}
+
+// JainIndex is Jain's fairness index over the values (typically per-core
+// IPCs or speedups): (Σx)² / (n·Σx²), in (0,1] with 1 = all equal. Unlike
+// Unfairness it needs no baseline, so churn campaigns can report it for
+// windows where a private reference does not exist (mid-scenario membership
+// differs from any static run).
+func JainIndex(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic("metrics: Jain index of nothing")
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, v := range vals {
+		if v < 0 {
+			panic(fmt.Sprintf("metrics: negative value %v in Jain index", v))
+		}
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1 // all zero: degenerate but equal
+	}
+	return sum * sum / (float64(len(vals)) * sumSq)
+}
+
 // Summary holds min/geomean/max of a speedup series, the numbers the paper
 // quotes ("improves performance by 9% on average, up to 16%").
 type Summary struct {

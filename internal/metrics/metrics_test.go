@@ -58,6 +58,95 @@ func TestANTTDirection(t *testing.T) {
 	}
 }
 
+func TestUnfairness(t *testing.T) {
+	private := []float64{1, 1, 1}
+	if got := Unfairness(private, private); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("unfairness at baseline = %v, want 1", got)
+	}
+	// Slowdowns 1, 2, 4 → max/min = 4.
+	ipc := []float64{1, 0.5, 0.25}
+	if got := Unfairness(ipc, private); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("unfairness = %v, want 4", got)
+	}
+	// Uniform scaling is fair: every core slowed 2x is still unfairness 1.
+	half := []float64{0.5, 0.5, 0.5}
+	if got := Unfairness(half, private); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform slowdown unfairness = %v, want 1", got)
+	}
+}
+
+func TestUnfairnessPanics(t *testing.T) {
+	for _, tc := range []struct{ ipc, base []float64 }{
+		{nil, nil},
+		{[]float64{1}, []float64{1, 2}},
+		{[]float64{0}, []float64{1}},
+		{[]float64{1}, []float64{-1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v/%v", tc.ipc, tc.base)
+				}
+			}()
+			Unfairness(tc.ipc, tc.base)
+		}()
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal values Jain = %v, want 1", got)
+	}
+	// One active of n: index = 1/n.
+	if got := JainIndex([]float64{5, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single-winner Jain = %v, want 0.25", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero Jain = %v, want the degenerate 1", got)
+	}
+	// Scale invariance.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Jain not scale invariant: %v vs %v", a, b)
+	}
+}
+
+func TestJainIndexPanics(t *testing.T) {
+	for _, in := range [][]float64{nil, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", in)
+				}
+			}()
+			JainIndex(in)
+		}()
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Fold into a realistic IPC-like range; squaring near-MaxFloat64
+			// inputs overflows, which is out of scope for the metric.
+			vals = append(vals, math.Mod(math.Abs(v), 1e6))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		j := JainIndex(vals)
+		return j > 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{0.9, 1.0, 1.21})
 	if s.Min != 0.9 || s.Max != 1.21 {

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"delta/internal/sim"
+	"delta/internal/workloads"
+)
+
+// Chaos generates a random scenario that is valid by construction for a chip
+// with cores tiles that all start occupied: it tracks membership while
+// drawing events, so arrivals always land on empty tiles, departures and
+// migration sources are always occupied, and every event fires within quanta
+// quantum boundaries (a Pending arrival past the run's natural end would
+// stall the run loop forever). The same seed always yields the same
+// scenario; the fuzz harness sweeps seeds against the invariant checker.
+func Chaos(seed uint64, cores int, quanta uint64, events int) *Scenario {
+	r := sim.NewStream(seed, 0xc4a05)
+	if quanta < 1 {
+		quanta = 1
+	}
+	// Event times: sorted draws in [1, quanta].
+	times := make([]uint64, events)
+	for i := range times {
+		times[i] = 1 + r.Uint64n(quanta)
+	}
+	for i := 1; i < len(times); i++ { // insertion sort keeps it dependency-free
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+
+	apps := workloads.Apps()
+	occ := make([]bool, cores)
+	for i := range occ {
+		occ[i] = true
+	}
+	pick := func(want bool) int { // uniform tile with occupancy == want, -1 if none
+		n := 0
+		for _, o := range occ {
+			if o == want {
+				n++
+			}
+		}
+		if n == 0 {
+			return -1
+		}
+		k := r.Intn(n)
+		for i, o := range occ {
+			if o == want {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+		return -1
+	}
+	rates := []int{25, 50, 150, 200, 400}
+
+	sc := &Scenario{SchemaVersion: SchemaVersion, Name: "chaos"}
+	for _, at := range times {
+		kinds := []Kind{KindStorm}
+		if pick(true) >= 0 {
+			kinds = append(kinds, KindDepart, KindSpike)
+		}
+		if pick(false) >= 0 {
+			kinds = append(kinds, KindArrive)
+			if pick(true) >= 0 {
+				kinds = append(kinds, KindMigrate)
+			}
+		}
+		ev := Event{AtQuantum: at, Kind: kinds[r.Intn(len(kinds))]}
+		switch ev.Kind {
+		case KindArrive:
+			ev.Core = pick(false)
+			ev.App = apps[r.Intn(len(apps))].Name
+			occ[ev.Core] = true
+		case KindDepart:
+			ev.Core = pick(true)
+			occ[ev.Core] = false
+		case KindMigrate:
+			ev.From = pick(true)
+			ev.To = pick(false)
+			occ[ev.From], occ[ev.To] = false, true
+		case KindSpike:
+			ev.Core = pick(true)
+			ev.RatePercent = rates[r.Intn(len(rates))]
+			ev.DurationQuanta = 1 + r.Uint64n(4)
+		case KindStorm:
+			ev.RatePercent = rates[r.Intn(len(rates))]
+			ev.DurationQuanta = 1 + r.Uint64n(4)
+			if r.Intn(2) == 1 { // else empty = every tile
+				perm := make([]int, cores)
+				for i := range perm {
+					perm[i] = i
+				}
+				k := 1 + r.Intn(cores/2)
+				for i := 0; i < k; i++ {
+					j := i + r.Intn(cores-i)
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+				ev.Cores = append([]int(nil), perm[:k]...)
+			}
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return sc
+}

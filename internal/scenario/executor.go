@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+
+	"delta/internal/chip"
+	"delta/internal/trace"
+)
+
+// BuildFunc constructs the access generator for an arriving application. The
+// caller supplies it so the executor stays agnostic of seeding policy; the
+// facade derives the seed from the run seed and the core ID exactly as it
+// does for initial workloads.
+type BuildFunc func(core int, app string) (trace.Generator, error)
+
+// Executor drives a validated scenario against a chip. It implements
+// chip.BoundaryHook: the chip calls OnBoundary at every quantum boundary
+// (after in-flight messages drain, before the policy tick), and Pending keeps
+// the run loop alive while arrivals are still scheduled even if every current
+// core finished or the chip is momentarily empty.
+//
+// The executor is deterministic and restartable: its only state is a cursor
+// into the event list, re-derived from the chip clock, so a restored chip
+// resumes mid-scenario without any executor state in the snapshot. Rate
+// scaling is recomputed from scratch at every boundary as a pure function of
+// the clock — a spike at quantum k with duration d scales quanta k+1..k+d,
+// and overlapping windows resolve to the latest-listed active one per tile.
+type Executor struct {
+	sc      *Scenario
+	c       *chip.Chip
+	build   BuildFunc
+	quantum uint64
+	cursor  int
+	rates   []int
+}
+
+// NewExecutor binds a validated scenario to a chip. Events the chip clock has
+// already passed (a restored mid-scenario run) are skipped, matching the
+// boundary at which the original run applied them.
+func NewExecutor(sc *Scenario, c *chip.Chip, build BuildFunc) *Executor {
+	ex := &Executor{sc: sc, c: c, build: build, quantum: c.Cfg.Quantum,
+		rates: make([]int, c.Cores())}
+	now := c.Now()
+	for ex.cursor < len(sc.Events) && sc.Events[ex.cursor].AtQuantum*ex.quantum <= now {
+		ex.cursor++
+	}
+	return ex
+}
+
+// OnBoundary implements chip.BoundaryHook: apply every due event in listed
+// order, then recompute each tile's access-rate scaling.
+func (ex *Executor) OnBoundary(now uint64) {
+	for ex.cursor < len(ex.sc.Events) {
+		ev := ex.sc.Events[ex.cursor]
+		if ev.AtQuantum*ex.quantum > now {
+			break
+		}
+		ex.apply(ev)
+		ex.cursor++
+	}
+	ex.applyRates(now)
+}
+
+// Pending implements chip.BoundaryHook: the run must not stop while an
+// arrival is still scheduled, even if every current core crossed its budget
+// (or the chip is momentarily empty between a departure and an arrival).
+func (ex *Executor) Pending(now uint64) bool {
+	return ex.sc.arrivalsFrom(ex.cursor)
+}
+
+func (ex *Executor) apply(ev Event) {
+	switch ev.Kind {
+	case KindArrive:
+		gen, err := ex.build(ev.Core, ev.App)
+		if err != nil {
+			// Validate resolved the name before the run started; a failure
+			// here is a programming error in the BuildFunc.
+			panic(fmt.Sprintf("scenario: building %q for core %d: %v", ev.App, ev.Core, err))
+		}
+		ex.c.AttachWorkload(ev.Core, gen)
+	case KindDepart:
+		ex.c.DetachWorkload(ev.Core)
+	case KindMigrate:
+		ex.c.MigrateWorkload(ev.From, ev.To)
+	case KindSpike, KindStorm:
+		// Windows are recomputed in applyRates; nothing to apply here.
+	}
+}
+
+// applyRates derives every tile's rate purely from the clock: scan all
+// events that have fired, keep the latest-listed window still active at now.
+// Spikes and storms target tiles, not threads — a window opened on a tile
+// keeps scaling it across migrations, and scaling an empty tile is a no-op.
+func (ex *Executor) applyRates(now uint64) {
+	for i := range ex.rates {
+		ex.rates[i] = 100
+	}
+	for _, ev := range ex.sc.Events[:ex.cursor] {
+		if ev.Kind != KindSpike && ev.Kind != KindStorm {
+			continue
+		}
+		if now >= (ev.AtQuantum+ev.DurationQuanta)*ex.quantum {
+			continue // window closed
+		}
+		if ev.Kind == KindSpike {
+			ex.rates[ev.Core] = ev.RatePercent
+			continue
+		}
+		if len(ev.Cores) == 0 {
+			for i := range ex.rates {
+				ex.rates[i] = ev.RatePercent
+			}
+			continue
+		}
+		for _, c := range ev.Cores {
+			ex.rates[c] = ev.RatePercent
+		}
+	}
+	for i, r := range ex.rates {
+		ex.c.SetRate(i, r)
+	}
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"testing"
+
+	"delta/internal/chip"
+	"delta/internal/trace"
+)
+
+// FuzzScenarioChaos sweeps chaos-generated scenarios against the chip's
+// runtime invariant harness: every seed must yield a valid script, and
+// replaying it on a fully loaded private-partitioned chip must survive the
+// full -check sweep (one-home residency, way accounting, membership
+// consistency) at every quantum boundary and after every membership event.
+func FuzzScenarioChaos(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := Chaos(seed, 16, 20, 8)
+		if err := sc.Validate(16, nil); err != nil {
+			t.Fatalf("seed %d: chaos scenario invalid: %v", seed, err)
+		}
+		cfg := chip.DefaultConfig(16)
+		cfg.Quantum = 500
+		cfg.Check = true
+		cfg.Seed = seed
+		c := chip.New(cfg, chip.NewPrivate())
+		for i := 0; i < 16; i++ {
+			c.SetWorkload(i, region(64+32*(i%4), seed+uint64(i)+1), true)
+		}
+		c.SetBoundaryHook(NewExecutor(sc, c, func(core int, app string) (trace.Generator, error) {
+			return region(128, seed*31+uint64(core)+1), nil
+		}))
+		c.Run(1_000, 2_000)
+	})
+}

@@ -1,0 +1,316 @@
+// Package scenario implements the dynamic-scenario engine: a schema-versioned
+// JSON DSL describing scripted workload arrivals, departures, core
+// migrations, load spikes and coordinated phase storms, plus a deterministic
+// executor that applies those events at chip quantum boundaries.
+//
+// A scenario is part of a run's identity: it changes results, folds into the
+// facade's CanonicalJSON (and therefore the service's content address), and
+// replays bit-identically across run-to-completion, checkpoint/restore and
+// suspend/resume. Everything here is deterministic — events fire at exact
+// quantum boundaries in listed order, and the chaos generator derives every
+// choice from a seeded PRNG.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"delta/internal/workloads"
+)
+
+// SchemaVersion is the scenario wire-format version this build understands.
+const SchemaVersion = 1
+
+// Kind enumerates the event types.
+type Kind string
+
+// Event kinds.
+const (
+	// KindArrive attaches a named application to an empty tile: the core
+	// starts fetching, the partition readmits it, and monitoring restarts.
+	KindArrive Kind = "arrive"
+	// KindDepart drains and removes a tile's workload: its measured result
+	// is latched, its lines are invalidated, and its capacity reclaims.
+	KindDepart Kind = "depart"
+	// KindMigrate moves a thread between tiles: the partition follows it
+	// (lines relabel rather than flush), cumulative counters travel with
+	// the thread, and the vacated tile goes idle.
+	KindMigrate Kind = "migrate"
+	// KindSpike scales one core's access rate by rate_percent for
+	// duration_quanta quanta (200 = twice the access rate).
+	KindSpike Kind = "spike"
+	// KindStorm is a coordinated phase change: a spike applied to a core
+	// set (empty = every tile) in the same quantum window.
+	KindStorm Kind = "storm"
+)
+
+// Event is one scripted action, applied at the boundary ending quantum
+// AtQuantum (cycle AtQuantum x quantum-length). Events sharing a quantum
+// apply in listed order.
+type Event struct {
+	AtQuantum uint64 `json:"at_quantum"`
+	Kind      Kind   `json:"kind"`
+	// Core targets arrive/depart/spike.
+	Core int `json:"core,omitempty"`
+	// App names the arriving application (arrive only): a built-in SPEC
+	// CPU2006 model by full name or short code.
+	App string `json:"app,omitempty"`
+	// From/To are the migration endpoints (migrate only).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// RatePercent scales the access rate during spike/storm windows;
+	// 100 = nominal, range [1, 10000].
+	RatePercent int `json:"rate_percent,omitempty"`
+	// DurationQuanta is the spike/storm window length in quanta (>= 1).
+	DurationQuanta uint64 `json:"duration_quanta,omitempty"`
+	// Cores lists the storm's targets; empty means every tile.
+	Cores []int `json:"cores,omitempty"`
+}
+
+// Scenario is a schema-versioned event script.
+type Scenario struct {
+	SchemaVersion int     `json:"schema_version"`
+	Name          string  `json:"name,omitempty"`
+	Events        []Event `json:"events"`
+}
+
+// Parse decodes and validates a scenario against a chip with cores tiles,
+// all initially occupied when initial is nil (the common whole-chip mix);
+// otherwise initial[i] reports whether tile i starts with a workload.
+func Parse(data []byte, cores int, initial []bool) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(cores, initial); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// lookupApp resolves a built-in model by full name or short code without
+// panicking, returning the canonical full name.
+func lookupApp(name string) (string, bool) {
+	for _, a := range workloads.Apps() {
+		if a.Name == name || a.Short == name {
+			return a.Name, true
+		}
+	}
+	return "", false
+}
+
+// Validate checks the scenario's structure and simulates its membership
+// effects over the initial occupancy: every arrival must land on an empty
+// tile, every departure and migration source must be occupied, and every
+// migration destination empty at the moment the event fires. initial[i]
+// reports whether tile i starts occupied; nil means all tiles do.
+func (s *Scenario) Validate(cores int, initial []bool) error {
+	if s == nil {
+		return nil
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("scenario: schema_version %d, this build understands %d",
+			s.SchemaVersion, SchemaVersion)
+	}
+	if initial != nil && len(initial) != cores {
+		return fmt.Errorf("scenario: occupancy vector covers %d tiles, chip has %d", len(initial), cores)
+	}
+	occ := make([]bool, cores)
+	for i := range occ {
+		occ[i] = initial == nil || initial[i]
+	}
+	inRange := func(c int) bool { return c >= 0 && c < cores }
+	var prev uint64
+	for i, ev := range s.Events {
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("scenario: event %d (%s at quantum %d): %s",
+				i, ev.Kind, ev.AtQuantum, fmt.Sprintf(format, args...))
+		}
+		if ev.AtQuantum < 1 {
+			return at("at_quantum must be >= 1 (events fire at quantum boundaries)")
+		}
+		if ev.AtQuantum < prev {
+			return at("events must be ordered by at_quantum (previous was %d)", prev)
+		}
+		prev = ev.AtQuantum
+		switch ev.Kind {
+		case KindArrive:
+			if !inRange(ev.Core) {
+				return at("core %d out of range [0,%d)", ev.Core, cores)
+			}
+			if _, ok := lookupApp(ev.App); !ok {
+				return at("unknown application %q", ev.App)
+			}
+			if occ[ev.Core] {
+				return at("core %d is already occupied", ev.Core)
+			}
+			occ[ev.Core] = true
+		case KindDepart:
+			if !inRange(ev.Core) {
+				return at("core %d out of range [0,%d)", ev.Core, cores)
+			}
+			if !occ[ev.Core] {
+				return at("core %d has no workload to remove", ev.Core)
+			}
+			occ[ev.Core] = false
+		case KindMigrate:
+			if !inRange(ev.From) || !inRange(ev.To) {
+				return at("endpoints %d->%d out of range [0,%d)", ev.From, ev.To, cores)
+			}
+			if ev.From == ev.To {
+				return at("migration to the same tile")
+			}
+			if !occ[ev.From] {
+				return at("source tile %d has no workload", ev.From)
+			}
+			if occ[ev.To] {
+				return at("destination tile %d is occupied", ev.To)
+			}
+			occ[ev.From], occ[ev.To] = false, true
+		case KindSpike:
+			if !inRange(ev.Core) {
+				return at("core %d out of range [0,%d)", ev.Core, cores)
+			}
+			if !occ[ev.Core] {
+				return at("core %d has no workload to spike", ev.Core)
+			}
+			if err := checkWindow(ev); err != nil {
+				return at("%s", err)
+			}
+		case KindStorm:
+			if err := checkWindow(ev); err != nil {
+				return at("%s", err)
+			}
+			seen := make(map[int]bool, len(ev.Cores))
+			for _, c := range ev.Cores {
+				if !inRange(c) {
+					return at("core %d out of range [0,%d)", c, cores)
+				}
+				if seen[c] {
+					return at("core %d listed twice", c)
+				}
+				seen[c] = true
+			}
+		default:
+			return at("unknown kind")
+		}
+	}
+	return nil
+}
+
+func checkWindow(ev Event) error {
+	if ev.RatePercent < 1 || ev.RatePercent > 10000 {
+		return fmt.Errorf("rate_percent %d out of [1,10000]", ev.RatePercent)
+	}
+	if ev.DurationQuanta < 1 {
+		return fmt.Errorf("duration_quanta must be >= 1")
+	}
+	return nil
+}
+
+// Canonical returns a deep copy with every arrival's App resolved to the
+// model's canonical full name, so "mcf" and "429.mcf" hash to the same
+// content address. Unknown names pass through unchanged — Validate reports
+// those with event context. The copy shares nothing with the receiver.
+func (s *Scenario) Canonical() *Scenario {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Events = append([]Event(nil), s.Events...)
+	for i := range out.Events {
+		ev := &out.Events[i]
+		if ev.Cores != nil {
+			ev.Cores = append([]int(nil), ev.Cores...)
+		}
+		if ev.Kind == KindArrive {
+			if name, ok := lookupApp(ev.App); ok {
+				ev.App = name
+			}
+		}
+	}
+	return &out
+}
+
+// Arrivals reports whether any arrival event remains at or after quantum q.
+func (s *Scenario) arrivalsFrom(idx int) bool {
+	for _, ev := range s.Events[idx:] {
+		if ev.Kind == KindArrive {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyAt replays the scenario's membership events with
+// AtQuantum*quantum <= now over the initial per-tile application assignment
+// (canonical full names; "" = empty tile) and returns the resulting
+// assignment. Restore uses it to rebuild the generator tree shape a
+// mid-scenario snapshot expects.
+func (s *Scenario) OccupancyAt(initial []string, quantum, now uint64) []string {
+	apps, _ := s.ProvenanceAt(initial, quantum, now)
+	return apps
+}
+
+// ProvenanceAt is OccupancyAt plus generator provenance: for each tile it
+// also returns the core whose seed built the occupying generator. Initial
+// workloads and arrivals are seeded by the tile they land on; migrations
+// carry the generator object — and therefore its seed — to the destination,
+// so a tile that received a migrated thread reports the source core.
+// Restore needs this to rebuild a migrated workload with the original seed:
+// structural parameters derive from the seed at build time and are not part
+// of the cursor state a chip restore overwrites.
+func (s *Scenario) ProvenanceAt(initial []string, quantum, now uint64) (apps []string, seedCore []int) {
+	apps = append([]string(nil), initial...)
+	seedCore = make([]int, len(initial))
+	for i := range seedCore {
+		seedCore[i] = i
+	}
+	if s == nil {
+		return apps, seedCore
+	}
+	for _, ev := range s.Events {
+		if ev.AtQuantum*quantum > now {
+			break
+		}
+		switch ev.Kind {
+		case KindArrive:
+			name, _ := lookupApp(ev.App)
+			apps[ev.Core] = name
+			seedCore[ev.Core] = ev.Core
+		case KindDepart:
+			apps[ev.Core] = ""
+			seedCore[ev.Core] = ev.Core
+		case KindMigrate:
+			apps[ev.To], apps[ev.From] = apps[ev.From], ""
+			seedCore[ev.To], seedCore[ev.From] = seedCore[ev.From], ev.From
+		}
+	}
+	return apps, seedCore
+}
+
+// Summary returns a compact human-readable description ("12 events: 3
+// arrivals, 2 departures, ...") for logs and reports.
+func (s *Scenario) Summary() string {
+	if s == nil || len(s.Events) == 0 {
+		return "no events"
+	}
+	counts := map[Kind]int{}
+	for _, ev := range s.Events {
+		counts[ev.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	out := fmt.Sprintf("%d events:", len(s.Events))
+	for i, k := range kinds {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(" %d %s", counts[Kind(k)], k)
+	}
+	return out
+}

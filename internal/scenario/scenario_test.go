@@ -1,0 +1,294 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"delta/internal/chip"
+	"delta/internal/trace"
+)
+
+func valid() *Scenario {
+	return &Scenario{SchemaVersion: 1, Events: []Event{
+		{AtQuantum: 2, Kind: KindDepart, Core: 3},
+		{AtQuantum: 3, Kind: KindArrive, Core: 3, App: "omnetpp"},
+		{AtQuantum: 4, Kind: KindDepart, Core: 5},
+		{AtQuantum: 5, Kind: KindMigrate, From: 6, To: 5},
+		{AtQuantum: 6, Kind: KindSpike, Core: 0, RatePercent: 200, DurationQuanta: 2},
+		{AtQuantum: 7, Kind: KindStorm, RatePercent: 50, DurationQuanta: 1},
+	}}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := valid().Validate(16, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"bad version", func(s *Scenario) { s.SchemaVersion = 2 }, "schema_version"},
+		{"quantum zero", func(s *Scenario) { s.Events[0].AtQuantum = 0 }, "at_quantum"},
+		{"unordered", func(s *Scenario) { s.Events[1].AtQuantum = 1 }, "ordered"},
+		{"arrive occupied", func(s *Scenario) { s.Events[1].Core = 0 }, "already occupied"},
+		{"unknown app", func(s *Scenario) { s.Events[1].App = "nope" }, "unknown application"},
+		{"depart empty", func(s *Scenario) { s.Events[2].Core = 3; s.Events[2].AtQuantum = 2 }, "ordered"},
+		{"depart idle", func(s *Scenario) {
+			s.Events[3] = Event{AtQuantum: 5, Kind: KindDepart, Core: 5}
+		}, "no workload"},
+		{"migrate self", func(s *Scenario) { s.Events[3].To = 6 }, "same tile"},
+		{"migrate occupied dst", func(s *Scenario) { s.Events[3].To = 1 }, "occupied"},
+		{"migrate idle src", func(s *Scenario) { s.Events[3].From = 5; s.Events[3].To = 9 }, "no workload"},
+		{"core range", func(s *Scenario) { s.Events[4].Core = 16 }, "out of range"},
+		{"rate range", func(s *Scenario) { s.Events[4].RatePercent = 0 }, "rate_percent"},
+		{"zero duration", func(s *Scenario) { s.Events[5].DurationQuanta = 0 }, "duration_quanta"},
+		{"storm dup", func(s *Scenario) { s.Events[5].Cores = []int{1, 1} }, "twice"},
+		{"bad kind", func(s *Scenario) { s.Events[0].Kind = "explode" }, "unknown kind"},
+	}
+	for _, tc := range cases {
+		s := valid()
+		tc.mut(s)
+		err := s.Validate(16, nil)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateInitialOccupancy(t *testing.T) {
+	s := &Scenario{SchemaVersion: 1, Events: []Event{
+		{AtQuantum: 1, Kind: KindArrive, Core: 2, App: "mcf"},
+	}}
+	occ := make([]bool, 16)
+	occ[0] = true
+	if err := s.Validate(16, occ); err != nil {
+		t.Fatal(err)
+	}
+	occ[2] = true
+	if err := s.Validate(16, occ); err == nil {
+		t.Fatal("arrival on an occupied tile accepted")
+	}
+	if err := s.Validate(8, occ); err == nil {
+		t.Fatal("occupancy vector length mismatch accepted")
+	}
+}
+
+func TestOccupancyAt(t *testing.T) {
+	s := valid()
+	initial := make([]string, 16)
+	for i := range initial {
+		initial[i] = "libquantum"
+	}
+	const q = 500
+	got := s.OccupancyAt(initial, q, 5*q)
+	if got[3] != "omnetpp" {
+		t.Errorf("core 3 = %q, want the arrived omnetpp", got[3])
+	}
+	if got[6] != "" {
+		t.Errorf("core 6 = %q, want empty after migration", got[6])
+	}
+	if got[5] != "libquantum" {
+		t.Errorf("core 5 = %q, want the migrated libquantum", got[5])
+	}
+	// Before any event fires, the assignment is untouched.
+	got = s.OccupancyAt(initial, q, q)
+	for i, app := range got {
+		if app != "libquantum" {
+			t.Fatalf("core %d = %q before first event", i, app)
+		}
+	}
+}
+
+func TestProvenanceAt(t *testing.T) {
+	s := valid()
+	initial := make([]string, 16)
+	for i := range initial {
+		initial[i] = "libquantum"
+	}
+	const q = 500
+	apps, seed := s.ProvenanceAt(initial, q, 5*q)
+	// Tile 3's occupant is a fresh arrival: seeded by its own tile.
+	if apps[3] != "omnetpp" || seed[3] != 3 {
+		t.Errorf("tile 3 = %q seeded by %d, want omnetpp seeded by 3", apps[3], seed[3])
+	}
+	// Tile 5 received tile 6's thread: the generator was built with tile
+	// 6's seed and travelled with the migration.
+	if apps[5] != "libquantum" || seed[5] != 6 {
+		t.Errorf("tile 5 = %q seeded by %d, want libquantum seeded by 6", apps[5], seed[5])
+	}
+	if apps[6] != "" {
+		t.Errorf("tile 6 = %q, want empty after migration", apps[6])
+	}
+	// Untouched tiles keep their own seed.
+	if seed[0] != 0 || seed[1] != 1 {
+		t.Errorf("untouched tiles reseeded: %d, %d", seed[0], seed[1])
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	s := valid()
+	s.Events[1].App = "om" // short code for omnetpp
+	s.Events[5].Cores = []int{1, 2}
+	c := s.Canonical()
+	if c.Events[1].App != "omnetpp" {
+		t.Errorf("app %q, want canonical omnetpp", c.Events[1].App)
+	}
+	if s.Events[1].App != "om" {
+		t.Error("Canonical mutated the receiver")
+	}
+	c.Events[5].Cores[0] = 9
+	if s.Events[5].Cores[0] != 1 {
+		t.Error("Canonical aliases the receiver's storm cores")
+	}
+	if (*Scenario)(nil).Canonical() != nil {
+		t.Error("nil Canonical should stay nil")
+	}
+}
+
+func TestChaosAlwaysValid(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		sc := Chaos(seed, 16, 40, 12)
+		if len(sc.Events) != 12 {
+			t.Fatalf("seed %d: %d events, want 12", seed, len(sc.Events))
+		}
+		if err := sc.Validate(16, nil); err != nil {
+			t.Fatalf("seed %d: chaos scenario invalid: %v", seed, err)
+		}
+		for _, ev := range sc.Events {
+			if ev.AtQuantum > 40 {
+				t.Fatalf("seed %d: event past the run horizon at quantum %d", seed, ev.AtQuantum)
+			}
+		}
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a, b := Chaos(7, 16, 40, 12), Chaos(7, 16, 40, 12)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range a.Events {
+		av, bv := a.Events[i], b.Events[i]
+		if av.AtQuantum != bv.AtQuantum || av.Kind != bv.Kind || av.Core != bv.Core ||
+			av.App != bv.App || av.From != bv.From || av.To != bv.To {
+			t.Fatalf("event %d differs: %+v vs %+v", i, av, bv)
+		}
+	}
+}
+
+func region(kb int, seed uint64) trace.Generator {
+	return trace.NewShaper(trace.NewRegionGen(0, trace.Lines(kb), seed),
+		trace.ShaperConfig{MemFraction: 0.3, Burst: 4, Seed: seed})
+}
+
+func testChip(t *testing.T) *chip.Chip {
+	t.Helper()
+	cfg := chip.DefaultConfig(16)
+	cfg.Quantum = 500
+	cfg.Check = true
+	c := chip.New(cfg, chip.NewPrivate())
+	for i := 0; i < 16; i++ {
+		if i == 3 { // tile 3 starts empty; the scenario fills it
+			continue
+		}
+		c.SetWorkload(i, region(128+64*(i%4), uint64(i)+1), true)
+	}
+	return c
+}
+
+// TestExecutorEndToEnd scripts one of each event kind against a private-
+// partitioned chip with the invariant harness on and checks the membership
+// effects land: the arrival occupies tile 3, the departure latches core 5's
+// result, and the migration moves core 6's thread onto the vacated tile 5.
+func TestExecutorEndToEnd(t *testing.T) {
+	sc := &Scenario{SchemaVersion: 1, Events: []Event{
+		{AtQuantum: 2, Kind: KindArrive, Core: 3, App: "omnetpp"},
+		{AtQuantum: 3, Kind: KindSpike, Core: 0, RatePercent: 200, DurationQuanta: 2},
+		{AtQuantum: 4, Kind: KindDepart, Core: 5},
+		{AtQuantum: 5, Kind: KindMigrate, From: 6, To: 5},
+		{AtQuantum: 6, Kind: KindStorm, RatePercent: 50, DurationQuanta: 1},
+	}}
+	occ := make([]bool, 16)
+	for i := range occ {
+		occ[i] = i != 3
+	}
+	if err := sc.Validate(16, occ); err != nil {
+		t.Fatal(err)
+	}
+	c := testChip(t)
+	c.SetBoundaryHook(NewExecutor(sc, c, func(core int, app string) (trace.Generator, error) {
+		return region(256, uint64(core)+100), nil
+	}))
+	c.Run(2_000, 4_000)
+
+	if !c.HasWorkload(3) {
+		t.Error("tile 3 should hold the arrived workload")
+	}
+	if c.HasWorkload(6) {
+		t.Error("tile 6 should be empty after the migration")
+	}
+	if !c.HasWorkload(5) {
+		t.Error("tile 5 should hold the migrated thread")
+	}
+	res := c.Results()
+	if len(res) != 16 {
+		t.Fatalf("%d results, want 16 (15 live + 1 departed)", len(res))
+	}
+	if res[0].Core != 5 {
+		t.Fatalf("first result is core %d, want the departed core 5", res[0].Core)
+	}
+	if res[0].Instructions == 0 {
+		t.Error("departed core latched no instructions")
+	}
+}
+
+// TestExecutorKeepsRunAliveForArrivals departs every core, then brings one
+// back: the run loop must idle across the empty-chip window instead of
+// panicking or stopping, because Pending reports the scheduled arrival.
+func TestExecutorKeepsRunAliveForArrivals(t *testing.T) {
+	cfg := chip.DefaultConfig(4)
+	cfg.Quantum = 500
+	cfg.Check = true
+	c := chip.New(cfg, chip.NewPrivate())
+	for i := 0; i < 4; i++ {
+		c.SetWorkload(i, region(64, uint64(i)+1), true)
+	}
+	sc := &Scenario{SchemaVersion: 1, Events: []Event{
+		{AtQuantum: 1, Kind: KindDepart, Core: 0},
+		{AtQuantum: 1, Kind: KindDepart, Core: 1},
+		{AtQuantum: 1, Kind: KindDepart, Core: 2},
+		{AtQuantum: 1, Kind: KindDepart, Core: 3},
+		{AtQuantum: 4, Kind: KindArrive, Core: 2, App: "mcf"},
+	}}
+	if err := sc.Validate(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.SetBoundaryHook(NewExecutor(sc, c, func(core int, app string) (trace.Generator, error) {
+		return region(64, 42), nil
+	}))
+	c.Run(500, 1_000)
+	if !c.HasWorkload(2) {
+		t.Fatal("the post-drain arrival never landed")
+	}
+	if got := len(c.Results()); got != 5 {
+		t.Fatalf("%d results, want 5 (4 departed + 1 live)", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if got := valid().Summary(); !strings.Contains(got, "6 events") {
+		t.Errorf("Summary() = %q", got)
+	}
+	var nilSc *Scenario
+	if got := nilSc.Summary(); got != "no events" {
+		t.Errorf("nil Summary() = %q", got)
+	}
+}

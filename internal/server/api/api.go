@@ -8,7 +8,11 @@
 // determines the simulation's output.
 package api
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"delta/internal/scenario"
+)
 
 // SchemaVersion is the wire-format version of this API. Clients may pin it
 // in SubmitRequest.SchemaVersion (zero means "current"); a mismatch is
@@ -82,6 +86,13 @@ type SubmitRequest struct {
 	Multithreaded bool `json:"multithreaded,omitempty"`
 	// Seed drives workload randomness.
 	Seed uint64 `json:"seed,omitempty"`
+	// Scenario scripts dynamic events (workload arrivals, departures, core
+	// migrations, load spikes, phase storms) applied at quantum boundaries.
+	// It changes results and is part of the content address; submissions
+	// differing only in scenario are distinct jobs. Validated on submit
+	// (structured 400, code invalid_config) against the schema and the
+	// workload's initial occupancy.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 	// Priority selects the admission lane: "high" jobs are dequeued before
 	// "normal" (the default, also spelled ""). Priority is transport
 	// metadata like SchemaVersion — it never perturbs the content address,

@@ -94,6 +94,17 @@ func normalize(req api.SubmitRequest) (api.SubmitRequest, error) {
 		}
 		req.Apps = apps
 	}
+	if req.Scenario != nil {
+		// Canonicalize app names inside the scenario (short code → full
+		// name) on a deep copy so the caller's struct is never aliased, then
+		// validate against the workload's occupancy: both mix and apps
+		// submissions fill every core, so validation starts all-occupied.
+		sc := req.Scenario.Canonical()
+		if err := sc.Validate(cfg.Cores, nil); err != nil {
+			return req, err
+		}
+		req.Scenario = sc
+	}
 	req.Policy = string(cfg.Policy)
 	req.Cores = cfg.Cores
 	req.TimeCompression = cfg.TimeCompression
@@ -113,6 +124,7 @@ func config(req api.SubmitRequest) delta.Config {
 		BudgetInstructions: req.BudgetInstructions,
 		Multithreaded:      req.Multithreaded,
 		Seed:               req.Seed,
+		Scenario:           req.Scenario,
 	}
 }
 

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"delta/internal/scenario"
+	"delta/internal/server/api"
+)
+
+// churnScenario exercises every event kind on a 4-core chip: a chip-wide
+// storm, a departure that frees tile 3 for an arrival, a second departure
+// whose tile receives a migration, and a closing spike. All events land well
+// inside mediumReq's ~600-quantum run.
+func churnScenario() *scenario.Scenario {
+	return &scenario.Scenario{SchemaVersion: 1, Events: []scenario.Event{
+		{AtQuantum: 2, Kind: scenario.KindStorm, RatePercent: 200, DurationQuanta: 40},
+		{AtQuantum: 10, Kind: scenario.KindDepart, Core: 3},
+		{AtQuantum: 20, Kind: scenario.KindArrive, Core: 3, App: "omnetpp"},
+		{AtQuantum: 40, Kind: scenario.KindDepart, Core: 2},
+		{AtQuantum: 50, Kind: scenario.KindMigrate, From: 1, To: 2},
+		{AtQuantum: 60, Kind: scenario.KindSpike, Core: 0, RatePercent: 50, DurationQuanta: 10},
+	}}
+}
+
+// TestScenarioContentAddress: a scenario is part of a job's identity — it
+// must change the content address, different scenarios must not collide, and
+// short app codes inside events must canonicalize so "om" and "omnetpp"
+// address the same simulation.
+func TestScenarioContentAddress(t *testing.T) {
+	plain := quickReq(1)
+	_, plainID, err := ContentAddress(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withSc := quickReq(1)
+	withSc.Scenario = churnScenario()
+	_, scID, err := ContentAddress(withSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scID == plainID {
+		t.Error("scenario did not change the content address")
+	}
+
+	other := quickReq(1)
+	other.Scenario = &scenario.Scenario{SchemaVersion: 1, Events: []scenario.Event{
+		{AtQuantum: 5, Kind: scenario.KindDepart, Core: 1},
+	}}
+	_, otherID, err := ContentAddress(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherID == scID {
+		t.Error("two different scenarios share a content address")
+	}
+
+	short := quickReq(1)
+	short.Scenario = churnScenario()
+	short.Scenario.Events[2].App = "om" // short code for omnetpp
+	norm, shortID, err := ContentAddress(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shortID != scID {
+		t.Error("scenario app short code and full name hash differently")
+	}
+	if norm.Scenario.Events[2].App != "omnetpp" {
+		t.Errorf("normalized scenario app %q, want omnetpp", norm.Scenario.Events[2].App)
+	}
+	if short.Scenario.Events[2].App != "om" {
+		t.Error("normalize mutated the caller's scenario")
+	}
+}
+
+// TestScenarioInvalidRejected: scenario validation errors surface as
+// structured 400s with code invalid_config, carrying the event context.
+func TestScenarioInvalidRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	for _, tc := range []struct {
+		name string
+		sc   *scenario.Scenario
+		want string
+	}{
+		{"arrive on occupied", &scenario.Scenario{SchemaVersion: 1, Events: []scenario.Event{
+			{AtQuantum: 1, Kind: scenario.KindArrive, Core: 0, App: "mcf"},
+		}}, "already occupied"},
+		{"core out of range", &scenario.Scenario{SchemaVersion: 1, Events: []scenario.Event{
+			{AtQuantum: 1, Kind: scenario.KindDepart, Core: 99},
+		}}, "out of range"},
+		{"wrong schema version", &scenario.Scenario{SchemaVersion: 9, Events: []scenario.Event{
+			{AtQuantum: 1, Kind: scenario.KindDepart, Core: 0},
+		}}, "schema_version"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := quickReq(1)
+			req.Scenario = tc.sc
+			resp := postJSON(t, ts.URL+"/v1/simulations", req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			body := decode[api.ErrorBody](t, resp)
+			if body.Error.Code != "invalid_config" {
+				t.Fatalf("error code %q", body.Error.Code)
+			}
+			if !strings.Contains(body.Error.Message, tc.want) {
+				t.Fatalf("error %q does not mention %q", body.Error.Message, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioSuspendResume: the dynamic analogue of TestSuspendResume — a
+// scenario job suspends at a quantum boundary mid-scenario, persists its
+// checkpoint, and resuming by content address produces a result identical
+// (modulo wall-clock) to an uninterrupted reference run.
+func TestScenarioSuspendResume(t *testing.T) {
+	scReq := func() api.SubmitRequest {
+		r := mediumReq(6)
+		r.Scenario = churnScenario()
+		return r
+	}
+
+	_, ref := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	refSub := decode[api.SubmitResponse](t, postJSON(t, ref.URL+"/v1/simulations", scReq()))
+	refJob := waitDone(t, ref, refSub.ID)
+	if refJob.Status != api.StateDone {
+		t.Fatalf("reference job %s: %s", refSub.ID, refJob.Error)
+	}
+
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CheckpointDir: dir})
+	sub := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", scReq()))
+	if sub.ID != refSub.ID {
+		t.Fatalf("content address drifted across servers: %s vs %s", sub.ID, refSub.ID)
+	}
+	waitState(t, ts, sub.ID, api.StateRunning)
+	resp := postJSON(t, ts.URL+"/v1/simulations/"+sub.ID+":suspend", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("suspend status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, ts, sub.ID, api.StateSuspended)
+	if _, err := filepath.Glob(filepath.Join(dir, sub.ID+".ckpt.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	re := decode[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/simulations", scReq()))
+	if re.ID != sub.ID || !re.Resumed {
+		t.Fatalf("resume response %+v", re)
+	}
+	j := waitDone(t, ts, re.ID)
+	if j.Status != api.StateDone || j.Result == nil || j.Result.Partial {
+		t.Fatalf("resumed job %+v (error %q)", j.Status, j.Error)
+	}
+
+	got, want := *j.Result, *refJob.Result
+	got.ElapsedMS, want.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		t.Fatalf("resumed scenario result diverged\n got %s\nwant %s", gb, wb)
+	}
+}

@@ -96,6 +96,23 @@ type Chip struct {
 	Classifier *Classifier        `json:"classifier,omitempty"`
 	Sampler    *Sampler           `json:"sampler,omitempty"`
 	Stats      ChipStats          `json:"stats"`
+	// Departed holds results latched for workloads that left mid-run
+	// (dynamic scenarios only); absent in static runs so their snapshot
+	// bytes are unchanged.
+	Departed []DepartedResult `json:"departed,omitempty"`
+}
+
+// DepartedResult is one detached workload's latched measurement window,
+// floats as IEEE-754 bits.
+type DepartedResult struct {
+	Core         int    `json:"core"`
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	IPCBits      uint64 `json:"ipc_bits"`
+	MPKIBits     uint64 `json:"mpki_bits"`
+	MemMPKIBits  uint64 `json:"mem_mpki_bits"`
+	LocalHitBits uint64 `json:"local_hit_bits"`
+	MLPBits      uint64 `json:"mlp_bits"`
 }
 
 // ChipStats mirrors chip.Stats.
@@ -135,6 +152,13 @@ type Tile struct {
 
 	LastLLCAccesses uint64 `json:"last_llc_accesses"`
 	IdleStreak      int    `json:"idle_streak"`
+
+	// Scenario state, zero (and omitted) on static runs so pre-scenario
+	// snapshot bytes are unchanged. RatePct stores 0 for the default 100%.
+	LocalHitsBase  uint64 `json:"local_hits_base,omitempty"`
+	RemoteHitsBase uint64 `json:"remote_hits_base,omitempty"`
+	WarmBase       uint64 `json:"warm_base,omitempty"`
+	RatePct        int    `json:"rate_pct,omitempty"`
 
 	SampInstr    uint64 `json:"samp_instr"`
 	SampCycle    uint64 `json:"samp_cycle"`

@@ -152,6 +152,25 @@ func (m *Monitor) Seed(hits []float64, misses, accesses float64) {
 	}
 }
 
+// Reset returns the monitor to its just-constructed state: shadow-tag stacks
+// emptied and every cumulative counter (and the Epoch window baseline)
+// zeroed. The chip calls it when a tile's workload changes — arrival,
+// departure or migration — so the first post-event Epoch reflects only the
+// new occupant's accesses rather than diffing against a dead window.
+func (m *Monitor) Reset() {
+	for b := range m.hits {
+		m.hits[b] = 0
+		m.lastHits[b] = 0
+	}
+	m.misses = 0
+	m.accesses = 0
+	m.lastMisses = 0
+	m.lastAccesses = 0
+	for i := range m.stacks {
+		m.stacks[i] = m.stacks[i][:0]
+	}
+}
+
 // Curve is a miss curve over possible way allocations, in estimated absolute
 // miss counts for one observation window. Misses(w) is the predicted number
 // of misses the application would have suffered with w ways.

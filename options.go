@@ -113,6 +113,15 @@ func WithSnapshotEvery(n int) Option {
 	return func(c *Config) { c.SnapshotEvery = n }
 }
 
+// WithScenario scripts dynamic events (arrivals, departures, migrations,
+// load spikes, phase storms) applied at quantum boundaries during the run.
+// The scenario is validated against the chip's initial occupancy when Run
+// starts; it changes results and is part of the configuration's canonical
+// identity. nil clears a previously set scenario.
+func WithScenario(sc *Scenario) Option {
+	return func(c *Config) { c.Scenario = sc }
+}
+
 // WithDeltaParams overrides DELTA's knobs (PolicyDelta only).
 func WithDeltaParams(p core.Params) Option {
 	return func(c *Config) { c.DeltaParams = &p }

@@ -203,6 +203,90 @@ fi
 
 kill -TERM "${SRV_PID}"; wait "${SRV_PID}" || true; SRV_PID=""
 
+# --- scenario lane -----------------------------------------------------------
+# Submit a dynamic-scenario job (phase storm, departures, an arrival by app
+# short code, a migration, a spike), suspend it mid-storm, restart the server,
+# resume by content address, and require byte-equality with an uninterrupted
+# reference run. The scenario must also fork the content address of the
+# otherwise identical checkpoint-lane request, and an invalid scenario must
+# be a structured 400.
+
+SC_REQ='{"policy":"snuca","cores":4,"apps":["mcf"],"warmup_instructions":10000,"budget_instructions":1000000,"scenario":{"schema_version":1,"name":"smoke-churn","events":[{"at_quantum":2,"kind":"storm","rate_percent":200,"duration_quanta":200},{"at_quantum":20,"kind":"depart","core":3},{"at_quantum":40,"kind":"arrive","core":3,"app":"om"},{"at_quantum":50,"kind":"depart","core":1},{"at_quantum":60,"kind":"migrate","from":2,"to":1},{"at_quantum":80,"kind":"spike","core":0,"rate_percent":50,"duration_quanta":20}]}}'
+BAD_SC_REQ='{"policy":"snuca","cores":4,"apps":["mcf"],"scenario":{"schema_version":1,"events":[{"at_quantum":1,"kind":"arrive","core":0,"app":"mcf"}]}}'
+
+echo "== scenario lane: reference run"
+start_server "${LOG2}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${BAD_SC_REQ}")
+[ "${CODE}" = "400" ] || { echo "invalid scenario answered ${CODE}, want 400"; exit 1; }
+curl -s -X POST "http://${ADDR}/v1/simulations" -H 'Content-Type: application/json' \
+  -d "${BAD_SC_REQ}" | grep -q 'invalid_config' || { echo "invalid scenario lacks invalid_config code"; exit 1; }
+SC_SUBMIT=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${SC_REQ}")
+SC_ID=$(echo "${SC_SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "${SC_ID}" ] || { echo "no job id: ${SC_SUBMIT}"; exit 1; }
+[ "${SC_ID}" != "${REF_ID}" ] || { echo "scenario did not fork the content address"; exit 1; }
+for i in $(seq 1 300); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${SC_ID}")
+  case "${JOB}" in *'"status":"done"'*) break ;; esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "scenario reference never finished: ${JOB}"; exit 1; }
+SC_REF_RESULT=$(echo "${JOB}" | strip_elapsed)
+kill -TERM "${SRV_PID}"; wait "${SRV_PID}" || true; SRV_PID=""
+rm -f "${CKPT_DIR}"/*.ckpt.json 2>/dev/null || true
+
+echo "== scenario lane: submit, suspend mid-storm, restart, resume"
+start_server "${LOG2}"
+SC_SUBMIT=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${SC_REQ}")
+echo "${SC_SUBMIT}" | grep -q "\"id\":\"${SC_ID}\"" || { echo "scenario content address drifted: ${SC_SUBMIT}"; exit 1; }
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${SC_ID}")
+  case "${JOB}" in *'"status":"running"'*) break ;; esac
+  sleep 0.1
+done
+echo "${JOB}" | grep -q '"status":"running"' || { echo "scenario job never started: ${JOB}"; exit 1; }
+curl -sf -X POST "http://${ADDR}/v1/simulations/${SC_ID}:suspend" >/dev/null
+for i in $(seq 1 100); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${SC_ID}")
+  case "${JOB}" in *'"status":"suspended"'*) break ;; esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"suspended"' || { echo "scenario job never suspended: ${JOB}"; exit 1; }
+[ -f "${CKPT_DIR}/${SC_ID}.ckpt.json" ] || { echo "no scenario checkpoint on disk"; exit 1; }
+kill -TERM "${SRV_PID}"
+for i in $(seq 1 100); do
+  if ! kill -0 "${SRV_PID}" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+wait "${SRV_PID}" || true
+SRV_PID=""
+start_server "${LOG2}"
+RESUME=$(curl -sf -X POST "http://${ADDR}/v1/simulations" \
+  -H 'Content-Type: application/json' -d "${SC_REQ}")
+echo "${RESUME}" | grep -q '"resumed":true' || { echo "scenario resubmission did not resume: ${RESUME}"; exit 1; }
+for i in $(seq 1 300); do
+  JOB=$(curl -sf "http://${ADDR}/v1/simulations/${SC_ID}")
+  case "${JOB}" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'*|*'"status":"canceled"'*) echo "resumed scenario job ended badly: ${JOB}"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "${JOB}" | grep -q '"status":"done"' || { echo "resumed scenario job never finished: ${JOB}"; exit 1; }
+
+echo "== scenario lane: resumed result is byte-equal to the reference"
+SC_RESUMED_RESULT=$(echo "${JOB}" | strip_elapsed)
+if [ "${SC_RESUMED_RESULT}" != "${SC_REF_RESULT}" ]; then
+  echo "resumed scenario result diverged from reference:"
+  echo "  ref:     ${SC_REF_RESULT}"
+  echo "  resumed: ${SC_RESUMED_RESULT}"
+  exit 1
+fi
+
+kill -TERM "${SRV_PID}"; wait "${SRV_PID}" || true; SRV_PID=""
+
 # --- telemetry lane ----------------------------------------------------------
 # Run two jobs against a telemetry-enabled server, range-query the columnar
 # segments over HTTP, restart the server and require the identical bytes,

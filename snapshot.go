@@ -9,6 +9,7 @@ import (
 	"delta/internal/central"
 	"delta/internal/core"
 	"delta/internal/snapshot"
+	"delta/internal/workloads"
 )
 
 // SnapshotSchemaVersion is the snapshot wire-format version this build reads
@@ -154,6 +155,42 @@ func Restore(sn *Snapshot, opts ...Option) (*Simulator, error) {
 	if s.loaded == 0 {
 		return nil, errors.New("delta: snapshot records no workloads")
 	}
+	// A mid-scenario snapshot was taken after membership events moved
+	// workloads around, but the envelope records the t=0 assignment (so a
+	// restored simulator's own snapshots stay replayable). Re-derive the
+	// occupancy at the snapshot's clock and reshape the generator tree to
+	// match before the chip restore overwrites every cursor: RestoreGen
+	// needs each tile's generator to have the right structure, nothing more.
+	if cfg.Scenario != nil && sn.env.Chip.Now > 0 {
+		initial := make([]string, cfg.Cores)
+		if s.mixName != "" {
+			for i, a := range workloads.MixByName(s.mixName).Slots(cfg.Cores) {
+				initial[i] = a.Name
+			}
+		}
+		for c, a := range s.appByCore {
+			initial[c] = a.App
+		}
+		occ, seedCore := cfg.Scenario.ProvenanceAt(initial, s.chip.Cfg.Quantum, sn.env.Chip.Now)
+		for i, app := range occ {
+			if app == initial[i] && seedCore[i] == i {
+				continue
+			}
+			if app == "" {
+				s.chip.SetWorkload(i, nil, true)
+				continue
+			}
+			// A migrated workload keeps the generator its source core built:
+			// seed-derived structure (region bases, stream layout) is not
+			// cursor state, so rebuilding with the destination's seed would
+			// diverge. seedCore names the core whose seed to use.
+			gen, err := s.buildApp(seedCore[i], app)
+			if err != nil {
+				return nil, err
+			}
+			s.chip.SetWorkload(i, gen, true)
+		}
+	}
 	if err := s.chip.Restore(sn.env.Chip); err != nil {
 		return nil, err
 	}
@@ -171,6 +208,7 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		FastForward     bool
 		Multithreaded   bool
 		Seed            uint64
+		Scenario        *Scenario
 		DeltaParams     *core.Params
 		IdealConfig     *central.IdealConfig
 	}
@@ -186,6 +224,7 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		FastForward:        cc.FastForward,
 		Multithreaded:      cc.Multithreaded,
 		Seed:               cc.Seed,
+		Scenario:           cc.Scenario,
 		DeltaParams:        cc.DeltaParams,
 		IdealConfig:        cc.IdealConfig,
 	}, nil
