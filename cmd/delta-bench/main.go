@@ -14,12 +14,17 @@
 // runtime.NumCPU()); results are bit-identical at any worker count.
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6
-// overheads ablations churn all
+// overheads ablations churn matrix all
 //
 // The churn experiment replays a dynamic-membership scenario (arrivals,
-// departures, migration, phase storms) under every policy and reports
-// fairness (Jain index, unfairness vs private) next to raw performance;
-// -scenario substitutes a JSON script for the built-in one.
+// departures, migration, phase storms) under every registered policy and
+// reports fairness (Jain index, unfairness vs private) next to raw
+// performance; -scenario substitutes a JSON script for the built-in one.
+//
+// The matrix experiment runs every registered policy — the paper's four plus
+// the policy zoo (lfoc, carma, bankbw) and any external registrations — on
+// static mixes and reports ANTT, STP, unfairness and Jain's index per policy
+// (DESIGN.md §13).
 package main
 
 import (
@@ -38,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, churn, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig5..fig13, table6, overheads, churn, matrix, all)")
 	quick := flag.Bool("quick", false, "use the further-compressed quick scale")
 	scenarioPath := flag.String("scenario", "", "JSON scenario file for the churn experiment (default: the built-in churn script)")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -99,7 +104,7 @@ func main() {
 	// worker pool, then renders from suite cache hits. The figure drivers
 	// themselves stay sequential consumers.
 	run("fig5", func() {
-		suite16.Prefetch(experiments.PolicyNames, mixNames)
+		suite16.Prefetch(experiments.PaperPolicies, mixNames)
 		fmt.Println(experiments.Fig5(suite16).Table())
 	})
 	run("fig6", func() {
@@ -115,7 +120,7 @@ func main() {
 		fmt.Println(experiments.PerApp(suite16, "w3").Table())
 	})
 	run("fig9", func() {
-		suite64.Prefetch(experiments.PolicyNames, mixNames)
+		suite64.Prefetch(experiments.PaperPolicies, mixNames)
 		fmt.Println(experiments.Fig5(suite64).Table())
 	})
 	run("fig10", func() {
@@ -162,8 +167,13 @@ func main() {
 			fmt.Println(experiments.ChurnWith(sc, m, 16, script).Table())
 		}
 	})
+	run("matrix", func() {
+		for _, m := range []string{"w2", "w6"} {
+			fmt.Println(experiments.PolicyMatrix(sc, m, 16).Table())
+		}
+	})
 
-	if !strings.Contains("fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6 overheads ablations churn all", *exp) {
+	if !strings.Contains("fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table6 overheads ablations churn matrix all", *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	policy := flag.String("policy", "delta", `policy to simulate: snuca | private | delta | ideal, a comma-separated list, or "all"`)
+	policy := flag.String("policy", "delta", `policy to simulate: any registered policy (snuca, private, delta, ideal, lfoc, carma, bankbw, ...), a comma-separated list, or "all" for every registered policy`)
 	mix := flag.String("mix", "", "Table IV mix name (w1..w15)")
 	app := flag.String("app", "", "run this SPEC model on every core instead of a mix")
 	cores := flag.Int("cores", 16, "core count (perfect square, multiple of 16 for mixes)")
@@ -60,7 +60,7 @@ func main() {
 
 	policies := strings.Split(*policy, ",")
 	if *policy == "all" {
-		policies = experiments.PolicyNames
+		policies = experiments.PolicyNames()
 	}
 
 	var script *delta.Scenario
@@ -136,11 +136,13 @@ func main() {
 		}
 	}
 	if privateIPC != nil && len(policies) > 1 {
-		t := metrics.NewTable("fairness (unfairness vs private, Jain over per-core IPC)",
-			"policy", "unfairness", "jain")
+		t := metrics.NewTable("fairness (ANTT/STP/unfairness vs private, Jain over per-core IPC)",
+			"policy", "antt", "stp", "unfairness", "jain")
 		for i, p := range policies {
 			v := ipcs(results[i])
-			t.AddRowf(strings.TrimSpace(p), metrics.Unfairness(v, privateIPC), metrics.JainIndex(v))
+			t.AddRowf(strings.TrimSpace(p),
+				metrics.ANTT(v, privateIPC), metrics.STP(v, privateIPC),
+				metrics.Unfairness(v, privateIPC), metrics.JainIndex(v))
 		}
 		fmt.Println(t.String())
 	}

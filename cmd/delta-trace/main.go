@@ -85,7 +85,7 @@ func main() {
 		"policy", "geomean IPC", "vs s-nuca", "ctrl msg %", "inval lines")
 	base := 0.0
 	var deltaRun experiments.MixRun
-	for _, pol := range experiments.PolicyNames {
+	for _, pol := range experiments.PaperPolicies {
 		run := sc.RunMix(pol, mix, *cores)
 		geo := metrics.GeoMean(run.IPCs())
 		if pol == "snuca" {

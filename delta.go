@@ -12,12 +12,15 @@
 //	res := sim.Run()
 //	fmt.Println(res.GeoMeanIPC())
 //
-// Four partitioning policies are available: the unpartitioned shared S-NUCA
+// Policies resolve by name through a registry (see Policies and
+// RegisterPolicy). Seven are built in: the unpartitioned shared S-NUCA
 // baseline, static private partitioning, DELTA's distributed challenge-based
-// scheme, and the zero-overhead ideal centralized scheme (UCP Lookahead plus
-// locality-aware placement). Workloads come from the built-in SPEC CPU2006
-// models, the Table IV mixes, the SPLASH2 sharing profiles, or custom access
-// generators.
+// scheme, the zero-overhead ideal centralized scheme (UCP Lookahead plus
+// locality-aware placement), LFOC-style fairness clustering, CARMA-style
+// auction-based allocation, and per-bank bandwidth regulation layered on any
+// base policy. Per-policy parameters attach uniformly with WithPolicyParams.
+// Workloads come from the built-in SPEC CPU2006 models, the Table IV mixes,
+// the SPLASH2 sharing profiles, or custom access generators.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 // reproduction results; the examples/ directory contains runnable programs.
@@ -28,13 +31,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-
+	"sort"
+	"strings"
 	"sync"
 
+	"delta/internal/bankbw"
+	"delta/internal/carma"
 	"delta/internal/central"
 	"delta/internal/chip"
 	"delta/internal/core"
+	"delta/internal/lfoc"
 	"delta/internal/metrics"
+	"delta/internal/policies"
 	"delta/internal/scenario"
 	"delta/internal/snapshot"
 	"delta/internal/trace"
@@ -44,12 +52,15 @@ import (
 // PolicyKind selects the cache-partitioning scheme.
 type PolicyKind string
 
-// Available policies.
+// Built-in policies; Policies() lists everything currently registered.
 const (
 	PolicySnuca   PolicyKind = "snuca"
 	PolicyPrivate PolicyKind = "private"
 	PolicyDelta   PolicyKind = "delta"
 	PolicyIdeal   PolicyKind = "ideal"
+	PolicyLFOC    PolicyKind = "lfoc"
+	PolicyCARMA   PolicyKind = "carma"
+	PolicyBankBW  PolicyKind = "bankbw"
 )
 
 // Config describes a simulation.
@@ -105,11 +116,25 @@ type Config struct {
 	// configuration hashes unchanged. See the Scenario type and DESIGN.md
 	// §12 for the DSL.
 	Scenario *Scenario
+	// PolicyParams carries per-policy parameter overrides, keyed by policy
+	// name, as JSON unmarshaled onto the policy's scale-resolved defaults.
+	// Set entries with WithPolicyParams, which marshals deterministically
+	// (the raw bytes are part of CanonicalJSON, so semantically equal but
+	// differently formatted JSON yields different content addresses). Only
+	// the entry matching Policy affects the run, but every entry must name
+	// a registered policy and hold valid JSON.
+	PolicyParams map[string]json.RawMessage
 	// DeltaParams overrides DELTA's knobs when Policy == PolicyDelta;
 	// nil uses Table II defaults scaled by TimeCompression.
+	//
+	// Deprecated: Use WithPolicyParams(PolicyDelta, params). DeltaParams is
+	// consulted only when PolicyParams has no "delta" entry.
 	DeltaParams *core.Params
 	// IdealConfig overrides the centralized policy's knobs when Policy ==
 	// PolicyIdeal; nil uses defaults scaled by TimeCompression.
+	//
+	// Deprecated: Use WithPolicyParams(PolicyIdeal, cfg). IdealConfig is
+	// consulted only when PolicyParams has no "ideal" entry.
 	IdealConfig *central.IdealConfig
 }
 
@@ -147,6 +172,9 @@ type Simulator struct {
 	chip   *chip.Chip
 	delta  *core.Delta
 	ideal  *central.Ideal
+	lfoc   *lfoc.Policy
+	carma  *carma.Policy
+	bankbw *bankbw.Policy
 	loaded int
 	ran    bool
 
@@ -211,6 +239,10 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		Scenario    *Scenario            `json:",omitempty"`
 		DeltaParams *core.Params         `json:",omitempty"`
 		IdealConfig *central.IdealConfig `json:",omitempty"`
+		// PolicyParams changes results; json.Marshal sorts the map keys, so
+		// equal maps serialize identically, and omitempty keeps param-free
+		// configurations' keys byte-identical to earlier releases.
+		PolicyParams map[string]json.RawMessage `json:",omitempty"`
 	}{
 		Cores:           cc.Cores,
 		Policy:          cc.Policy,
@@ -223,15 +255,24 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		Scenario:        cc.Scenario,
 		DeltaParams:     cc.DeltaParams,
 		IdealConfig:     cc.IdealConfig,
+		PolicyParams:    cc.PolicyParams,
 	})
 }
 
 // validate rejects configurations the internal layers would panic on.
 func (c Config) validate() error {
-	switch c.Policy {
-	case PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal:
-	default:
-		return fmt.Errorf("delta: unknown policy %q", c.Policy)
+	if !policies.Registered(string(c.Policy)) {
+		return fmt.Errorf("delta: unknown policy %q (registered: %s)",
+			c.Policy, strings.Join(Policies(), " "))
+	}
+	for _, name := range sortedParamKeys(c.PolicyParams) {
+		if !policies.Registered(name) {
+			return fmt.Errorf("delta: policy params for unknown policy %q (registered: %s)",
+				name, strings.Join(Policies(), " "))
+		}
+		if !json.Valid(c.PolicyParams[name]) {
+			return fmt.Errorf("delta: policy params for %q are not valid JSON", name)
+		}
 	}
 	n := c.Cores
 	if n <= 0 || n&(n-1) != 0 {
@@ -282,33 +323,67 @@ func newSimulator(cfg Config) (*Simulator, error) {
 	ccfg.SampleEvery = cfg.SampleEvery
 	ccfg.Check = cfg.Check
 	s := &Simulator{cfg: cfg, appByCore: make(map[int]snapshot.AppAssignment)}
-	var pol chip.Policy
-	switch cfg.Policy {
-	case PolicySnuca:
-		pol = chip.NewSnuca()
-	case PolicyPrivate:
-		pol = chip.NewPrivate()
-	case PolicyDelta:
-		params := core.DefaultParams().Scale(cfg.TimeCompression)
-		if cfg.DeltaParams != nil {
-			params = *cfg.DeltaParams
-		}
-		s.delta = core.New(params)
-		pol = s.delta
-	case PolicyIdeal:
-		icfg := central.DefaultIdealConfig()
-		icfg.Interval /= cfg.TimeCompression
-		if icfg.Interval == 0 {
-			icfg.Interval = 1
-		}
-		if cfg.IdealConfig != nil {
-			icfg = *cfg.IdealConfig
-		}
-		s.ideal = central.NewIdeal(icfg)
-		pol = s.ideal
+	params, err := cfg.policyParams()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policies.Build(string(cfg.Policy),
+		policies.BuildContext{IntervalScale: cfg.TimeCompression, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	// Typed accessors see through the bandwidth regulator to its base.
+	inner := pol
+	if bw, ok := pol.(*bankbw.Policy); ok {
+		s.bankbw = bw
+		inner = bw.Base()
+	}
+	switch p := inner.(type) {
+	case *core.Delta:
+		s.delta = p
+	case *central.Ideal:
+		s.ideal = p
+	case *lfoc.Policy:
+		s.lfoc = p
+	case *carma.Policy:
+		s.carma = p
 	}
 	s.chip = chip.New(ccfg, pol)
 	return s, nil
+}
+
+// policyParams resolves the parameter blob for the selected policy: an
+// explicit PolicyParams entry wins; otherwise the deprecated typed fields
+// marshal to the equivalent full-struct override.
+func (c Config) policyParams() (json.RawMessage, error) {
+	if raw, ok := c.PolicyParams[string(c.Policy)]; ok {
+		return raw, nil
+	}
+	switch {
+	case c.Policy == PolicyDelta && c.DeltaParams != nil:
+		raw, err := json.Marshal(c.DeltaParams)
+		if err != nil {
+			return nil, fmt.Errorf("delta: DeltaParams: %w", err)
+		}
+		return raw, nil
+	case c.Policy == PolicyIdeal && c.IdealConfig != nil:
+		raw, err := json.Marshal(c.IdealConfig)
+		if err != nil {
+			return nil, fmt.Errorf("delta: IdealConfig: %w", err)
+		}
+		return raw, nil
+	}
+	return nil, nil
+}
+
+// sortedParamKeys returns the map's keys in deterministic order.
+func sortedParamKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // SetWorkload assigns a workload to a core, panicking on invalid input.
@@ -491,6 +566,17 @@ func (s *Simulator) Delta() *core.Delta { return s.delta }
 
 // Ideal exposes the centralized policy instance (nil otherwise).
 func (s *Simulator) Ideal() *central.Ideal { return s.ideal }
+
+// LFOC exposes the clustering policy instance (nil otherwise), including
+// when it runs as the bandwidth regulator's base.
+func (s *Simulator) LFOC() *lfoc.Policy { return s.lfoc }
+
+// Carma exposes the auction policy instance (nil otherwise), including when
+// it runs as the bandwidth regulator's base.
+func (s *Simulator) Carma() *carma.Policy { return s.carma }
+
+// BankBW exposes the bandwidth regulator instance (nil otherwise).
+func (s *Simulator) BankBW() *bankbw.Policy { return s.bankbw }
 
 // GeoMeanIPC is the paper's per-workload performance metric: the geometric
 // mean over cores that measured a positive IPC. Cores that retired no

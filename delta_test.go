@@ -2,6 +2,17 @@ package delta
 
 import "testing"
 
+// allPolicyKinds lists every registered policy as a PolicyKind, so the
+// facade's contract tests (construction, checked runs, snapshot equivalence,
+// scenario chaos) automatically cover new registrations.
+func allPolicyKinds() []PolicyKind {
+	var out []PolicyKind
+	for _, name := range Policies() {
+		out = append(out, PolicyKind(name))
+	}
+	return out
+}
+
 func TestFacadeQuickRun(t *testing.T) {
 	sim := NewSimulator(Config{
 		Cores:              16,
@@ -23,7 +34,7 @@ func TestFacadeQuickRun(t *testing.T) {
 }
 
 func TestFacadePoliciesConstruct(t *testing.T) {
-	for _, p := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+	for _, p := range allPolicyKinds() {
 		sim := NewSimulator(Config{Cores: 16, Policy: p,
 			WarmupInstructions: 10_000, BudgetInstructions: 10_000})
 		sim.SetWorkload(0, Workload{App: "omnetpp"})
@@ -113,9 +124,10 @@ func TestFacadeRejectsNonPow2Cores(t *testing.T) {
 }
 
 func TestFacadeCheckedRunAllPolicies(t *testing.T) {
-	// Every policy under the invariant harness end to end through the public
-	// API: a violation anywhere in the enforcement path panics the run.
-	for _, p := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+	// Every registered policy under the invariant harness end to end through
+	// the public API: a violation anywhere in the enforcement path panics the
+	// run.
+	for _, p := range allPolicyKinds() {
 		sim := NewSimulator(Config{Cores: 16, Policy: p, Check: true,
 			WarmupInstructions: 10_000, BudgetInstructions: 20_000})
 		sim.LoadMix("w2")

@@ -31,7 +31,7 @@ func main() {
 		sim, err := delta.New(
 			delta.WithCores(16),
 			delta.WithPolicy(delta.PolicyIdeal),
-			delta.WithIdealConfig(cfg),
+			delta.WithPolicyParams(delta.PolicyIdeal, cfg),
 			delta.WithWarmup(300_000),
 			delta.WithBudget(250_000),
 		)

@@ -51,6 +51,32 @@ func TestFastForwardEquivalence(t *testing.T) {
 	}
 }
 
+// TestFastForwardNewPolicies is the fast-forward safety smoke for the policy
+// zoo: a prefilled chip must run to completion under each new policy with the
+// invariant harness on. The tight divergence bounds above stay scoped to the
+// four paper schemes whose analytical models they were calibrated against.
+func TestFastForwardNewPolicies(t *testing.T) {
+	for _, pol := range []PolicyKind{PolicyLFOC, PolicyCARMA, PolicyBankBW} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			t.Parallel()
+			s, err := New(
+				WithPolicy(pol), WithCores(16),
+				WithWarmup(40_000), WithBudget(40_000),
+				WithFastForward(true), WithCheck(true),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.LoadMix("w1")
+			res := s.Run()
+			if g := res.GeoMeanIPC(); g <= 0 {
+				t.Fatalf("degenerate geomean IPC %v", g)
+			}
+		})
+	}
+}
+
 // TestFastForwardChecked runs a fast-forwarded simulation under the invariant
 // harness: the prefilled caches and directory bits must satisfy the same
 // inclusion/occupancy/monotonicity sweeps as simulated state (the harness

@@ -1,0 +1,77 @@
+package bankbw
+
+import (
+	"fmt"
+
+	"delta/internal/chip"
+	"delta/internal/snapshot"
+)
+
+// SnapshotPolicy implements chip.PolicySnapshotter: the regulator's window
+// state plus the wrapped base's own payload, recursively. A stateless base
+// contributes only its Kind tag, exactly as it would unwrapped. The per-tile
+// throttle the chip enforces is captured with the tiles; the copy here is
+// the regulator's own bookkeeping.
+func (p *Policy) SnapshotPolicy() (*snapshot.Policy, error) {
+	base := &snapshot.Policy{Kind: p.base.Name()}
+	if ps, ok := p.base.(chip.PolicySnapshotter); ok {
+		var err error
+		base, err = ps.SnapshotPolicy()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &snapshot.BankBWPolicy{
+		Base:         *base,
+		WindowQuanta: p.cfg.WindowQuanta,
+		Quanta:       p.quanta,
+		Acc:          make([][]uint64, p.n),
+		Throttle:     append([]int(nil), p.throttle...),
+		Stats: snapshot.BankBWStats{
+			Windows:   p.Stats.Windows,
+			Throttled: p.Stats.Throttled,
+		},
+	}
+	for b := 0; b < p.n; b++ {
+		s.Acc[b] = append([]uint64(nil), p.acc[b]...)
+	}
+	return &snapshot.Policy{Kind: p.Name(), BankBW: s}, nil
+}
+
+// RestorePolicy implements chip.PolicySnapshotter. The chip restores each
+// tile's enforced throttle itself, after this runs.
+func (p *Policy) RestorePolicy(s *snapshot.Policy) error {
+	if s.Kind != p.Name() || s.BankBW == nil {
+		return fmt.Errorf("bankbw: snapshot policy %q does not match %q", s.Kind, p.Name())
+	}
+	st := s.BankBW
+	if st.Base.Kind != p.base.Name() {
+		return fmt.Errorf("bankbw: snapshot wraps %q, regulator wraps %q", st.Base.Kind, p.base.Name())
+	}
+	if ps, ok := p.base.(chip.PolicySnapshotter); ok {
+		if err := ps.RestorePolicy(&st.Base); err != nil {
+			return err
+		}
+	}
+	if st.WindowQuanta != p.cfg.WindowQuanta {
+		return fmt.Errorf("bankbw: snapshot window is %d quanta, regulator uses %d", st.WindowQuanta, p.cfg.WindowQuanta)
+	}
+	if len(st.Acc) != p.n || len(st.Throttle) != p.n {
+		return fmt.Errorf("bankbw: snapshot policy state does not cover %d tiles", p.n)
+	}
+	if st.Quanta < 0 || st.Quanta >= p.cfg.WindowQuanta {
+		return fmt.Errorf("bankbw: snapshot window position %d out of [0,%d)", st.Quanta, p.cfg.WindowQuanta)
+	}
+	for b := range st.Acc {
+		if len(st.Acc[b]) != p.n {
+			return fmt.Errorf("bankbw: snapshot bank %d counts %d cores, want %d", b, len(st.Acc[b]), p.n)
+		}
+	}
+	p.quanta = st.Quanta
+	for b := 0; b < p.n; b++ {
+		copy(p.acc[b], st.Acc[b])
+	}
+	copy(p.throttle, st.Throttle)
+	p.Stats = Stats{Windows: st.Stats.Windows, Throttled: st.Stats.Throttled}
+	return nil
+}

@@ -1,0 +1,345 @@
+// Package carma implements a CARMA-style market-based allocation policy
+// (PAPERS.md: CARMA). The LLC is sold in fixed-size lots — contiguous way
+// groups within a bank — and every core holds a credit budget that
+// regenerates each epoch. At every epoch boundary each non-reserved lot is
+// put up in a sealed-bid auction: the incumbent defends with the misses it
+// would incur by losing the lot, challengers bid the misses they would avoid
+// by winning it, both discounted by distance to the bank and normalized by
+// access volume. The winner pays its bid from its budget, which makes
+// sustained hoarding self-limiting — an adversarial contrast to DELTA's
+// cooperative challenge/cede protocol.
+//
+// The first ReserveLots lots of every bank stay with the bank's home core
+// permanently, so each core always owns capacity in its home bank: its CBT
+// is never empty, and fast-forward prefill always has a place to put lines.
+package carma
+
+import (
+	"fmt"
+	"math/bits"
+
+	"delta/internal/cbt"
+	"delta/internal/chip"
+	"delta/internal/sim"
+	"delta/internal/umon"
+)
+
+// Config tunes the market.
+type Config struct {
+	// Interval between auction epochs, in cycles.
+	Interval uint64
+	// LotWays is the lot size in ways; the associativity must divide evenly
+	// (0 defaults to 4).
+	LotWays int
+	// ReserveLots lots per bank stay with the bank's home core and are
+	// never auctioned (0 defaults to 1).
+	ReserveLots int
+	// MaxBudget caps a core's credits (0 defaults to 100).
+	MaxBudget float64
+	// Regen credits are added to every occupied core's budget each epoch
+	// (0 defaults to 25).
+	Regen float64
+	// BidScale converts a normalized miss delta (misses per access) into
+	// credits (0 defaults to 100).
+	BidScale float64
+}
+
+// DefaultConfig mirrors the paper's epoch cadence (1 ms at 4 GHz).
+func DefaultConfig() Config {
+	return Config{Interval: 4_000_000}
+}
+
+// Stats counts the market's activity.
+type Stats struct {
+	Auctions     uint64  // lots put up for auction
+	LotsTraded   uint64  // lots that changed owner
+	CreditsSpent float64 // total credits paid by winners
+	InvalLines   uint64  // lines invalidated by the resulting CBT moves
+}
+
+// Policy is the auction policy (chip.Policy).
+type Policy struct {
+	cfg  Config
+	c    *chip.Chip
+	n    int
+	w    int
+	lots int // lots per bank
+
+	tick     *sim.Ticker
+	lotOwner [][]int16 // [bank][lot] -> owning core
+	budget   []float64
+	tables   []*cbt.Table
+	masks    [][]uint64 // [bank][core]
+
+	Stats Stats
+}
+
+// New builds the policy.
+func New(cfg Config) *Policy {
+	if cfg.Interval == 0 {
+		panic("carma: zero auction interval")
+	}
+	if cfg.LotWays == 0 {
+		cfg.LotWays = 4
+	}
+	if cfg.LotWays < 1 {
+		panic("carma: LotWays must be positive")
+	}
+	if cfg.ReserveLots == 0 {
+		cfg.ReserveLots = 1
+	}
+	if cfg.ReserveLots < 0 {
+		panic("carma: ReserveLots must be non-negative")
+	}
+	if cfg.MaxBudget == 0 {
+		cfg.MaxBudget = 100
+	}
+	if cfg.Regen == 0 {
+		cfg.Regen = 25
+	}
+	if cfg.BidScale == 0 {
+		cfg.BidScale = 100
+	}
+	return &Policy{cfg: cfg}
+}
+
+// Name implements chip.Policy.
+func (p *Policy) Name() string { return "carma" }
+
+// Attach implements chip.Policy: every bank's lots start with its home core
+// (the private-partition layout) and every budget starts full.
+func (p *Policy) Attach(c *chip.Chip) {
+	p.c = c
+	p.n = c.Cores()
+	p.w = c.Ways()
+	if p.w%p.cfg.LotWays != 0 {
+		panic(fmt.Sprintf("carma: %d ways not divisible into lots of %d", p.w, p.cfg.LotWays))
+	}
+	p.lots = p.w / p.cfg.LotWays
+	if p.cfg.ReserveLots >= p.lots {
+		panic(fmt.Sprintf("carma: %d reserved lots leave nothing to auction of %d", p.cfg.ReserveLots, p.lots))
+	}
+	p.tick = sim.NewTicker(p.cfg.Interval, p.cfg.Interval)
+	p.lotOwner = make([][]int16, p.n)
+	p.budget = make([]float64, p.n)
+	p.tables = make([]*cbt.Table, p.n)
+	p.masks = make([][]uint64, p.n)
+	for b := 0; b < p.n; b++ {
+		p.lotOwner[b] = make([]int16, p.lots)
+		for l := range p.lotOwner[b] {
+			p.lotOwner[b][l] = int16(b)
+		}
+		p.budget[b] = p.cfg.MaxBudget
+		p.tables[b] = cbt.Uniform(b)
+		p.masks[b] = make([]uint64, p.n)
+	}
+	p.rebuildMasks()
+}
+
+// BankFor implements chip.Policy through the owner's CBT.
+func (p *Policy) BankFor(core int, lineAddr uint64) int {
+	return p.tables[core].BankForLine(lineAddr, p.c.LLCSetBits())
+}
+
+// WayMask implements chip.Policy.
+func (p *Policy) WayMask(core, bank int) uint64 { return p.masks[bank][core] }
+
+// Table implements chip.TableProvider for the invariant harness.
+func (p *Policy) Table(core int) *cbt.Table { return p.tables[core] }
+
+// ExclusiveWayPartitioning implements chip.ExclusivePartitioner: every way
+// belongs to exactly one lot and every lot to exactly one core.
+func (p *Policy) ExclusiveWayPartitioning() bool { return true }
+
+// ownedWays returns core's chip-wide way holdings.
+func (p *Policy) ownedWays(core int) int {
+	ways := 0
+	for b := 0; b < p.n; b++ {
+		for _, o := range p.lotOwner[b] {
+			if int(o) == core {
+				ways += p.cfg.LotWays
+			}
+		}
+	}
+	return ways
+}
+
+// Tick implements chip.Policy: one budget-regeneration + auction round per
+// interval.
+func (p *Policy) Tick(now uint64) {
+	if p.tick.Due(now) == 0 {
+		return
+	}
+	curves := make([]umon.Curve, p.n)
+	active := make([]bool, p.n)
+	for i := 0; i < p.n; i++ {
+		curves[i] = p.c.Monitor(i).Epoch()
+		active[i] = p.c.HasWorkload(i) && !curves[i].Empty()
+		if p.c.HasWorkload(i) {
+			p.budget[i] += p.cfg.Regen
+			if p.budget[i] > p.cfg.MaxBudget {
+				p.budget[i] = p.cfg.MaxBudget
+			}
+		}
+		// Sealed bids travel to the auctioneer and the outcome returns, the
+		// same 2N control pattern as the centralized schemes.
+		p.c.SendControl(i, 0, sim.Msg{Kind: sim.MsgNoop})
+		p.c.SendControl(0, i, sim.Msg{Kind: sim.MsgNoop})
+		p.c.CoreInterval(i) // keep interval windows rolling
+	}
+
+	owned := make([]int, p.n)
+	for i := range owned {
+		owned[i] = p.ownedWays(i)
+	}
+	changed := make([]bool, p.n)
+	anyChanged := false
+	for b := 0; b < p.n; b++ {
+		for l := p.cfg.ReserveLots; l < p.lots; l++ {
+			p.Stats.Auctions++
+			inc := int(p.lotOwner[b][l])
+			// The incumbent defends for free with the misses it would incur
+			// by shrinking; an empty incumbent defends nothing.
+			defense := 0.0
+			if active[inc] {
+				defense = p.value(curves[inc], owned[inc], -p.cfg.LotWays, inc, b)
+			}
+			best, bestBid := -1, 0.0
+			for i := 0; i < p.n; i++ {
+				if i == inc || !active[i] {
+					continue
+				}
+				bid := p.value(curves[i], owned[i], +p.cfg.LotWays, i, b)
+				if cap := 0.5 * p.budget[i]; bid > cap {
+					bid = cap
+				}
+				if bid > bestBid {
+					best, bestBid = i, bid
+				}
+			}
+			if best >= 0 && bestBid > defense {
+				p.lotOwner[b][l] = int16(best)
+				p.budget[best] -= bestBid
+				p.Stats.LotsTraded++
+				p.Stats.CreditsSpent += bestBid
+				owned[best] += p.cfg.LotWays
+				owned[inc] -= p.cfg.LotWays
+				changed[best], changed[inc] = true, true
+				anyChanged = true
+			}
+		}
+	}
+	if anyChanged {
+		p.rebuildMasks()
+		for i := 0; i < p.n; i++ {
+			if changed[i] {
+				p.rebuildTable(i)
+			}
+		}
+	}
+}
+
+// value prices a lot for core: the misses it avoids (delta > 0) or incurs
+// (delta < 0) at its current holdings, per access, scaled to credits and
+// discounted by the core's distance to the bank.
+func (p *Policy) value(c umon.Curve, owned, delta, core, bank int) float64 {
+	var miss float64
+	if delta >= 0 {
+		miss = c.MissesAvoided(owned, delta)
+	} else {
+		miss = c.MissesIncurred(owned, -delta)
+	}
+	return p.cfg.BidScale * miss / (c.Accesses + 1) / float64(1+p.c.Topo.Dist(core, bank))
+}
+
+// rebuildTable rebuilds core's CBT from its current lot holdings, home bank
+// first then nearest-first, and invalidates the buckets that moved.
+func (p *Policy) rebuildTable(core int) {
+	shares := make([]cbt.Share, 0, 4)
+	if w := p.bankWays(core, core); w > 0 {
+		shares = append(shares, cbt.Share{Bank: core, Ways: w})
+	}
+	for _, b := range p.c.Topo.NeighborsByDistance(core) {
+		if w := p.bankWays(core, b); w > 0 {
+			shares = append(shares, cbt.Share{Bank: b, Ways: w})
+		}
+	}
+	if len(shares) == 0 {
+		// Reserved home lots make this unreachable with ReserveLots > 0,
+		// but a zero-reserve config must still keep the table valid.
+		shares = append(shares, cbt.Share{Bank: core, Ways: 1})
+	}
+	next := cbt.BuildIncremental(p.tables[core], shares)
+	moves := cbt.Diff(p.tables[core], next)
+	p.tables[core] = next
+	for from, buckets := range cbt.MovedFrom(moves) {
+		set := make(map[int]bool, len(buckets))
+		for _, bk := range buckets {
+			set[bk] = true
+		}
+		p.Stats.InvalLines += uint64(p.c.InvalidateOwnerBuckets(core, from, set))
+	}
+}
+
+// bankWays returns how many ways core owns in bank.
+func (p *Policy) bankWays(core, bank int) int {
+	ways := 0
+	for _, o := range p.lotOwner[bank] {
+		if int(o) == core {
+			ways += p.cfg.LotWays
+		}
+	}
+	return ways
+}
+
+// rebuildMasks derives way bitmasks from the lot-ownership matrix.
+func (p *Policy) rebuildMasks() {
+	lotMask := (uint64(1) << uint(p.cfg.LotWays)) - 1
+	for b := 0; b < p.n; b++ {
+		for core := range p.masks[b] {
+			p.masks[b][core] = 0
+		}
+		for l, o := range p.lotOwner[b] {
+			p.masks[b][o] |= lotMask << uint(l*p.cfg.LotWays)
+		}
+	}
+}
+
+// Config returns the policy's resolved configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Budget returns core's current credit balance.
+func (p *Policy) Budget(core int) float64 { return p.budget[core] }
+
+// CheckInvariants implements chip.SelfChecker: reserved lots stay home,
+// every lot has a valid owner, and the masks mirror the ownership matrix.
+func (p *Policy) CheckInvariants() error {
+	for b := 0; b < p.n; b++ {
+		for l, o := range p.lotOwner[b] {
+			if o < 0 || int(o) >= p.n {
+				return fmt.Errorf("carma: bank %d lot %d owned by invalid core %d", b, l, o)
+			}
+			if l < p.cfg.ReserveLots && int(o) != b {
+				return fmt.Errorf("carma: bank %d reserved lot %d owned by core %d, want home %d", b, l, o, b)
+			}
+		}
+		sum := 0
+		for core := range p.masks[b] {
+			got := bits.OnesCount64(p.masks[b][core])
+			if want := p.bankWays(core, b); got != want {
+				return fmt.Errorf("carma: bank %d core %d mask %#x has %d ways, lots grant %d",
+					b, core, p.masks[b][core], got, want)
+			}
+			sum += got
+		}
+		if sum != p.w {
+			return fmt.Errorf("carma: bank %d masks cover %d ways of %d", b, sum, p.w)
+		}
+	}
+	for i, bud := range p.budget {
+		if bud < 0 || bud > p.cfg.MaxBudget {
+			return fmt.Errorf("carma: core %d budget %v out of [0, %v]", i, bud, p.cfg.MaxBudget)
+		}
+	}
+	return nil
+}

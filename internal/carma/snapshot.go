@@ -1,0 +1,77 @@
+package carma
+
+import (
+	"fmt"
+	"math"
+
+	"delta/internal/cbt"
+	"delta/internal/snapshot"
+)
+
+// SnapshotPolicy implements chip.PolicySnapshotter. Way masks are derived
+// from the lot-ownership matrix on restore; the tables are captured because
+// their bucket ranges depend on auction history, not just current holdings.
+func (p *Policy) SnapshotPolicy() (*snapshot.Policy, error) {
+	s := &snapshot.CarmaPolicy{
+		TickNext:   p.tick.Next(),
+		LotOwner:   make([][]int16, p.n),
+		BudgetBits: make([]uint64, p.n),
+		Tables:     make([]snapshot.CBT, p.n),
+		Stats: snapshot.CarmaStats{
+			Auctions:         p.Stats.Auctions,
+			LotsTraded:       p.Stats.LotsTraded,
+			CreditsSpentBits: math.Float64bits(p.Stats.CreditsSpent),
+			InvalLines:       p.Stats.InvalLines,
+		},
+	}
+	for i := 0; i < p.n; i++ {
+		s.LotOwner[i] = append([]int16(nil), p.lotOwner[i]...)
+		s.BudgetBits[i] = math.Float64bits(p.budget[i])
+		s.Tables[i] = p.tables[i].Snapshot()
+	}
+	return &snapshot.Policy{Kind: p.Name(), Carma: s}, nil
+}
+
+// RestorePolicy implements chip.PolicySnapshotter, overwriting the state
+// Attach initialized; the policy self-check revalidates the market.
+func (p *Policy) RestorePolicy(s *snapshot.Policy) error {
+	if s.Kind != p.Name() || s.Carma == nil {
+		return fmt.Errorf("carma: snapshot policy %q does not match %q", s.Kind, p.Name())
+	}
+	st := s.Carma
+	if len(st.LotOwner) != p.n || len(st.BudgetBits) != p.n || len(st.Tables) != p.n {
+		return fmt.Errorf("carma: snapshot policy state does not cover %d tiles", p.n)
+	}
+	tables := make([]*cbt.Table, p.n)
+	for i := range st.Tables {
+		t, err := cbt.FromSnapshot(st.Tables[i])
+		if err != nil {
+			return fmt.Errorf("carma: tile %d: %w", i, err)
+		}
+		tables[i] = t
+	}
+	for b := range st.LotOwner {
+		if len(st.LotOwner[b]) != p.lots {
+			return fmt.Errorf("carma: snapshot bank %d has %d lots, want %d", b, len(st.LotOwner[b]), p.lots)
+		}
+		for l, o := range st.LotOwner[b] {
+			if o < 0 || int(o) >= p.n {
+				return fmt.Errorf("carma: snapshot bank %d lot %d owned by invalid core %d", b, l, o)
+			}
+		}
+	}
+	p.tick.Reset(st.TickNext)
+	for i := 0; i < p.n; i++ {
+		copy(p.lotOwner[i], st.LotOwner[i])
+		p.budget[i] = math.Float64frombits(st.BudgetBits[i])
+		p.tables[i] = tables[i]
+	}
+	p.Stats = Stats{
+		Auctions:     st.Stats.Auctions,
+		LotsTraded:   st.Stats.LotsTraded,
+		CreditsSpent: math.Float64frombits(st.Stats.CreditsSpentBits),
+		InvalLines:   st.Stats.InvalLines,
+	}
+	p.rebuildMasks()
+	return nil
+}

@@ -174,6 +174,11 @@ type Tile struct {
 	// multiplied by 100/ratePct, so 200 doubles the LLC-bound request rate
 	// (a load spike) and 50 halves it. Always 100 outside scenarios.
 	ratePct int
+	// throttlePct is the policy-imposed bandwidth regulator (SetThrottle),
+	// composed multiplicatively with ratePct: the scenario owns ratePct, a
+	// regulating policy owns throttlePct, and neither overwrites the other.
+	// Always 100 unless a policy throttles.
+	throttlePct int
 
 	lastLLCAccesses uint64
 	idleStreak      int
@@ -314,8 +319,9 @@ func New(cfg Config, p Policy) *Chip {
 				SetBits:     c.llcSetBits,
 				SampleEvery: cfg.UmonSampleEvery,
 			}),
-			base:    uint64(i) << 40,
-			ratePct: 100,
+			base:        uint64(i) << 40,
+			ratePct:     100,
+			throttlePct: 100,
 		}
 		// Inclusive hierarchy: an LLC eviction back-invalidates every
 		// private copy; an L2 eviction back-invalidates the L1.
@@ -571,6 +577,7 @@ func (c *Chip) AttachWorkload(core int, gen trace.Generator) {
 	t.idleStreak = 0
 	t.lastLLCAccesses = t.LLCAccesses
 	t.ratePct = 100
+	t.throttlePct = 100
 	t.Mon.Reset()
 	if h, ok := c.policy.(MembershipHandler); ok {
 		h.WorkloadArrived(core, c.now)
@@ -606,6 +613,7 @@ func (c *Chip) DetachWorkload(core int) CoreResult {
 	t.gen = nil
 	t.base = uint64(core) << 40
 	t.ratePct = 100
+	t.throttlePct = 100
 	t.Mon.Reset()
 	if h, ok := c.policy.(MembershipHandler); ok {
 		h.WorkloadDeparted(core, c.now)
@@ -664,6 +672,7 @@ func (c *Chip) MigrateWorkload(from, to int) {
 	dst.localHitsBase = src.localHitsBase + (dst.LLCLocalHits - src.LLCLocalHits)
 	dst.remoteHitsBase = src.remoteHitsBase + (dst.LLCRemoteHits - src.LLCRemoteHits)
 	dst.ratePct, src.ratePct = src.ratePct, 100
+	dst.throttlePct, src.throttlePct = src.throttlePct, 100
 	dst.idleStreak = 0
 	dst.lastLLCAccesses = dst.LLCAccesses
 	// Telemetry windows restart at the swapped-in counters so the next
@@ -728,6 +737,17 @@ func (c *Chip) SetRate(core, pct int) {
 		panic(fmt.Sprintf("chip: SetRate with non-positive rate %d%%", pct))
 	}
 	c.Tiles[core].ratePct = pct
+}
+
+// SetThrottle sets core's policy-imposed bandwidth throttle in percent
+// (100 = unthrottled). It composes multiplicatively with the scenario-owned
+// SetRate: a regulating policy (bankbw) may slow a core the scenario is
+// simultaneously spiking without either side clobbering the other.
+func (c *Chip) SetThrottle(core, pct int) {
+	if pct <= 0 {
+		panic(fmt.Sprintf("chip: SetThrottle with non-positive throttle %d%%", pct))
+	}
+	c.Tiles[core].throttlePct = pct
 }
 
 // --- run loop ----------------------------------------------------------------
@@ -830,10 +850,20 @@ func (c *Chip) advanceCore(i int, qEnd, warmup, budget uint64) {
 	for core.Cycle() < qEnd {
 		acc := t.gen.Next()
 		gap := acc.Gap
-		if t.ratePct != 100 {
+		pct := t.ratePct
+		if t.throttlePct != 100 {
+			// A regulating policy's throttle composes multiplicatively with
+			// the scenario's rate so neither overwrites the other.
+			pct = pct * t.throttlePct / 100
+			if pct < 1 {
+				pct = 1
+			}
+		}
+		if pct != 100 {
 			// A load spike compresses the non-memory work between accesses,
-			// raising the LLC-bound request rate by ratePct/100.
-			gap = gap * 100 / t.ratePct
+			// raising the LLC-bound request rate by pct/100; a throttle
+			// stretches it the other way.
+			gap = gap * 100 / pct
 		}
 		core.AdvanceNonMem(gap)
 		lat := c.access(i, t.base+acc.Line, acc.Write)

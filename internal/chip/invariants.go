@@ -85,7 +85,11 @@ func (c *Chip) CheckInvariants(point string) {
 	}
 	if hasTables {
 		for i := 0; i < c.Cfg.Cores; i++ {
-			add(invariant.CheckTable(fmt.Sprintf("core %d CBT", i), tp.Table(i), c.Cfg.Cores))
+			// A wrapping policy (bankbw) forwards Table from a base that may
+			// not provide one; nil means "no table for this core", not a bug.
+			if tbl := tp.Table(i); tbl != nil {
+				add(invariant.CheckTable(fmt.Sprintf("core %d CBT", i), tbl, c.Cfg.Cores))
+			}
 		}
 	}
 	add(c.checkInclusion())

@@ -90,6 +90,9 @@ func (c *Chip) Snapshot() (*snapshot.Chip, error) {
 		if t.ratePct != 100 {
 			st.RatePct = t.ratePct
 		}
+		if t.throttlePct != 100 {
+			st.ThrottlePct = t.throttlePct
+		}
 		if t.gen != nil {
 			g, err := trace.SnapshotGen(t.gen)
 			if err != nil {
@@ -201,6 +204,10 @@ func (c *Chip) Restore(s *snapshot.Chip) error {
 		t.ratePct = st.RatePct
 		if t.ratePct == 0 {
 			t.ratePct = 100
+		}
+		t.throttlePct = st.ThrottlePct
+		if t.throttlePct == 0 {
+			t.throttlePct = 100
 		}
 		t.sampInstr = st.SampInstr
 		t.sampCycle = st.SampCycle

@@ -70,7 +70,8 @@ func (s Scale) RunChurn(policy string, mix workloads.Mix, cores int, sc *scenari
 	return MixRun{Policy: policy, Mix: mix, Cores: cores, Results: c.Results(), Net: c.Net.Stats, Chip: c.Stats}
 }
 
-// Churn runs the built-in churn scenario under all four policies on one mix.
+// Churn runs the built-in churn scenario under every registered policy on
+// one mix.
 func Churn(s Scale, mixName string, cores int) ChurnResult {
 	return ChurnWith(s, mixName, cores, ChurnScenario())
 }
@@ -82,18 +83,19 @@ func ChurnWith(s Scale, mixName string, cores int, sc *scenario.Scenario) ChurnR
 		panic(fmt.Sprintf("experiments: churn scenario invalid for %d cores: %v", cores, err))
 	}
 	mix := workloads.MixByName(mixName)
-	runs := make([]MixRun, len(PolicyNames))
-	ForEach(s.Workers, len(PolicyNames), func(i int) {
-		runs[i] = s.RunChurn(PolicyNames[i], mix, cores, sc)
+	names := PolicyNames()
+	runs := make([]MixRun, len(names))
+	ForEach(s.Workers, len(names), func(i int) {
+		runs[i] = s.RunChurn(names[i], mix, cores, sc)
 	})
 	var privateIPC []float64
-	for i, name := range PolicyNames {
+	for i, name := range names {
 		if name == "private" {
 			privateIPC = runs[i].IPCs()
 		}
 	}
 	res := ChurnResult{MixName: mixName, Cores: cores, Scenario: sc}
-	for i, name := range PolicyNames {
+	for i, name := range names {
 		ipcs := runs[i].IPCs()
 		res.Runs = append(res.Runs, ChurnRun{
 			Policy:     name,

@@ -15,14 +15,14 @@ func TestChurnScenarioValid(t *testing.T) {
 
 func TestChurnCampaign(t *testing.T) {
 	if testing.Short() {
-		t.Skip("churn campaign runs all four policies")
+		t.Skip("churn campaign runs every registered policy")
 	}
 	sc := tinyScale()
 	sc.Check = true
 	sc.Workers = 4
 	res := Churn(sc, "w6", 16)
-	if len(res.Runs) != len(PolicyNames) {
-		t.Fatalf("%d runs, want %d", len(res.Runs), len(PolicyNames))
+	if len(res.Runs) != len(PolicyNames()) {
+		t.Fatalf("%d runs, want %d", len(res.Runs), len(PolicyNames()))
 	}
 	// Two departures latch extra results: 16 initial − 2 departed + 1
 	// arrival = 15 live, 17 total; identical membership for every policy.

@@ -43,7 +43,7 @@ func TestSuiteCaches(t *testing.T) {
 
 func TestPolicyFactory(t *testing.T) {
 	sc := tinyScale()
-	for _, name := range append(append([]string{}, PolicyNames...), "ideal-slow") {
+	for _, name := range append(PolicyNames(), "ideal-slow") {
 		if p := sc.NewPolicy(name); p == nil {
 			t.Fatalf("nil policy %q", name)
 		}

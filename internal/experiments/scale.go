@@ -13,10 +13,12 @@ import (
 	"context"
 	"fmt"
 
+	"delta/internal/bankbw"
 	"delta/internal/central"
 	"delta/internal/chip"
 	"delta/internal/core"
 	"delta/internal/noc"
+	"delta/internal/policies"
 	"delta/internal/telemetry"
 	"delta/internal/workloads"
 )
@@ -88,34 +90,29 @@ func (s Scale) For64() Scale {
 	return s
 }
 
-// PolicyNames lists the four schemes of the evaluation.
-var PolicyNames = []string{"snuca", "private", "delta", "ideal"}
+// PaperPolicies lists the four schemes of the paper's own evaluation
+// (Figs. 5 and 9 compare exactly these).
+var PaperPolicies = []string{"snuca", "private", "delta", "ideal"}
 
-// NewPolicy constructs a policy by name at this scale. The special name
-// "ideal-slow" is the 100 ms-equivalent centralized configuration used by
-// the Fig. 13 frequency study.
+// PolicyNames lists every registered policy; campaigns that sweep "all
+// policies" (churn, the policy matrix, delta-sim's -policy all) follow the
+// registry, so externally registered policies join automatically.
+func PolicyNames() []string { return policies.Names() }
+
+// NewPolicy constructs a policy by name at this scale through the registry.
+// The special name "ideal-slow" is the 100 ms-equivalent centralized
+// configuration used by the Fig. 13 frequency study.
 func (s Scale) NewPolicy(name string) chip.Policy {
-	switch name {
-	case "snuca":
-		return chip.NewSnuca()
-	case "private":
-		return chip.NewPrivate()
-	case "delta":
-		return core.New(core.DefaultParams().Scale(s.IntervalScale))
-	case "ideal":
-		cfg := central.DefaultIdealConfig()
-		cfg.Interval /= s.IntervalScale
-		if cfg.Interval == 0 {
-			cfg.Interval = 1
-		}
-		return central.NewIdeal(cfg)
-	case "ideal-slow":
+	if name == "ideal-slow" {
 		cfg := central.DefaultIdealConfig()
 		cfg.Interval = cfg.Interval * 100 / s.IntervalScale // 100 ms equivalent
 		return central.NewIdeal(cfg)
-	default:
-		panic(fmt.Sprintf("experiments: unknown policy %q", name))
 	}
+	p, err := policies.Build(name, policies.BuildContext{IntervalScale: s.IntervalScale})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return p
 }
 
 // ChipConfig builds the chip configuration for the core count at this scale.
@@ -166,7 +163,12 @@ func (s Scale) RunMix(policy string, mix workloads.Mix, cores int) MixRun {
 // measurements latched so far — campaign drivers treat such runs as aborted.
 func (s Scale) RunMixCtx(ctx context.Context, policy string, mix workloads.Mix, cores int) (MixRun, error) {
 	p := s.NewPolicy(policy)
-	if d, ok := p.(*core.Delta); ok {
+	// Introspection sees through the bandwidth regulator to its base.
+	inner := p
+	if bw, ok := p.(*bankbw.Policy); ok {
+		inner = bw.Base()
+	}
+	if d, ok := inner.(*core.Delta); ok {
 		d.EnableTrace()
 	}
 	c := chip.New(s.ChipConfig(cores), p)
@@ -186,10 +188,10 @@ func (s Scale) RunMixCtx(ctx context.Context, policy string, mix workloads.Mix, 
 		Net:     c.Net.Stats,
 		Chip:    c.Stats,
 	}
-	if d, ok := p.(*core.Delta); ok {
+	if d, ok := inner.(*core.Delta); ok {
 		run.Delta = d
 	}
-	if id, ok := p.(*central.Ideal); ok {
+	if id, ok := inner.(*central.Ideal); ok {
 		run.Ideal = id
 	}
 	return run, err

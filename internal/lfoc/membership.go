@@ -1,0 +1,40 @@
+package lfoc
+
+// This file implements chip.MembershipHandler. The shared all-bank CBT makes
+// membership events cheap: data placement never changes, so no event moves
+// or invalidates lines. Each handler just updates the per-core class state
+// and reruns recluster, which is a pure function of that state — the same
+// layout a restore would derive.
+
+// WorkloadArrived implements chip.MembershipHandler: the newcomer starts in
+// the shared cluster as a light sharer until its first epoch classifies it.
+func (p *Policy) WorkloadArrived(core int, now uint64) {
+	p.class[core] = ClassLight
+	p.benefit[core] = 0
+	if p.smooth != nil {
+		p.smooth[core] = nil // next epoch's curve starts a fresh EWMA
+	}
+	p.recluster()
+}
+
+// WorkloadDeparted implements chip.MembershipHandler: a departed singleton's
+// ways must fold back into the live clusters before the invariant sweep runs.
+func (p *Policy) WorkloadDeparted(core int, now uint64) {
+	p.class[core] = ClassLight
+	p.benefit[core] = 0
+	if p.smooth != nil {
+		p.smooth[core] = nil
+	}
+	p.recluster()
+}
+
+// WorkloadMigrated implements chip.MembershipHandler: classification follows
+// the thread; placement is core-independent, so no lines move.
+func (p *Policy) WorkloadMigrated(from, to int, now uint64) {
+	p.class[to], p.class[from] = p.class[from], ClassLight
+	p.benefit[to], p.benefit[from] = p.benefit[from], 0
+	if p.smooth != nil {
+		p.smooth[to], p.smooth[from] = p.smooth[from], nil
+	}
+	p.recluster()
+}

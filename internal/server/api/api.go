@@ -65,7 +65,9 @@ type SubmitRequest struct {
 	// against. Zero means "current"; any other value that is not
 	// SchemaVersion is rejected with code "schema_version".
 	SchemaVersion int `json:"schema_version,omitempty"`
-	// Policy is one of snuca | private | delta | ideal.
+	// Policy is any registered policy name (the built-ins are snuca,
+	// private, delta, ideal, lfoc, carma, bankbw); unknown names are
+	// rejected with an invalid_config error listing the registry.
 	Policy string `json:"policy,omitempty"`
 	// Cores is the tile count (power-of-two perfect square; mixes need a
 	// multiple of 16).

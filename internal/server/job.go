@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 
 	"delta"
@@ -40,10 +41,18 @@ func normalize(req api.SubmitRequest) (api.SubmitRequest, error) {
 		Multithreaded:      req.Multithreaded,
 		Seed:               req.Seed,
 	}.Canonical()
-	switch cfg.Policy {
-	case delta.PolicySnuca, delta.PolicyPrivate, delta.PolicyDelta, delta.PolicyIdeal:
-	default:
-		return req, fmt.Errorf("unknown policy %q", req.Policy)
+	// Policy names resolve through the registry, so externally registered
+	// policies are submittable and the rejection lists what exists.
+	known := false
+	for _, name := range delta.Policies() {
+		if name == string(cfg.Policy) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return req, fmt.Errorf("unknown policy %q (registered: %s)",
+			req.Policy, strings.Join(delta.Policies(), ", "))
 	}
 	n := cfg.Cores
 	if n <= 0 || n&(n-1) != 0 {

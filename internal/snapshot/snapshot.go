@@ -159,6 +159,9 @@ type Tile struct {
 	RemoteHitsBase uint64 `json:"remote_hits_base,omitempty"`
 	WarmBase       uint64 `json:"warm_base,omitempty"`
 	RatePct        int    `json:"rate_pct,omitempty"`
+	// ThrottlePct is the policy-imposed bandwidth throttle (chip.SetThrottle);
+	// 0 stores the default 100%, so runs that never throttle are byte-unchanged.
+	ThrottlePct int `json:"throttle_pct,omitempty"`
 
 	SampInstr    uint64 `json:"samp_instr"`
 	SampCycle    uint64 `json:"samp_cycle"`
@@ -241,9 +244,67 @@ type Gen struct {
 // exactly one of the payload pointers is set for stateful policies, none for
 // the stateless S-NUCA/private baselines.
 type Policy struct {
-	Kind  string       `json:"kind"`
-	Delta *DeltaPolicy `json:"delta,omitempty"`
-	Ideal *IdealPolicy `json:"ideal,omitempty"`
+	Kind   string        `json:"kind"`
+	Delta  *DeltaPolicy  `json:"delta,omitempty"`
+	Ideal  *IdealPolicy  `json:"ideal,omitempty"`
+	LFOC   *LFOCPolicy   `json:"lfoc,omitempty"`
+	Carma  *CarmaPolicy  `json:"carma,omitempty"`
+	BankBW *BankBWPolicy `json:"bankbw,omitempty"`
+}
+
+// LFOCPolicy mirrors lfoc.Policy's mutable state. Way masks are derived from
+// the cluster assignment on restore; the static all-bank CBT is rebuilt by
+// Attach.
+type LFOCPolicy struct {
+	TickNext    uint64     `json:"tick_next"`
+	ClusterOf   []int      `json:"cluster_of"`
+	ClusterWays []int      `json:"cluster_ways"`
+	Class       []int      `json:"class"`
+	BenefitBits []uint64   `json:"benefit_bits"`
+	HasSmooth   bool       `json:"has_smooth"`
+	SmoothBits  [][]uint64 `json:"smooth_bits,omitempty"` // nil rows allowed
+	Stats       LFOCStats  `json:"stats"`
+}
+
+// LFOCStats mirrors lfoc.Stats.
+type LFOCStats struct {
+	Epochs   uint64 `json:"epochs"`
+	Reallocs uint64 `json:"reallocs"`
+}
+
+// CarmaPolicy mirrors carma.Policy's mutable state. Per-core allocations and
+// way masks are derived from the lot-ownership matrix on restore.
+type CarmaPolicy struct {
+	TickNext   uint64     `json:"tick_next"`
+	LotOwner   [][]int16  `json:"lot_owner"`
+	BudgetBits []uint64   `json:"budget_bits"`
+	Tables     []CBT      `json:"tables"`
+	Stats      CarmaStats `json:"stats"`
+}
+
+// CarmaStats mirrors carma.Stats.
+type CarmaStats struct {
+	Auctions         uint64 `json:"auctions"`
+	LotsTraded       uint64 `json:"lots_traded"`
+	CreditsSpentBits uint64 `json:"credits_spent_bits"`
+	InvalLines       uint64 `json:"inval_lines"`
+}
+
+// BankBWPolicy mirrors bankbw.Policy's mutable state, including the wrapped
+// base policy's payload (recursive; stateless bases carry only their Kind).
+type BankBWPolicy struct {
+	Base         Policy      `json:"base"`
+	WindowQuanta int         `json:"window_quanta"`
+	Quanta       int         `json:"quanta"` // quanta elapsed in the open window
+	Acc          [][]uint64  `json:"acc"`
+	Throttle     []int       `json:"throttle"`
+	Stats        BankBWStats `json:"stats"`
+}
+
+// BankBWStats mirrors bankbw.Stats.
+type BankBWStats struct {
+	Windows   uint64 `json:"windows"`
+	Throttled uint64 `json:"throttled"`
 }
 
 // DeltaPolicy mirrors core.Delta's mutable state. alloc is derived from

@@ -1,6 +1,8 @@
 package delta
 
 import (
+	"encoding/json"
+
 	"delta/internal/central"
 	"delta/internal/core"
 )
@@ -122,13 +124,41 @@ func WithScenario(sc *Scenario) Option {
 	return func(c *Config) { c.Scenario = sc }
 }
 
+// WithPolicyParams overrides the named policy's parameters uniformly for
+// every registered policy: params is marshaled to JSON deterministically and
+// unmarshaled onto the policy's scale-resolved defaults at construction, so
+// a full parameter struct (e.g. core.Params, lfoc.Config) replaces
+// everything while a partial map tweaks individual knobs. The marshaled
+// bytes join CanonicalJSON, changing the configuration's content address.
+// A value that cannot marshal surfaces as an error from New.
+func WithPolicyParams(name PolicyKind, params any) Option {
+	return func(c *Config) {
+		if c.PolicyParams == nil {
+			c.PolicyParams = make(map[string]json.RawMessage)
+		}
+		raw, err := json.Marshal(params)
+		if err != nil {
+			// Stash invalid bytes; validate rejects them so New reports the
+			// problem instead of silently dropping the override.
+			raw = json.RawMessage("!unmarshalable: " + err.Error())
+		}
+		c.PolicyParams[string(name)] = raw
+	}
+}
+
 // WithDeltaParams overrides DELTA's knobs (PolicyDelta only).
+//
+// Deprecated: Use WithPolicyParams(PolicyDelta, p), which works uniformly
+// across registered policies.
 func WithDeltaParams(p core.Params) Option {
 	return func(c *Config) { c.DeltaParams = &p }
 }
 
 // WithIdealConfig overrides the centralized policy's knobs (PolicyIdeal
 // only).
+//
+// Deprecated: Use WithPolicyParams(PolicyIdeal, ic), which works uniformly
+// across registered policies.
 func WithIdealConfig(ic central.IdealConfig) Option {
 	return func(c *Config) { c.IdealConfig = &ic }
 }

@@ -1,0 +1,178 @@
+package delta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"delta/internal/bankbw"
+	"delta/internal/carma"
+	"delta/internal/core"
+	"delta/internal/lfoc"
+)
+
+// TestPoliciesLists pins the registry's contents and order: the seven
+// built-ins in registration order. External registrations would follow,
+// sorted by name.
+func TestPoliciesLists(t *testing.T) {
+	got := Policies()
+	want := []string{"snuca", "private", "delta", "ideal", "lfoc", "carma", "bankbw"}
+	if len(got) != len(want) {
+		t.Fatalf("Policies() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Policies()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRegisterPolicyDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a built-in name should panic")
+		}
+	}()
+	RegisterPolicy("delta", func(PolicyBuildContext) (Policy, error) { return nil, nil })
+}
+
+// TestUnknownPolicyErrorListsRegistry: the structured rejection names every
+// registered policy, so a typo in a submission or CLI flag is self-fixing.
+func TestUnknownPolicyErrorListsRegistry(t *testing.T) {
+	_, err := New(WithCores(16), WithPolicy("bogus"))
+	if err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	for _, name := range Policies() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered policy %q", err, name)
+		}
+	}
+}
+
+// TestPolicyParamsContentAddress: WithPolicyParams joins the canonical
+// serialization (the service's content address), and a configuration without
+// params serializes byte-identically to one predating the field — existing
+// hashes and golden snapshots stay valid.
+func TestPolicyParamsContentAddress(t *testing.T) {
+	base := Config{Cores: 16, Policy: PolicyLFOC,
+		WarmupInstructions: 10_000, BudgetInstructions: 10_000}
+	plain, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte("PolicyParams")) {
+		t.Fatalf("empty PolicyParams leaked into canonical JSON: %s", plain)
+	}
+
+	var withParams Config
+	WithConfig(base)(&withParams)
+	WithPolicyParams(PolicyLFOC, map[string]int{"SharedWays": 4})(&withParams)
+	tuned, err := withParams.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain, tuned) {
+		t.Fatal("policy params did not change the canonical serialization")
+	}
+	if !bytes.Contains(tuned, []byte("SharedWays")) {
+		t.Fatalf("params missing from canonical JSON: %s", tuned)
+	}
+}
+
+// TestPolicyParamsRoundTrip: params reach the built policies (partial maps
+// tweak individual knobs on scale-resolved defaults), for each of the three
+// new policies including the composed bankbw base.
+func TestPolicyParamsRoundTrip(t *testing.T) {
+	sim, err := New(WithCores(16), WithPolicy(PolicyLFOC),
+		WithWarmup(5_000), WithBudget(5_000),
+		WithPolicyParams(PolicyLFOC, map[string]int{"MaxClusters": 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sim.LFOC(); p == nil {
+		t.Fatal("lfoc policy not exposed")
+	} else if got := p.Config().MaxClusters; got != 3 {
+		t.Fatalf("MaxClusters = %d, want 3", got)
+	}
+
+	sim, err = New(WithCores(16), WithPolicy(PolicyCARMA),
+		WithWarmup(5_000), WithBudget(5_000),
+		WithPolicyParams(PolicyCARMA, map[string]int{"MaxBudget": 42}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sim.Carma(); p == nil {
+		t.Fatal("carma policy not exposed")
+	} else if got := p.Config().MaxBudget; got != 42 {
+		t.Fatalf("MaxBudget = %v, want 42", got)
+	}
+
+	sim, err = New(WithCores(16), WithPolicy(PolicyBankBW),
+		WithWarmup(5_000), WithBudget(5_000),
+		WithPolicyParams(PolicyBankBW, map[string]any{
+			"Base": "delta", "WindowQuanta": 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := sim.BankBW()
+	if bw == nil {
+		t.Fatal("bankbw policy not exposed")
+	}
+	if got := bw.Config().WindowQuanta; got != 7 {
+		t.Fatalf("WindowQuanta = %d, want 7", got)
+	}
+	if got := bw.Base().Name(); got != "delta" {
+		t.Fatalf("bankbw base = %q, want delta", got)
+	}
+	if sim.Delta() == nil {
+		t.Fatal("bankbw's delta base not exposed through Simulator.Delta")
+	}
+
+	if _, err := New(WithCores(16), WithPolicy(PolicyBankBW),
+		WithPolicyParams(PolicyBankBW, map[string]string{"Base": "bankbw"})); err == nil {
+		t.Fatal("bankbw wrapping itself should be rejected")
+	}
+}
+
+// TestPolicyParamsInvalidRejected: an unmarshalable WithPolicyParams value
+// and params for an unregistered policy both surface as construction errors
+// instead of being silently dropped.
+func TestPolicyParamsInvalidRejected(t *testing.T) {
+	if _, err := New(WithCores(16), WithPolicy(PolicyDelta),
+		WithPolicyParams(PolicyDelta, make(chan int))); err == nil {
+		t.Fatal("unmarshalable params should fail New")
+	}
+	if _, err := New(WithCores(16), WithPolicy(PolicyDelta),
+		WithPolicyParams("bogus", map[string]int{"X": 1})); err == nil {
+		t.Fatal("params for an unregistered policy should fail New")
+	}
+}
+
+// TestDeprecatedParamWrappers: the legacy typed overrides still work and are
+// equivalent to the uniform WithPolicyParams path.
+func TestDeprecatedParamWrappers(t *testing.T) {
+	p := core.DefaultParams()
+	p.MaxTotalWays = 24
+	a, err := New(WithCores(16), WithPolicy(PolicyDelta),
+		WithWarmup(5_000), WithBudget(5_000), WithDeltaParams(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithCores(16), WithPolicy(PolicyDelta),
+		WithWarmup(5_000), WithBudget(5_000), WithPolicyParams(PolicyDelta, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delta().Params() != b.Delta().Params() {
+		t.Fatalf("legacy WithDeltaParams diverged from WithPolicyParams:\n%+v\n%+v",
+			a.Delta().Params(), b.Delta().Params())
+	}
+}
+
+// Compile-time checks that the new policies satisfy the facade aliases.
+var (
+	_ Policy = (*lfoc.Policy)(nil)
+	_ Policy = (*carma.Policy)(nil)
+	_ Policy = (*bankbw.Policy)(nil)
+)

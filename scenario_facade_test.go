@@ -147,7 +147,7 @@ func TestScenarioValidatedAtRun(t *testing.T) {
 // an arrival and a departure (and inside a storm window), with the invariant
 // sweep on end to end.
 func TestScenarioSnapshotRestoreEquivalence(t *testing.T) {
-	for _, pol := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+	for _, pol := range allPolicyKinds() {
 		// Boundary 3 lands after the arrival, before the departure; boundary
 		// 6 lands after the migration (a restore must then rebuild tile 5's
 		// generator with tile 6's seed — its structure travelled with the
@@ -203,7 +203,7 @@ func TestScenarioChaosFuzz(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos fuzz is slow")
 	}
-	for _, pol := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+	for _, pol := range allPolicyKinds() {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			t.Parallel()

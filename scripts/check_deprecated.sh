@@ -5,6 +5,9 @@
 #   - delta.NewSimulator / delta.NewSimulatorE  (use delta.New + options)
 #   - api.Status and the StatusQueued/... constant aliases (use api.JobState
 #     and the StateQueued/... constants)
+#   - delta.WithDeltaParams / delta.WithIdealConfig and the Config.DeltaParams
+#     / Config.IdealConfig fields (use delta.WithPolicyParams, which works
+#     uniformly for every registered policy)
 #
 # The defining files (delta.go, internal/server/api/api.go) are exempt, as
 # are the root-package tests which deliberately exercise the compatibility
@@ -31,6 +34,8 @@ check() { # pattern description
 check '\bNewSimulatorE?\(' 'use delta.New with options'
 check '\bapi\.Status\b|\bStatusQueued\b|\bStatusRunning\b|\bStatusDone\b|\bStatusFailed\b|\bStatusCanceled\b' \
   'use api.JobState / api.StateX'
+check '\bWithDeltaParams\(|\bWithIdealConfig\(' 'use delta.WithPolicyParams(name, params)'
+check '\bDeltaParams:|\bIdealConfig:' 'set Config.PolicyParams via delta.WithPolicyParams'
 
 if command -v staticcheck >/dev/null 2>&1; then
   echo "== staticcheck"

@@ -211,6 +211,7 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		Scenario        *Scenario
 		DeltaParams     *core.Params
 		IdealConfig     *central.IdealConfig
+		PolicyParams    map[string]json.RawMessage
 	}
 	if err := json.Unmarshal(data, &cc); err != nil {
 		return Config{}, fmt.Errorf("delta: snapshot config: %w", err)
@@ -227,5 +228,6 @@ func configFromCanonicalJSON(data []byte) (Config, error) {
 		Scenario:           cc.Scenario,
 		DeltaParams:        cc.DeltaParams,
 		IdealConfig:        cc.IdealConfig,
+		PolicyParams:       cc.PolicyParams,
 	}, nil
 }

@@ -46,7 +46,7 @@ func newTestSim(t *testing.T, pol PolicyKind, opts ...Option) *Simulator {
 // subsystem: for every policy, run-to-completion must produce bit-identical
 // state to run→snapshot→restore→run, at more than one interruption point.
 func TestSnapshotRestoreEquivalence(t *testing.T) {
-	for _, pol := range []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal} {
+	for _, pol := range allPolicyKinds() {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			t.Parallel()
@@ -286,7 +286,7 @@ func FuzzSnapshotRestore(f *testing.F) {
 	f.Add(uint8(3), uint8(3), uint8(1))
 	f.Add(uint8(0), uint8(2), uint8(42))
 	f.Fuzz(func(t *testing.T, polByte, boundary, seed uint8) {
-		pols := []PolicyKind{PolicySnuca, PolicyPrivate, PolicyDelta, PolicyIdeal}
+		pols := allPolicyKinds()
 		pol := pols[int(polByte)%len(pols)]
 		k := 1 + int(boundary)%4
 		build := func() *Simulator {
